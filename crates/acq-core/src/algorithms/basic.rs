@@ -1,0 +1,206 @@
+//! The index-free baseline algorithms `basic-g` and `basic-w`
+//! (Section 4 / Appendix B of the paper).
+//!
+//! Both follow the two-step framework (verify size-c candidates, generate
+//! size-(c+1) candidates by Lemma 1). They differ only in where the keyword
+//! filtering happens: `basic-g` first restricts to the k-ĉore containing `q`
+//! and filters keywords inside it; `basic-w` filters keywords over the whole
+//! graph and only then intersects with the structural constraint.
+
+use crate::common::{filter_by_keywords, generate_candidates, verify_candidate, KeywordSetVec};
+use crate::query::{AcqQuery, AcqResult, AttributedCommunity, QueryStats};
+use acq_graph::{AttributedGraph, VertexSubset};
+use acq_kcore::peel_to_kcore_containing;
+
+/// `basic-g` (Algorithm 5): degree constraint first, keyword filtering second.
+pub fn basic_g(graph: &AttributedGraph, query: &AcqQuery) -> AcqResult {
+    let mut stats = QueryStats::default();
+    let q = query.vertex;
+    let k = query.k;
+    let s = query.effective_keywords(graph);
+
+    // The k-ĉore containing q, found by peeling the whole graph (no index).
+    let full = VertexSubset::full(graph.num_vertices());
+    let Some(kcore) = peel_to_kcore_containing(graph, &full, q, k) else {
+        return AcqResult::empty(stats);
+    };
+
+    let mut psi: Vec<KeywordSetVec> = s.iter().map(|&kw| vec![kw]).collect();
+    let mut last_level: Vec<(KeywordSetVec, VertexSubset)> = Vec::new();
+    while !psi.is_empty() {
+        let mut phi: Vec<(KeywordSetVec, VertexSubset)> = Vec::new();
+        for candidate in &psi {
+            let pool = filter_by_keywords(graph, kcore.iter(), candidate);
+            if let Some(community) = verify_candidate(graph, q, k, &pool, &mut stats) {
+                stats.qualified_sets += 1;
+                phi.push((candidate.clone(), community));
+            }
+        }
+        if phi.is_empty() {
+            break;
+        }
+        let qualified_sets: Vec<KeywordSetVec> = phi.iter().map(|(s, _)| s.clone()).collect();
+        last_level = phi;
+        psi = generate_candidates(&qualified_sets);
+    }
+
+    assemble(graph, last_level, Some(kcore), stats)
+}
+
+/// `basic-w` (Algorithm 6): keyword filtering over the whole graph first.
+pub fn basic_w(graph: &AttributedGraph, query: &AcqQuery) -> AcqResult {
+    let mut stats = QueryStats::default();
+    let q = query.vertex;
+    let k = query.k;
+    let s = query.effective_keywords(graph);
+
+    let mut psi: Vec<KeywordSetVec> = s.iter().map(|&kw| vec![kw]).collect();
+    let mut last_level: Vec<(KeywordSetVec, VertexSubset)> = Vec::new();
+    while !psi.is_empty() {
+        let mut phi: Vec<(KeywordSetVec, VertexSubset)> = Vec::new();
+        for candidate in &psi {
+            let pool = filter_by_keywords(graph, graph.vertices(), candidate);
+            if let Some(community) = verify_candidate(graph, q, k, &pool, &mut stats) {
+                stats.qualified_sets += 1;
+                phi.push((candidate.clone(), community));
+            }
+        }
+        if phi.is_empty() {
+            break;
+        }
+        let qualified_sets: Vec<KeywordSetVec> = phi.iter().map(|(s, _)| s.clone()).collect();
+        last_level = phi;
+        psi = generate_candidates(&qualified_sets);
+    }
+
+    // The fallback k-ĉore is only needed when no keyword set qualified.
+    let fallback = if last_level.is_empty() {
+        peel_to_kcore_containing(graph, &VertexSubset::full(graph.num_vertices()), q, k)
+    } else {
+        None
+    };
+    assemble(graph, last_level, fallback, stats)
+}
+
+/// Turns the final level of qualified keyword sets into an [`AcqResult`],
+/// falling back to the plain k-ĉore (empty AC-label) when nothing qualified —
+/// the behaviour described in the paper's footnote to Problem 1.
+pub(crate) fn assemble(
+    _graph: &AttributedGraph,
+    last_level: Vec<(KeywordSetVec, VertexSubset)>,
+    fallback_kcore: Option<VertexSubset>,
+    stats: QueryStats,
+) -> AcqResult {
+    if last_level.is_empty() {
+        return match fallback_kcore {
+            Some(core) => AcqResult {
+                communities: vec![AttributedCommunity::new(Vec::new(), core.sorted_members())],
+                label_size: 0,
+                stats,
+            },
+            None => AcqResult::empty(stats),
+        };
+    }
+    let label_size = last_level[0].0.len();
+    debug_assert!(last_level.iter().all(|(s, _)| s.len() == label_size));
+    let mut communities: Vec<AttributedCommunity> = last_level
+        .into_iter()
+        .map(|(label, vertices)| AttributedCommunity::new(label, vertices.sorted_members()))
+        .collect();
+    communities.sort_by(|a, b| a.label.cmp(&b.label).then_with(|| a.vertices.cmp(&b.vertices)));
+    communities.dedup();
+    AcqResult { communities, label_size, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acq_graph::paper_figure3_graph;
+
+    #[test]
+    fn basic_g_reproduces_section3_example() {
+        // q=A, k=2, S={w,x,y} -> single AC {A,C,D} with label {x,y}.
+        let g = paper_figure3_graph();
+        let a = g.vertex_by_label("A").unwrap();
+        let query = AcqQuery::with_keyword_terms(&g, a, 2, &["w", "x", "y"]);
+        let result = basic_g(&g, &query);
+        assert_eq!(result.label_size, 2);
+        assert_eq!(result.communities.len(), 1);
+        let c = &result.communities[0];
+        assert_eq!(c.member_names(&g), vec!["A", "C", "D"]);
+        assert_eq!(c.label_terms(&g), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn basic_w_agrees_with_basic_g() {
+        let g = paper_figure3_graph();
+        let a = g.vertex_by_label("A").unwrap();
+        for k in 1..=3 {
+            let query = AcqQuery::new(a, k);
+            assert_eq!(basic_g(&g, &query).canonical(), basic_w(&g, &query).canonical(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn k_above_core_number_yields_empty_result() {
+        let g = paper_figure3_graph();
+        let a = g.vertex_by_label("A").unwrap();
+        let query = AcqQuery::new(a, 4);
+        assert!(basic_g(&g, &query).is_empty());
+        assert!(basic_w(&g, &query).is_empty());
+    }
+
+    #[test]
+    fn no_shared_keyword_falls_back_to_kcore() {
+        // q=B (keywords {x}), k=3: the 3-ĉore is {A,B,C,D}. With S={x} the set
+        // {A,B,C,D} all contain x, so label {x} qualifies... pick instead E
+        // with k=2: W(E)={y,z}; the 2-ĉore containing E is {A,B,C,D,E}.
+        // Keyword y: vertices {A,C,D,E} containing y -> 2-core {A,C,D,E}
+        // exists, so label {y} qualifies. Use a vertex/keyword combination
+        // with no qualifying keyword: H with k=1, S={z}: vertices with z are
+        // {D,E,H}; H's component among them is {H} alone, no 1-core.
+        let g = paper_figure3_graph();
+        let h = g.vertex_by_label("H").unwrap();
+        let query = AcqQuery::with_keyword_terms(&g, h, 1, &["z"]);
+        let result = basic_g(&g, &query);
+        assert_eq!(result.label_size, 0, "no keyword can be shared");
+        assert_eq!(result.communities.len(), 1);
+        assert_eq!(result.communities[0].member_names(&g), vec!["H", "I"]);
+        assert!(result.communities[0].label.is_empty());
+    }
+
+    #[test]
+    fn maximality_prefers_larger_labels() {
+        // q=D, k=2, S={x,y,z}: {x,y} is shared by the triangle {A,C,D};
+        // {x,y,z} only by D itself; {y,z} by {D,E,H}, but D's 2-core among
+        // them... D-E edge only, no 2-core. So the answer is label {x,y}.
+        let g = paper_figure3_graph();
+        let d = g.vertex_by_label("D").unwrap();
+        let query = AcqQuery::new(d, 2);
+        let result = basic_g(&g, &query);
+        assert_eq!(result.label_size, 2);
+        assert_eq!(result.communities[0].label_terms(&g), vec!["x", "y"]);
+        assert_eq!(result.communities[0].member_names(&g), vec!["A", "C", "D"]);
+    }
+
+    #[test]
+    fn multiple_maximal_labels_return_multiple_communities() {
+        // q=A, k=1, S={x,y}: both {x} ({A,B,C,D}) and {y} ({A,C,D,E,F,G})
+        // qualify at size 1, and {x,y} qualifies at size 2 ({A,C,D,G} ->
+        // 1-core containing A = {A,C,D}). So the maximal label is {x,y}.
+        let g = paper_figure3_graph();
+        let a = g.vertex_by_label("A").unwrap();
+        let query = AcqQuery::with_keyword_terms(&g, a, 1, &["x", "y"]);
+        let result = basic_g(&g, &query);
+        assert_eq!(result.label_size, 2);
+        assert_eq!(result.communities.len(), 1);
+        // Now with S = {w, x}: {w} is only carried by A (no 1-core alone with
+        // just A... a single vertex has degree 0 < 1), {x} qualifies, {w,x}
+        // does not. Maximal label is {x}.
+        let query = AcqQuery::with_keyword_terms(&g, a, 1, &["w", "x"]);
+        let result = basic_g(&g, &query);
+        assert_eq!(result.label_size, 1);
+        assert_eq!(result.communities[0].label_terms(&g), vec!["x"]);
+        assert_eq!(result.communities[0].member_names(&g), vec!["A", "B", "C", "D"]);
+    }
+}

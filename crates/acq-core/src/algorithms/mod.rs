@@ -1,0 +1,7 @@
+//! The paper's query algorithms: the index-free baselines (Section 4), the
+//! incremental CL-tree algorithms `Inc-S` / `Inc-T` (Section 6.1) and the
+//! decremental algorithm `Dec` (Section 6.2).
+
+pub mod basic;
+pub mod dec;
+pub mod incremental;

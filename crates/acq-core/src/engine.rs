@@ -1,0 +1,198 @@
+//! A convenience façade bundling a graph, its CL-tree index and all query
+//! algorithms behind one entry point.
+
+use crate::algorithms::basic::{basic_g, basic_w};
+use crate::algorithms::dec::dec;
+use crate::algorithms::incremental::{inc_s, inc_t};
+use crate::query::{AcqQuery, AcqResult, QueryError};
+use crate::variants::{self, Variant1Query, Variant2Query};
+use acq_cltree::{build_advanced, ClTree};
+use acq_graph::AttributedGraph;
+
+/// Which ACQ algorithm to run. The index-free baselines ignore the CL-tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AcqAlgorithm {
+    /// Index-free: structure first, keywords second (Algorithm 5).
+    BasicG,
+    /// Index-free: keywords first, structure second (Algorithm 6).
+    BasicW,
+    /// Incremental, space-efficient (Algorithm 2).
+    IncS,
+    /// `Inc-S` without inverted lists (the paper's `Inc-S*` ablation).
+    IncSStar,
+    /// Incremental, time-efficient (Algorithm 3).
+    IncT,
+    /// `Inc-T` without inverted lists (the paper's `Inc-T*` ablation).
+    IncTStar,
+    /// Decremental with FP-Growth candidate generation (Algorithm 4) — the
+    /// paper's fastest algorithm and this crate's default.
+    #[default]
+    Dec,
+}
+
+impl AcqAlgorithm {
+    /// All algorithm variants, in the order the paper's figures list them.
+    pub const ALL: [AcqAlgorithm; 7] = [
+        AcqAlgorithm::BasicG,
+        AcqAlgorithm::BasicW,
+        AcqAlgorithm::IncS,
+        AcqAlgorithm::IncSStar,
+        AcqAlgorithm::IncT,
+        AcqAlgorithm::IncTStar,
+        AcqAlgorithm::Dec,
+    ];
+
+    /// The display name used in experiment output (matches the paper).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AcqAlgorithm::BasicG => "basic-g",
+            AcqAlgorithm::BasicW => "basic-w",
+            AcqAlgorithm::IncS => "Inc-S",
+            AcqAlgorithm::IncSStar => "Inc-S*",
+            AcqAlgorithm::IncT => "Inc-T",
+            AcqAlgorithm::IncTStar => "Inc-T*",
+            AcqAlgorithm::Dec => "Dec",
+        }
+    }
+}
+
+/// The query engine: owns the CL-tree index and borrows the graph.
+///
+/// ```
+/// use acq_graph::paper_figure3_graph;
+/// use acq_core::{AcqEngine, AcqQuery};
+///
+/// let graph = paper_figure3_graph();
+/// let engine = AcqEngine::new(&graph);
+/// let q = graph.vertex_by_label("A").unwrap();
+/// let result = engine.query(&AcqQuery::new(q, 2)).unwrap();
+/// assert_eq!(result.communities[0].member_names(&graph), vec!["A", "C", "D"]);
+/// assert_eq!(result.communities[0].label_terms(&graph), vec!["x", "y"]);
+/// ```
+#[derive(Debug)]
+pub struct AcqEngine<'g> {
+    graph: &'g AttributedGraph,
+    index: ClTree,
+}
+
+impl<'g> AcqEngine<'g> {
+    /// Builds the engine with a freshly constructed CL-tree (`advanced`
+    /// builder, inverted lists enabled).
+    pub fn new(graph: &'g AttributedGraph) -> Self {
+        Self { graph, index: build_advanced(graph, true) }
+    }
+
+    /// Wraps an existing index (e.g. one that has been incrementally
+    /// maintained or deserialised from disk).
+    pub fn with_index(graph: &'g AttributedGraph, index: ClTree) -> Self {
+        Self { graph, index }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &AttributedGraph {
+        self.graph
+    }
+
+    /// The CL-tree index.
+    pub fn index(&self) -> &ClTree {
+        &self.index
+    }
+
+    /// Runs the query with the default algorithm (`Dec`).
+    pub fn query(&self, query: &AcqQuery) -> Result<AcqResult, QueryError> {
+        self.query_with(query, AcqAlgorithm::default())
+    }
+
+    /// Runs the query with an explicitly chosen algorithm.
+    pub fn query_with(&self, query: &AcqQuery, algorithm: AcqAlgorithm) -> Result<AcqResult, QueryError> {
+        query.validate(self.graph)?;
+        Ok(match algorithm {
+            AcqAlgorithm::BasicG => basic_g(self.graph, query),
+            AcqAlgorithm::BasicW => basic_w(self.graph, query),
+            AcqAlgorithm::IncS => inc_s(self.graph, &self.index, query, true),
+            AcqAlgorithm::IncSStar => inc_s(self.graph, &self.index, query, false),
+            AcqAlgorithm::IncT => inc_t(self.graph, &self.index, query, true),
+            AcqAlgorithm::IncTStar => inc_t(self.graph, &self.index, query, false),
+            AcqAlgorithm::Dec => dec(self.graph, &self.index, query),
+        })
+    }
+
+    /// Runs a Variant 1 query (exact required keyword set) with the
+    /// index-based `SW` algorithm.
+    pub fn query_variant1(&self, query: &Variant1Query) -> Result<AcqResult, QueryError> {
+        if !self.graph.contains_vertex(query.vertex) {
+            return Err(QueryError::UnknownVertex(query.vertex));
+        }
+        if query.k == 0 {
+            return Err(QueryError::InvalidK);
+        }
+        Ok(variants::sw(self.graph, &self.index, query))
+    }
+
+    /// Runs a Variant 2 query (threshold keyword constraint) with the
+    /// index-based `SWT` algorithm.
+    pub fn query_variant2(&self, query: &Variant2Query) -> Result<AcqResult, QueryError> {
+        if !self.graph.contains_vertex(query.vertex) {
+            return Err(QueryError::UnknownVertex(query.vertex));
+        }
+        if query.k == 0 {
+            return Err(QueryError::InvalidK);
+        }
+        Ok(variants::swt(self.graph, &self.index, query))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acq_graph::{paper_figure3_graph, VertexId};
+
+    #[test]
+    fn engine_runs_every_algorithm_consistently() {
+        let g = paper_figure3_graph();
+        let engine = AcqEngine::new(&g);
+        let a = g.vertex_by_label("A").unwrap();
+        let query = AcqQuery::new(a, 2);
+        let reference = engine.query_with(&query, AcqAlgorithm::BasicG).unwrap().canonical();
+        for algorithm in AcqAlgorithm::ALL {
+            let result = engine.query_with(&query, algorithm).unwrap();
+            assert_eq!(result.canonical(), reference, "{}", algorithm.name());
+        }
+    }
+
+    #[test]
+    fn engine_validates_queries() {
+        let g = paper_figure3_graph();
+        let engine = AcqEngine::new(&g);
+        assert!(engine.query(&AcqQuery::new(VertexId(999), 2)).is_err());
+        assert!(engine.query(&AcqQuery::new(VertexId(0), 0)).is_err());
+        let v1 = Variant1Query { vertex: VertexId(999), k: 2, keywords: vec![] };
+        assert!(engine.query_variant1(&v1).is_err());
+        let v2 = Variant2Query { vertex: VertexId(0), k: 0, keywords: vec![], theta: 0.5 };
+        assert!(engine.query_variant2(&v2).is_err());
+    }
+
+    #[test]
+    fn algorithm_names_match_paper() {
+        assert_eq!(AcqAlgorithm::Dec.name(), "Dec");
+        assert_eq!(AcqAlgorithm::BasicG.name(), "basic-g");
+        assert_eq!(AcqAlgorithm::IncSStar.name(), "Inc-S*");
+        assert_eq!(AcqAlgorithm::default(), AcqAlgorithm::Dec);
+    }
+
+    #[test]
+    fn engine_variant_queries_work() {
+        let g = paper_figure3_graph();
+        let engine = AcqEngine::new(&g);
+        let a = g.vertex_by_label("A").unwrap();
+        let x = g.dictionary().get("x").unwrap();
+        let r1 = engine
+            .query_variant1(&Variant1Query { vertex: a, k: 2, keywords: vec![x] })
+            .unwrap();
+        assert_eq!(r1.communities[0].len(), 4);
+        let r2 = engine
+            .query_variant2(&Variant2Query { vertex: a, k: 2, keywords: vec![x], theta: 1.0 })
+            .unwrap();
+        assert_eq!(r2.communities[0].len(), 4);
+    }
+}

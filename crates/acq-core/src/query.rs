@@ -1,0 +1,251 @@
+//! Query descriptions, results and errors for the ACQ problem.
+
+use acq_graph::{AttributedGraph, KeywordId, VertexId};
+use std::fmt;
+
+/// An attributed community query (Problem 1 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AcqQuery {
+    /// The query vertex `q`.
+    pub vertex: VertexId,
+    /// Minimum degree `k` every community member must have inside the
+    /// community (structure cohesiveness).
+    pub k: usize,
+    /// The keyword set `S ⊆ W(q)` the AC-label is drawn from. `None` means
+    /// the paper's default `S = W(q)`.
+    pub keywords: Option<Vec<KeywordId>>,
+}
+
+impl AcqQuery {
+    /// Query with the default keyword set `S = W(q)`.
+    pub fn new(vertex: VertexId, k: usize) -> Self {
+        Self { vertex, k, keywords: None }
+    }
+
+    /// Query with an explicit keyword set `S`.
+    pub fn with_keywords(vertex: VertexId, k: usize, keywords: Vec<KeywordId>) -> Self {
+        Self { vertex, k, keywords: Some(keywords) }
+    }
+
+    /// Query whose keyword set is given as strings, resolved through the
+    /// graph's dictionary. Unknown keywords are ignored (they cannot be shared
+    /// by anybody).
+    pub fn with_keyword_terms(graph: &AttributedGraph, vertex: VertexId, k: usize, terms: &[&str]) -> Self {
+        let keywords = terms.iter().filter_map(|t| graph.dictionary().get(t)).collect();
+        Self { vertex, k, keywords: Some(keywords) }
+    }
+
+    /// Resolves the effective query keyword set: the explicit `S` intersected
+    /// with `W(q)`, or `W(q)` itself if no `S` was given. The paper requires
+    /// `S ⊆ W(q)`; keywords the query vertex does not carry can never be in an
+    /// AC-label (the AC contains `q`), so they are dropped here — this mirrors
+    /// Algorithm 2's "skip those keywords which are in S but not in W(q)".
+    pub fn effective_keywords(&self, graph: &AttributedGraph) -> Vec<KeywordId> {
+        let wq = graph.keyword_set(self.vertex);
+        match &self.keywords {
+            None => wq.iter().collect(),
+            Some(s) => {
+                let mut out: Vec<KeywordId> = s.iter().copied().filter(|&kw| wq.contains(kw)).collect();
+                out.sort_unstable();
+                out.dedup();
+                out
+            }
+        }
+    }
+
+    /// Validates the query against a graph.
+    pub fn validate(&self, graph: &AttributedGraph) -> Result<(), QueryError> {
+        if !graph.contains_vertex(self.vertex) {
+            return Err(QueryError::UnknownVertex(self.vertex));
+        }
+        if self.k == 0 {
+            return Err(QueryError::InvalidK);
+        }
+        Ok(())
+    }
+}
+
+/// One attributed community: a vertex set plus the AC-label shared by all of
+/// its members.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttributedCommunity {
+    /// The AC-label `L(Gq, S)`: keywords of `S` shared by every member,
+    /// sorted ascending. Empty when the query fell back to the plain k-ĉore.
+    pub label: Vec<KeywordId>,
+    /// The community members, sorted ascending.
+    pub vertices: Vec<VertexId>,
+}
+
+impl AttributedCommunity {
+    /// Creates a community, normalising the orderings.
+    pub fn new(mut label: Vec<KeywordId>, mut vertices: Vec<VertexId>) -> Self {
+        label.sort_unstable();
+        label.dedup();
+        vertices.sort_unstable();
+        vertices.dedup();
+        Self { label, vertices }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Whether the community has no members (never produced by the query
+    /// algorithms; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Resolves the AC-label to keyword strings.
+    pub fn label_terms<'a>(&'a self, graph: &'a AttributedGraph) -> Vec<&'a str> {
+        self.label.iter().filter_map(|&kw| graph.dictionary().term(kw)).collect()
+    }
+
+    /// Resolves the member labels (falling back to the numeric id).
+    pub fn member_names(&self, graph: &AttributedGraph) -> Vec<String> {
+        self.vertices
+            .iter()
+            .map(|&v| graph.label(v).map(str::to_owned).unwrap_or_else(|| v.to_string()))
+            .collect()
+    }
+}
+
+/// Counters describing how much work a query did; used by the efficiency
+/// experiments and by tests asserting that pruning actually prunes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Candidate keyword sets whose community existence was checked.
+    pub candidates_verified: usize,
+    /// Candidate keyword sets skipped by the Lemma 3 edge-count bound.
+    pub pruned_by_lemma3: usize,
+    /// Number of qualified keyword sets discovered across all sizes.
+    pub qualified_sets: usize,
+}
+
+/// The answer to an ACQ: all attributed communities whose AC-label has the
+/// maximum size, plus work counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AcqResult {
+    /// The communities, one per maximal qualified keyword set. When no
+    /// keyword is shared at all this contains the plain k-ĉore with an empty
+    /// label (the paper's fallback); when even that does not exist it is
+    /// empty.
+    pub communities: Vec<AttributedCommunity>,
+    /// Size of the AC-label of the returned communities (0 for the fallback).
+    pub label_size: usize,
+    /// Work counters.
+    pub stats: QueryStats,
+}
+
+impl AcqResult {
+    /// The empty result (no community satisfies the structure constraint).
+    pub fn empty(stats: QueryStats) -> Self {
+        Self { communities: Vec::new(), label_size: 0, stats }
+    }
+
+    /// Whether any community was found.
+    pub fn is_empty(&self) -> bool {
+        self.communities.is_empty()
+    }
+
+    /// Communities sorted by label then vertices — a canonical form used to
+    /// compare the output of different algorithms.
+    pub fn canonical(&self) -> Vec<(Vec<KeywordId>, Vec<VertexId>)> {
+        let mut out: Vec<(Vec<KeywordId>, Vec<VertexId>)> = self
+            .communities
+            .iter()
+            .map(|c| (c.label.clone(), c.vertices.clone()))
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+/// Errors raised by the query algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query vertex does not exist in the graph.
+    UnknownVertex(VertexId),
+    /// `k` must be at least 1 (a 0-core carries no structural constraint).
+    InvalidK,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnknownVertex(v) => write!(f, "query vertex {v} is not in the graph"),
+            QueryError::InvalidK => write!(f, "the minimum degree k must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acq_graph::paper_figure3_graph;
+
+    #[test]
+    fn effective_keywords_defaults_to_wq() {
+        let g = paper_figure3_graph();
+        let a = g.vertex_by_label("A").unwrap();
+        let q = AcqQuery::new(a, 2);
+        let eff = q.effective_keywords(&g);
+        assert_eq!(eff.len(), 3, "A carries w, x, y");
+    }
+
+    #[test]
+    fn effective_keywords_intersects_with_wq() {
+        let g = paper_figure3_graph();
+        let a = g.vertex_by_label("A").unwrap();
+        let q = AcqQuery::with_keyword_terms(&g, a, 2, &["x", "z", "nonexistent"]);
+        let eff = q.effective_keywords(&g);
+        // A does not carry z; unknown keywords are dropped.
+        assert_eq!(eff, vec![g.dictionary().get("x").unwrap()]);
+    }
+
+    #[test]
+    fn validation_rejects_bad_queries() {
+        let g = paper_figure3_graph();
+        let a = g.vertex_by_label("A").unwrap();
+        assert!(AcqQuery::new(a, 2).validate(&g).is_ok());
+        assert_eq!(AcqQuery::new(a, 0).validate(&g), Err(QueryError::InvalidK));
+        let missing = VertexId(99);
+        assert_eq!(
+            AcqQuery::new(missing, 2).validate(&g),
+            Err(QueryError::UnknownVertex(missing))
+        );
+        assert!(QueryError::InvalidK.to_string().contains("at least 1"));
+    }
+
+    #[test]
+    fn community_accessors() {
+        let g = paper_figure3_graph();
+        let a = g.vertex_by_label("A").unwrap();
+        let c = g.vertex_by_label("C").unwrap();
+        let x = g.dictionary().get("x").unwrap();
+        let community = AttributedCommunity::new(vec![x], vec![c, a, c]);
+        assert_eq!(community.len(), 2);
+        assert!(!community.is_empty());
+        assert_eq!(community.vertices, vec![a, c]);
+        assert_eq!(community.label_terms(&g), vec!["x"]);
+        assert_eq!(community.member_names(&g), vec!["A", "C"]);
+    }
+
+    #[test]
+    fn result_canonical_form_deduplicates() {
+        let r = AcqResult {
+            communities: vec![
+                AttributedCommunity::new(vec![KeywordId(1)], vec![VertexId(0)]),
+                AttributedCommunity::new(vec![KeywordId(1)], vec![VertexId(0)]),
+            ],
+            label_size: 1,
+            stats: QueryStats::default(),
+        };
+        assert_eq!(r.canonical().len(), 1);
+        assert!(AcqResult::empty(QueryStats::default()).is_empty());
+    }
+}

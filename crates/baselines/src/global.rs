@@ -1,0 +1,56 @@
+//! `Global` (Sozio & Gionis, KDD 2010) — whole-graph community search.
+//!
+//! Given a query vertex `q` and a degree bound `k`, `Global` peels the entire
+//! graph down to its k-core and returns the connected component containing
+//! `q`. Keywords are ignored, which is exactly why the paper's Tables 4–6 show
+//! its communities carrying hundreds of thousands of distinct keywords.
+
+use acq_graph::{AttributedGraph, VertexId, VertexSubset};
+use acq_kcore::peel_to_kcore_containing;
+
+/// The community `Global` returns for `(q, k)`: the k-ĉore containing `q`, or
+/// `None` when `q` is not in the k-core.
+pub fn global_community(graph: &AttributedGraph, q: VertexId, k: usize) -> Option<VertexSubset> {
+    let full = VertexSubset::full(graph.num_vertices());
+    peel_to_kcore_containing(graph, &full, q, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acq_graph::paper_figure3_graph;
+
+    #[test]
+    fn returns_the_kcore_containing_q() {
+        let g = paper_figure3_graph();
+        let a = g.vertex_by_label("A").unwrap();
+        let c2 = global_community(&g, a, 2).unwrap();
+        assert_eq!(c2.len(), 5, "{{A,B,C,D,E}}");
+        let c3 = global_community(&g, a, 3).unwrap();
+        assert_eq!(c3.len(), 4);
+        assert!(global_community(&g, a, 4).is_none());
+    }
+
+    #[test]
+    fn respects_connected_components() {
+        let g = paper_figure3_graph();
+        let h = g.vertex_by_label("H").unwrap();
+        let c1 = global_community(&g, h, 1).unwrap();
+        assert_eq!(c1.len(), 2, "{{H, I}}, not the other component");
+        let j = g.vertex_by_label("J").unwrap();
+        assert!(global_community(&g, j, 1).is_none());
+    }
+
+    #[test]
+    fn every_member_meets_the_degree_bound() {
+        let g = paper_figure3_graph();
+        let a = g.vertex_by_label("A").unwrap();
+        for k in 1..=3 {
+            let c = global_community(&g, a, k).unwrap();
+            for v in c.iter() {
+                assert!(c.degree_within(&g, v) >= k);
+            }
+            assert!(c.is_connected(&g));
+        }
+    }
+}

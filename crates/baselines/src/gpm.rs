@@ -1,0 +1,128 @@
+//! Star-pattern graph pattern matching (the paper's Table 7 comparison).
+//!
+//! The paper probes whether GPM could substitute for community search by
+//! issuing `Star-a` patterns: a centre vertex (the query vertex) connected to
+//! `a` leaves, every pattern vertex labelled with the same keyword set `S`.
+//! A match exists iff the query vertex contains `S` and at least `a` of its
+//! neighbours contain `S`. Table 7 reports, for growing `|S|`, the fraction of
+//! queries for which *any* match exists — which collapses quickly, showing why
+//! pattern matching is a poor fit for the ACQ problem.
+
+use acq_graph::{AttributedGraph, KeywordId, VertexId};
+
+/// A `Star-a` pattern query: centre `q`, `a` leaves, keyword set `S` required
+/// on every pattern vertex.
+#[derive(Debug, Clone)]
+pub struct StarPatternQuery {
+    /// The centre of the star (the community-search query vertex).
+    pub vertex: VertexId,
+    /// Number of leaves `a` (the paper uses 6, 8 and 10).
+    pub leaves: usize,
+    /// Keyword set required on the centre and on every leaf.
+    pub keywords: Vec<KeywordId>,
+}
+
+/// Whether at least one embedding of the star pattern exists.
+pub fn star_pattern_has_match(graph: &AttributedGraph, query: &StarPatternQuery) -> bool {
+    let mut sorted = query.keywords.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    if !graph.keyword_set(query.vertex).contains_all(&sorted) {
+        return false;
+    }
+    let matching_neighbours = graph
+        .neighbors(query.vertex)
+        .iter()
+        .filter(|&&u| graph.keyword_set(u).contains_all(&sorted))
+        .count();
+    matching_neighbours >= query.leaves
+}
+
+/// Number of distinct embeddings of the star pattern (leaves are unordered, so
+/// this is `C(matching neighbours, a)`); handy for tests and for reporting how
+/// selective the patterns are.
+pub fn star_pattern_match_count(graph: &AttributedGraph, query: &StarPatternQuery) -> u128 {
+    let mut sorted = query.keywords.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    if !graph.keyword_set(query.vertex).contains_all(&sorted) {
+        return 0;
+    }
+    let m = graph
+        .neighbors(query.vertex)
+        .iter()
+        .filter(|&&u| graph.keyword_set(u).contains_all(&sorted))
+        .count();
+    binomial(m, query.leaves)
+}
+
+fn binomial(n: usize, k: usize) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result: u128 = 1;
+    for i in 0..k {
+        result = result * (n - i) as u128 / (i + 1) as u128;
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acq_graph::{paper_figure3_graph, GraphBuilder};
+
+    fn kw(graph: &AttributedGraph, terms: &[&str]) -> Vec<KeywordId> {
+        terms.iter().map(|t| graph.dictionary().get(t).unwrap()).collect()
+    }
+
+    #[test]
+    fn match_requires_enough_keyword_matching_neighbours() {
+        let g = paper_figure3_graph();
+        let a = g.vertex_by_label("A").unwrap();
+        // A's neighbours with keyword x: B, C, D (E lacks x).
+        let q3 = StarPatternQuery { vertex: a, leaves: 3, keywords: kw(&g, &["x"]) };
+        assert!(star_pattern_has_match(&g, &q3));
+        let q4 = StarPatternQuery { vertex: a, leaves: 4, keywords: kw(&g, &["x"]) };
+        assert!(!star_pattern_has_match(&g, &q4));
+        // The centre itself must carry the keywords too.
+        let e = g.vertex_by_label("E").unwrap();
+        let qe = StarPatternQuery { vertex: e, leaves: 1, keywords: kw(&g, &["x"]) };
+        assert!(!star_pattern_has_match(&g, &qe));
+    }
+
+    #[test]
+    fn larger_keyword_sets_are_more_selective() {
+        let g = paper_figure3_graph();
+        let a = g.vertex_by_label("A").unwrap();
+        let with_x = StarPatternQuery { vertex: a, leaves: 2, keywords: kw(&g, &["x"]) };
+        let with_xy = StarPatternQuery { vertex: a, leaves: 2, keywords: kw(&g, &["x", "y"]) };
+        assert!(star_pattern_match_count(&g, &with_x) >= star_pattern_match_count(&g, &with_xy));
+    }
+
+    #[test]
+    fn match_count_is_binomial_in_matching_neighbours() {
+        let mut b = GraphBuilder::new();
+        let q = b.add_vertex("q", &["t"]);
+        for i in 0..5 {
+            let v = b.add_vertex(&format!("n{i}"), &["t"]);
+            b.add_edge(q, v).unwrap();
+        }
+        let g = b.build();
+        let t = g.dictionary().get("t").unwrap();
+        let query = StarPatternQuery { vertex: q, leaves: 2, keywords: vec![t] };
+        assert_eq!(star_pattern_match_count(&g, &query), 10, "C(5,2)");
+        assert!(star_pattern_has_match(&g, &query));
+        let too_many = StarPatternQuery { vertex: q, leaves: 6, keywords: vec![t] };
+        assert_eq!(star_pattern_match_count(&g, &too_many), 0);
+    }
+
+    #[test]
+    fn binomial_helper() {
+        assert_eq!(binomial(10, 0), 1);
+        assert_eq!(binomial(10, 10), 1);
+        assert_eq!(binomial(10, 3), 120);
+        assert_eq!(binomial(3, 5), 0);
+    }
+}

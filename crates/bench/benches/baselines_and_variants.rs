@@ -1,0 +1,64 @@
+//! Figures 14(a–d), 16 and 17 micro-benchmarks: Dec against the
+//! community-search baselines, plus the Variant 1 / Variant 2 algorithms.
+
+use acq_baselines::{global_community, local_community};
+use acq_bench::default_fixture;
+use acq_core::variants::{sw, swt, Variant1Query, Variant2Query};
+use acq_core::{dec, AcqQuery};
+use acq_graph::KeywordId;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_vs_community_search(c: &mut Criterion) {
+    let fx = default_fixture();
+    let mut group = c.benchmark_group("vs_community_search");
+    group.sample_size(10);
+    group.bench_function("Global", |b| {
+        b.iter(|| {
+            for &q in &fx.queries {
+                std::hint::black_box(global_community(&fx.graph, q, 6));
+            }
+        })
+    });
+    group.bench_function("Local", |b| {
+        b.iter(|| {
+            for &q in &fx.queries {
+                std::hint::black_box(local_community(&fx.graph, q, 6));
+            }
+        })
+    });
+    group.bench_function("Dec", |b| {
+        b.iter(|| {
+            for &q in &fx.queries {
+                std::hint::black_box(dec(&fx.graph, &fx.index, &AcqQuery::new(q, 6)));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let fx = default_fixture();
+    let mut group = c.benchmark_group("variants");
+    group.sample_size(10);
+    let keywords_of = |q| -> Vec<KeywordId> { fx.graph.keyword_set(q).iter().take(3).collect() };
+    group.bench_function("SW (variant 1)", |b| {
+        b.iter(|| {
+            for &q in &fx.queries {
+                let query = Variant1Query { vertex: q, k: 6, keywords: keywords_of(q) };
+                std::hint::black_box(sw(&fx.graph, &fx.index, &query));
+            }
+        })
+    });
+    group.bench_function("SWT (variant 2, theta=0.6)", |b| {
+        b.iter(|| {
+            for &q in &fx.queries {
+                let query = Variant2Query { vertex: q, k: 6, keywords: keywords_of(q), theta: 0.6 };
+                std::hint::black_box(swt(&fx.graph, &fx.index, &query));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_vs_community_search, bench_variants);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 13 micro-benchmark: CL-tree construction time, `basic` vs
+//! `advanced`, with and without inverted lists, at two graph scales.
+
+use acq_bench::fixture;
+use acq_cltree::{build_advanced, build_basic};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_index_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_construction");
+    group.sample_size(10);
+    for (label, scale) in [("small", 0.2), ("medium", 0.5)] {
+        let fx = fixture(&acq_datagen::dblp(), scale, 1, 1);
+        let graph = &fx.graph;
+        group.bench_with_input(BenchmarkId::new("basic", label), graph, |b, g| {
+            b.iter(|| build_basic(g, true))
+        });
+        group.bench_with_input(BenchmarkId::new("basic-no-lists", label), graph, |b, g| {
+            b.iter(|| build_basic(g, false))
+        });
+        group.bench_with_input(BenchmarkId::new("advanced", label), graph, |b, g| {
+            b.iter(|| build_advanced(g, true))
+        });
+        group.bench_with_input(BenchmarkId::new("advanced-no-lists", label), graph, |b, g| {
+            b.iter(|| build_advanced(g, false))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_construction);
+criterion_main!(benches);

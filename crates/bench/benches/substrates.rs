@@ -1,0 +1,82 @@
+//! Substrate micro-benchmarks: core decomposition and maintenance, k-ĉore
+//! extraction, union-find, FP-growth — the pieces whose asymptotics the
+//! paper's complexity analysis relies on.
+
+use acq_bench::{default_fixture, dense_fixture};
+use acq_fpm::{fp_growth, Transaction};
+use acq_kcore::{connected_kcore_containing, peel_to_kcore, CoreDecomposition};
+use acq_unionfind::AnchoredUnionFind;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_core_decomposition(c: &mut Criterion) {
+    let fx = dense_fixture();
+    let mut group = c.benchmark_group("kcore");
+    group.sample_size(10);
+    group.bench_function("decomposition", |b| {
+        b.iter(|| CoreDecomposition::compute(&fx.graph))
+    });
+    let decomp = CoreDecomposition::compute(&fx.graph);
+    group.bench_function("connected_kcore_containing", |b| {
+        b.iter(|| {
+            for &q in &fx.queries {
+                std::hint::black_box(connected_kcore_containing(&fx.graph, &decomp, q, 6));
+            }
+        })
+    });
+    group.bench_function("peel_full_graph_to_6core", |b| {
+        let full = acq_graph::VertexSubset::full(fx.graph.num_vertices());
+        b.iter(|| peel_to_kcore(&fx.graph, &full, 6))
+    });
+    group.finish();
+}
+
+fn bench_union_find(c: &mut Criterion) {
+    let fx = default_fixture();
+    let mut group = c.benchmark_group("union_find");
+    group.sample_size(20);
+    group.bench_function("anchored_union_all_edges", |b| {
+        let cores = CoreDecomposition::compute(&fx.graph);
+        let core_numbers = cores.core_numbers().to_vec();
+        b.iter(|| {
+            let mut auf = AnchoredUnionFind::new(fx.graph.num_vertices());
+            for v in fx.graph.vertices() {
+                for &u in fx.graph.neighbors(v) {
+                    if u > v {
+                        auf.union(v.index(), u.index());
+                        auf.update_anchor(v.index(), &core_numbers, v.index());
+                    }
+                }
+            }
+            std::hint::black_box(auf.num_components())
+        })
+    });
+    group.finish();
+}
+
+fn bench_fp_growth(c: &mut Criterion) {
+    // Transactions mimicking the Dec candidate-generation input: the keyword
+    // sets of a high-degree vertex's neighbours.
+    let fx = default_fixture();
+    let hub = fx
+        .graph
+        .vertices()
+        .max_by_key(|&v| fx.graph.degree(v))
+        .expect("non-empty graph");
+    let transactions: Vec<Transaction> = fx
+        .graph
+        .neighbors(hub)
+        .iter()
+        .map(|&n| fx.graph.keyword_set(n).iter().map(|kw| kw.0).collect())
+        .collect();
+    let mut group = c.benchmark_group("fp_growth");
+    group.sample_size(20);
+    for min_support in [4usize, 6, 8] {
+        group.bench_function(format!("min_support={min_support}"), |b| {
+            b.iter(|| std::hint::black_box(fp_growth(&transactions, min_support)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_core_decomposition, bench_union_find, bench_fp_growth);
+criterion_main!(benches);

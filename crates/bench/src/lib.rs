@@ -1,0 +1,64 @@
+//! # acq-bench
+//!
+//! Shared fixtures for the Criterion micro-benchmarks. The benchmarks live in
+//! `benches/` and cover the four axes the paper's efficiency section measures:
+//! index construction (Figure 13), the query algorithms (Figure 14/15),
+//! the community-search baselines (Figure 14(a–d)/16) and the ACQ variants
+//! (Figure 17), plus the substrates (core decomposition, union-find,
+//! FP-growth) that everything is built on.
+//!
+//! The fixtures are intentionally small (a few thousand vertices) so that a
+//! full `cargo bench` run finishes in minutes; the experiment binary
+//! (`acq-experiments`) is the place for paper-scale sweeps.
+
+#![warn(missing_docs)]
+
+use acq_cltree::{build_advanced, ClTree};
+use acq_datagen::{DatasetProfile, generate, select_query_vertices};
+use acq_graph::{AttributedGraph, VertexId};
+
+/// A ready-to-query benchmark fixture: graph, index and a query workload.
+pub struct BenchFixture {
+    /// Profile name.
+    pub name: String,
+    /// The generated graph.
+    pub graph: AttributedGraph,
+    /// The CL-tree (advanced build, inverted lists).
+    pub index: ClTree,
+    /// Query vertices with core number ≥ 6.
+    pub queries: Vec<VertexId>,
+}
+
+/// Builds a fixture from a dataset profile scaled by `scale`, with `queries`
+/// query vertices of core number at least `min_core`.
+pub fn fixture(profile: &DatasetProfile, scale: f64, queries: usize, min_core: u32) -> BenchFixture {
+    let graph = generate(&profile.scaled(scale));
+    let index = build_advanced(&graph, true);
+    let selected = select_query_vertices(&graph, index.decomposition(), queries, min_core, 99);
+    BenchFixture { name: profile.name.clone(), graph, index, queries: selected }
+}
+
+/// The default benchmark fixture: the DBLP-like profile at a small scale.
+pub fn default_fixture() -> BenchFixture {
+    fixture(&acq_datagen::dblp(), 0.4, 20, 6)
+}
+
+/// A denser fixture (Tencent-like) for the structure-heavy benchmarks.
+pub fn dense_fixture() -> BenchFixture {
+    fixture(&acq_datagen::tencent(), 0.25, 20, 6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_have_queries_and_valid_indexes() {
+        let f = fixture(&acq_datagen::tiny(), 1.0, 5, 3);
+        assert!(!f.queries.is_empty());
+        assert!(f.index.validate(&f.graph).is_ok());
+        for &q in &f.queries {
+            assert!(f.index.core_number(q) >= 3);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Incremental CL-tree maintenance (Section 5.2.2 "Index maintenance" and
+//! Appendix F of the paper).
+//!
+//! * **Keyword updates** are fully local: only the inverted list of the single
+//!   CL-tree node owning the vertex changes.
+//! * **Edge updates** first update the core decomposition incrementally with
+//!   the subcore algorithm of `acq-kcore` (only vertices at the affected core
+//!   level are touched, as in Li et al.), and then rebuild the tree skeleton
+//!   from the updated core numbers with the `advanced` builder. The paper
+//!   sketches an even more local subtree splice; rebuilding the skeleton is
+//!   `O(m·α(n))` and — crucially — skips the `O(m)` decomposition plus keeps
+//!   the API simple, which is the trade-off documented in DESIGN.md. When no
+//!   core number changes (the common case) only the affected node's parent
+//!   links are recomputed by the rebuild.
+
+use crate::build_advanced::build_advanced_with_decomposition;
+use crate::tree::ClTree;
+use acq_graph::{AttributedGraph, KeywordId, VertexId};
+
+/// Registers a newly added keyword of `vertex` in the index. The caller must
+/// have already added the keyword to the graph (e.g. via
+/// [`AttributedGraph::with_keyword_added`]); this touches exactly one node.
+pub fn apply_keyword_insertion(tree: &mut ClTree, vertex: VertexId, keyword: KeywordId) {
+    let node = tree.node_of(vertex);
+    if tree.has_inverted_lists() {
+        tree.node_mut(node).add_keyword_entry(keyword, vertex);
+    }
+}
+
+/// Removes a keyword of `vertex` from the index (no-op if it was not listed).
+pub fn apply_keyword_removal(tree: &mut ClTree, vertex: VertexId, keyword: KeywordId) {
+    let node = tree.node_of(vertex);
+    if tree.has_inverted_lists() {
+        tree.node_mut(node).remove_keyword_entry(keyword, vertex);
+    }
+}
+
+/// Updates the index after the edge `{u, v}` has been inserted into the graph
+/// (`graph` must already contain the edge). Returns the refreshed index.
+pub fn apply_edge_insertion(tree: &ClTree, graph: &AttributedGraph, u: VertexId, v: VertexId) -> ClTree {
+    let mut decomposition = tree.decomposition().clone();
+    acq_kcore::maintenance::apply_edge_insertion(graph, &mut decomposition, u, v);
+    build_advanced_with_decomposition(graph, decomposition, tree.has_inverted_lists())
+}
+
+/// Updates the index after the edge `{u, v}` has been removed from the graph
+/// (`graph` must no longer contain the edge). Returns the refreshed index.
+pub fn apply_edge_removal(tree: &ClTree, graph: &AttributedGraph, u: VertexId, v: VertexId) -> ClTree {
+    let mut decomposition = tree.decomposition().clone();
+    acq_kcore::maintenance::apply_edge_removal(graph, &mut decomposition, u, v);
+    build_advanced_with_decomposition(graph, decomposition, tree.has_inverted_lists())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_advanced::build_advanced;
+    use acq_graph::paper_figure3_graph;
+
+    #[test]
+    fn keyword_insertion_updates_single_inverted_list() {
+        let g = paper_figure3_graph();
+        let mut t = build_advanced(&g, true);
+        let b = g.vertex_by_label("B").unwrap();
+        let g2 = g.with_keyword_added(b, "music").unwrap();
+        let music = g2.dictionary().get("music").unwrap();
+        apply_keyword_insertion(&mut t, b, music);
+        t.validate(&g2).unwrap();
+        let node = t.node_of(b);
+        assert!(t.node(node).vertices_with_keyword(music).contains(&b));
+    }
+
+    #[test]
+    fn keyword_removal_updates_single_inverted_list() {
+        let g = paper_figure3_graph();
+        let mut t = build_advanced(&g, true);
+        let d = g.vertex_by_label("D").unwrap();
+        let z = g.dictionary().get("z").unwrap();
+        let g2 = g.with_keyword_removed(d, "z").unwrap();
+        apply_keyword_removal(&mut t, d, z);
+        t.validate(&g2).unwrap();
+        assert!(!t.node(t.node_of(d)).vertices_with_keyword(z).contains(&d));
+    }
+
+    #[test]
+    fn keyword_updates_are_noops_without_inverted_lists() {
+        let g = paper_figure3_graph();
+        let mut t = build_advanced(&g, false);
+        let b = g.vertex_by_label("B").unwrap();
+        apply_keyword_insertion(&mut t, b, KeywordId(0));
+        apply_keyword_removal(&mut t, b, KeywordId(0));
+        t.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn edge_insertion_refreshes_index() {
+        let g = paper_figure3_graph();
+        let t = build_advanced(&g, true);
+        let f = g.vertex_by_label("F").unwrap();
+        let g_vertex = g.vertex_by_label("G").unwrap();
+        // Adding F–G turns {E,F,G} into a triangle, promoting F and G to core 2.
+        let g2 = g.with_edge_inserted(f, g_vertex).unwrap();
+        let t2 = apply_edge_insertion(&t, &g2, f, g_vertex);
+        t2.validate(&g2).unwrap();
+        assert_eq!(t2.core_number(f), 2);
+        let from_scratch = build_advanced(&g2, true);
+        assert_eq!(t2.canonical_form(), from_scratch.canonical_form());
+    }
+
+    #[test]
+    fn edge_removal_refreshes_index() {
+        let g = paper_figure3_graph();
+        let t = build_advanced(&g, true);
+        let a = g.vertex_by_label("A").unwrap();
+        let b = g.vertex_by_label("B").unwrap();
+        let g2 = g.with_edge_removed(a, b).unwrap();
+        let t2 = apply_edge_removal(&t, &g2, a, b);
+        t2.validate(&g2).unwrap();
+        assert_eq!(t2.core_number(a), 2, "clique minus an edge drops to core 2");
+        let from_scratch = build_advanced(&g2, true);
+        assert_eq!(t2.canonical_form(), from_scratch.canonical_form());
+    }
+
+    #[test]
+    fn sequence_of_mixed_updates_stays_valid() {
+        let mut g = paper_figure3_graph();
+        let mut t = build_advanced(&g, true);
+        let pairs = [("H", "F"), ("J", "A"), ("I", "G")];
+        for (x, y) in pairs {
+            let u = g.vertex_by_label(x).unwrap();
+            let v = g.vertex_by_label(y).unwrap();
+            g = g.with_edge_inserted(u, v).unwrap();
+            t = apply_edge_insertion(&t, &g, u, v);
+            t.validate(&g).unwrap();
+        }
+        // Now remove one of them again.
+        let u = g.vertex_by_label("J").unwrap();
+        let v = g.vertex_by_label("A").unwrap();
+        g = g.with_edge_removed(u, v).unwrap();
+        t = apply_edge_removal(&t, &g, u, v);
+        t.validate(&g).unwrap();
+    }
+}

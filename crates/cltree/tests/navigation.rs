@@ -1,0 +1,82 @@
+//! Integration tests for CL-tree navigation helpers on the paper's example
+//! graph and on a generated graph from raw parts (no `acq-datagen` dependency
+//! here — the graph is built by hand to keep the dependency graph acyclic).
+
+use acq_cltree::build_advanced;
+use acq_graph::{paper_figure3_graph, GraphBuilder, VertexId};
+
+#[test]
+fn path_to_root_walks_strictly_decreasing_core_numbers() {
+    let g = paper_figure3_graph();
+    let t = build_advanced(&g, true);
+    for v in g.vertices() {
+        let path = t.path_to_root(v);
+        assert_eq!(path.first().copied(), Some(t.node_of(v)));
+        assert_eq!(path.last().copied(), Some(t.root()));
+        let cores: Vec<u32> = path.iter().map(|&n| t.node(n).core_num).collect();
+        assert!(cores.windows(2).all(|w| w[0] > w[1]), "{cores:?} for {v:?}");
+    }
+}
+
+#[test]
+fn preorder_visits_every_node_exactly_once_starting_at_root() {
+    let g = paper_figure3_graph();
+    let t = build_advanced(&g, true);
+    let order = t.preorder();
+    assert_eq!(order.len(), t.num_nodes());
+    assert_eq!(order[0], t.root());
+    let mut sorted = order.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), t.num_nodes());
+}
+
+#[test]
+fn locate_core_range_is_indexed_by_core_number() {
+    let g = paper_figure3_graph();
+    let t = build_advanced(&g, true);
+    let a = g.vertex_by_label("A").unwrap();
+    let range = t.locate_core_range(a, 2);
+    assert_eq!(range.len(), 2, "core numbers 2 and 3");
+    assert_eq!(t.node(range[0]).core_num, 2);
+    assert_eq!(t.node(range[1]).core_num, 3);
+    // Below-k queries yield an empty range.
+    let j = g.vertex_by_label("J").unwrap();
+    assert!(t.locate_core_range(j, 1).is_empty());
+}
+
+#[test]
+fn deep_chain_of_nested_cores_is_navigable() {
+    // Build nested cliques K6 ⊃ K5 ⊃ K4 … by attaching progressively sparser
+    // rings; simplest deterministic construction: a K8 plus a path hanging off
+    // it produces three distinct core levels (7, 1, 0 is absent since all
+    // vertices have an edge).
+    let mut b = GraphBuilder::new();
+    let clique: Vec<VertexId> = (0..8).map(|i| b.add_vertex(&format!("c{i}"), &["kw"])).collect();
+    for i in 0..8 {
+        for j in (i + 1)..8 {
+            b.add_edge(clique[i], clique[j]).unwrap();
+        }
+    }
+    let mut prev = clique[0];
+    for i in 0..5 {
+        let p = b.add_vertex(&format!("p{i}"), &["kw"]);
+        b.add_edge(prev, p).unwrap();
+        prev = p;
+    }
+    let g = b.build();
+    let t = build_advanced(&g, true);
+    t.validate(&g).unwrap();
+    assert_eq!(t.kmax(), 7);
+    let tail = g.vertex_by_label("p4").unwrap();
+    assert_eq!(t.core_number(tail), 1);
+    // The 1-ĉore containing the tail is the whole connected graph.
+    assert_eq!(
+        t.kcore_containing(tail, 1, g.num_vertices()).unwrap().len(),
+        g.num_vertices()
+    );
+    // The 7-ĉore is only reachable from clique members.
+    assert!(t.locate_core(tail, 7).is_none());
+    let c7 = t.kcore_containing(clique[3], 7, g.num_vertices()).unwrap();
+    assert_eq!(c7.len(), 8);
+}

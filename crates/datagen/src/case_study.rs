@@ -1,0 +1,217 @@
+//! A hand-crafted DBLP-style co-authorship graph for the paper's case study
+//! (Section 7.2.2, Figures 2, 10 and 18, Tables 5–6).
+//!
+//! The real DBLP graph cannot be shipped, but the case study only needs its
+//! local structure around two prolific authors: each of them sits in several
+//! dense collaborator groups, and each group has its own research theme
+//! (keyword topic). This module builds exactly that shape, with two central
+//! authors ("Jim Gray" and "Jiawei Han"), two themed collaborator cliques per
+//! author, a handful of bridge authors and a loosely-connected background so
+//! that structure-only methods return large, unfocused communities.
+
+use acq_graph::{AttributedGraph, GraphBuilder, VertexId};
+
+/// Keyword themes used by the case-study graph.
+pub mod themes {
+    /// Jim Gray's database-systems collaborators.
+    pub const DATABASE: &[&str] = &["transaction", "data", "management", "system", "research"];
+    /// Jim Gray's Sloan Digital Sky Survey collaborators.
+    pub const SDSS: &[&str] = &["sloan", "digital", "sky", "survey", "sdss"];
+    /// Jiawei Han's graph-analysis collaborators.
+    pub const GRAPH_ANALYSIS: &[&str] = &["analysis", "mine", "data", "information", "network"];
+    /// Jiawei Han's pattern-mining collaborators.
+    pub const PATTERN_MINING: &[&str] = &["mine", "data", "pattern", "database"];
+    /// Jiawei Han's stream-classification collaborators (Variant 1 case study).
+    pub const STREAM: &[&str] = &["stream", "classification", "data", "mine"];
+}
+
+/// The two query authors of the case study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseStudyAuthor {
+    /// The database / SDSS author.
+    JimGray,
+    /// The data-mining author.
+    JiaweiHan,
+}
+
+impl CaseStudyAuthor {
+    /// The vertex label of the author in the generated graph.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CaseStudyAuthor::JimGray => "Jim Gray",
+            CaseStudyAuthor::JiaweiHan => "Jiawei Han",
+        }
+    }
+}
+
+/// Builds the case-study graph. Roughly 60 vertices: five themed groups of
+/// 6–8 collaborators (each a near-clique, dense enough to contain a 4-core),
+/// plus ~20 background authors forming a sparse co-authorship mesh that links
+/// everything into one connected component.
+pub fn case_study_graph() -> AttributedGraph {
+    let mut b = GraphBuilder::new();
+
+    // Noise keywords sprinkled on everybody so that keyword sets are not
+    // perfectly clean (as in real DBLP top-20 keyword lists).
+    const NOISE: &[&str] = &["use", "model", "approach", "method", "evaluation"];
+
+    let add_author = |b: &mut GraphBuilder, name: &str, theme: &[&str], extra: &[&str]| -> VertexId {
+        let mut kws: Vec<&str> = theme.to_vec();
+        kws.extend_from_slice(extra);
+        b.add_vertex(name, &kws)
+    };
+
+    // --- Central authors carry the union of their groups' themes. -----------
+    let jim_keywords: Vec<&str> =
+        [themes::DATABASE, themes::SDSS].concat();
+    let jim = b.add_vertex(CaseStudyAuthor::JimGray.label(), &jim_keywords);
+    let han_keywords: Vec<&str> =
+        [themes::GRAPH_ANALYSIS, themes::PATTERN_MINING, themes::STREAM].concat();
+    let han = b.add_vertex(CaseStudyAuthor::JiaweiHan.label(), &han_keywords);
+
+    // --- Themed collaborator groups (near-cliques around the central author).
+    let make_group = |b: &mut GraphBuilder,
+                          centre: VertexId,
+                          names: &[&str],
+                          theme: &[&str],
+                          extra_per_member: &[&str]| {
+        let ids: Vec<VertexId> =
+            names.iter().map(|n| add_author(b, n, theme, extra_per_member)).collect();
+        // Clique among the group and edges to the centre: every member ends up
+        // with degree >= group size, comfortably above k = 4.
+        for (i, &u) in ids.iter().enumerate() {
+            b.add_edge(centre, u).unwrap();
+            for &v in &ids[i + 1..] {
+                b.add_edge(u, v).unwrap();
+            }
+        }
+        ids
+    };
+
+    let db_group = make_group(
+        &mut b,
+        jim,
+        &["Michael Stonebraker", "Hector Garcia-Molina", "Stanley Zdonik", "Gerhard Weikum", "Bruce Lindsay", "Michael Brodie"],
+        themes::DATABASE,
+        &[NOISE[0]],
+    );
+    let sdss_group = make_group(
+        &mut b,
+        jim,
+        &["Alexander Szalay", "Peter Kunszt", "Christopher Stoughton", "Jordan Raddick", "Jan Vandenberg", "Ani Thakar", "Tanu Malik"],
+        themes::SDSS,
+        &[NOISE[1]],
+    );
+    let analysis_group = make_group(
+        &mut b,
+        han,
+        &["Xifeng Yan", "Philip Yu", "Yizhou Sun", "Tianyi Wu", "Jian Pei", "Jeffrey Yu"],
+        themes::GRAPH_ANALYSIS,
+        &[NOISE[2]],
+    );
+    let pattern_group = make_group(
+        &mut b,
+        han,
+        &["Dong Xin", "Hong Cheng", "Jianyong Wang", "Guozhu Dong", "Ke Wang", "Wei Wang"],
+        themes::PATTERN_MINING,
+        &[NOISE[3]],
+    );
+    let stream_group = make_group(
+        &mut b,
+        han,
+        &["Charu Aggarwal", "Latifur Khan", "Mohammad Masud", "Jing Gao", "Nikunj Oza", "Clay Woolam"],
+        themes::STREAM,
+        &[NOISE[4]],
+    );
+
+    // --- Background authors: a sparse mesh of co-authors with mixed keywords
+    //     that connects the groups (so Global's k-core balloons across them).
+    let mut background = Vec::new();
+    for i in 0..20 {
+        let theme = match i % 4 {
+            0 => themes::DATABASE,
+            1 => themes::GRAPH_ANALYSIS,
+            2 => themes::PATTERN_MINING,
+            _ => themes::SDSS,
+        };
+        // Background authors only take a slice of the theme plus noise.
+        let kws: Vec<&str> = theme.iter().take(2).chain(NOISE.iter().take(3)).copied().collect();
+        background.push(b.add_vertex(&format!("Author {i}"), &kws));
+    }
+    // Chain plus cross edges among background authors.
+    for i in 0..background.len() {
+        let next = background[(i + 1) % background.len()];
+        b.add_edge(background[i], next).unwrap();
+        let skip = background[(i + 3) % background.len()];
+        b.add_edge(background[i], skip).unwrap();
+        let far = background[(i + 7) % background.len()];
+        b.add_edge(background[i], far).unwrap();
+        let wide = background[(i + 9) % background.len()];
+        b.add_edge(background[i], wide).unwrap();
+    }
+    // Hook the background into the groups (two edges per group) and connect
+    // the two central authors through shared co-authors.
+    for (i, group) in [&db_group, &sdss_group, &analysis_group, &pattern_group, &stream_group]
+        .iter()
+        .enumerate()
+    {
+        b.add_edge(group[0], background[i * 3 % 20]).unwrap();
+        b.add_edge(group[1], background[(i * 3 + 1) % 20]).unwrap();
+    }
+    b.add_edge(jim, background[0]).unwrap();
+    b.add_edge(han, background[1]).unwrap();
+    b.add_edge(db_group[0], analysis_group[1]).unwrap();
+
+    b.build()
+}
+
+/// The vertex of one of the two case-study authors.
+pub fn author_vertex(graph: &AttributedGraph, author: CaseStudyAuthor) -> VertexId {
+    graph.vertex_by_label(author.label()).expect("case-study graph contains the author")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acq_kcore::CoreDecomposition;
+
+    #[test]
+    fn graph_contains_both_authors_with_deep_cores() {
+        let g = case_study_graph();
+        let d = CoreDecomposition::compute(&g);
+        for author in [CaseStudyAuthor::JimGray, CaseStudyAuthor::JiaweiHan] {
+            let v = author_vertex(&g, author);
+            assert!(d.core_number(v) >= 4, "{} must support k=4 queries", author.label());
+        }
+        assert!(g.num_vertices() > 50);
+    }
+
+    #[test]
+    fn themed_groups_share_their_topic_keywords() {
+        let g = case_study_graph();
+        let szalay = g.vertex_by_label("Alexander Szalay").unwrap();
+        for kw in themes::SDSS {
+            assert!(g.keyword_terms(szalay).contains(kw), "missing {kw}");
+        }
+        let stonebraker = g.vertex_by_label("Michael Stonebraker").unwrap();
+        for kw in themes::DATABASE {
+            assert!(g.keyword_terms(stonebraker).contains(kw));
+        }
+    }
+
+    #[test]
+    fn central_authors_carry_all_their_groups_keywords() {
+        let g = case_study_graph();
+        let jim = author_vertex(&g, CaseStudyAuthor::JimGray);
+        for kw in themes::DATABASE.iter().chain(themes::SDSS) {
+            assert!(g.keyword_terms(jim).contains(kw), "Jim Gray missing {kw}");
+        }
+    }
+
+    #[test]
+    fn graph_is_connected() {
+        let g = case_study_graph();
+        let comps = acq_graph::components::connected_components(&g);
+        assert_eq!(comps.len(), 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! # acq-datagen
+//!
+//! Synthetic dataset generation for the ACQ reproduction.
+//!
+//! The paper evaluates on four web-scale attributed graphs (Flickr, DBLP,
+//! Tencent, DBpedia) that cannot be redistributed. This crate provides:
+//!
+//! * [`profiles`] — one [`DatasetProfile`] per paper dataset, matching the
+//!   published per-vertex statistics (average degree, keyword-set size) at a
+//!   laptop-friendly scale, plus scaling knobs;
+//! * [`generator`] — a planted-community generator with per-community keyword
+//!   topics and heavy-tailed degrees;
+//! * [`sample`] — vertex- and keyword-fraction sub-sampling for the
+//!   scalability experiments;
+//! * [`workload`] — query-vertex selection (core number ≥ k, enough keywords);
+//! * [`case_study`] — the hand-crafted DBLP-style co-authorship graph used by
+//!   the case-study experiments and examples.
+
+#![warn(missing_docs)]
+
+pub mod case_study;
+pub mod generator;
+pub mod profiles;
+pub mod sample;
+pub mod workload;
+
+pub use case_study::{author_vertex, case_study_graph, CaseStudyAuthor};
+pub use generator::generate;
+pub use profiles::{all_profiles, dblp, dbpedia, flickr, tencent, tiny, DatasetProfile};
+pub use sample::{sample_keywords, sample_vertices};
+pub use workload::{select_query_vertices, select_query_vertices_with_keywords};

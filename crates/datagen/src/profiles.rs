@@ -1,0 +1,175 @@
+//! Dataset profiles mirroring the paper's Table 3.
+//!
+//! The four real datasets (Flickr, DBLP, Tencent, DBpedia) are not
+//! redistributable, so the experiments run on synthetic graphs whose *shape*
+//! matches the published statistics: the relative ordering of size, average
+//! degree `d̂`, keyword-set size `l̂` and core depth is preserved, at a scale
+//! that runs on a laptop. Every profile can be scaled up with
+//! [`DatasetProfile::scaled`] if more fidelity is needed.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one synthetic attributed-graph dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetProfile {
+    /// Dataset name used in experiment output ("Flickr", "DBLP", …).
+    pub name: String,
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Target average degree `d̂` (Table 3).
+    pub target_avg_degree: f64,
+    /// Average keyword-set size `l̂` (Table 3).
+    pub keywords_per_vertex: usize,
+    /// Size of the keyword vocabulary.
+    pub vocabulary_size: usize,
+    /// Average planted community size (drives how deep the cores go).
+    pub avg_community_size: usize,
+    /// Number of keywords in one community's topic pool.
+    pub topic_size: usize,
+    /// Probability that a vertex keyword is drawn from its community topics
+    /// rather than from the global Zipf background.
+    pub topic_affinity: f64,
+    /// Fraction of edge endpoints chosen globally instead of inside the
+    /// community (graph "noise"; also what keeps the graph connected-ish).
+    pub rewire_fraction: f64,
+    /// RNG seed; fixed per profile so experiments are reproducible.
+    pub seed: u64,
+}
+
+impl DatasetProfile {
+    /// Scales the number of vertices (and vocabulary) by `factor`, keeping the
+    /// per-vertex statistics unchanged. Useful to push an experiment closer to
+    /// the paper's dataset sizes.
+    pub fn scaled(&self, factor: f64) -> DatasetProfile {
+        let mut scaled = self.clone();
+        scaled.num_vertices = ((self.num_vertices as f64 * factor).round() as usize).max(16);
+        scaled.vocabulary_size = ((self.vocabulary_size as f64 * factor).round() as usize).max(32);
+        scaled
+    }
+
+    /// Keeps the graph identical but changes the random seed (used to generate
+    /// several instances of the same profile).
+    pub fn with_seed(&self, seed: u64) -> DatasetProfile {
+        DatasetProfile { seed, ..self.clone() }
+    }
+}
+
+/// Flickr-like profile: medium size, dense follow edges, tag keywords
+/// (paper: n=581k, d̂=17.1, l̂=9.9, kmax=152).
+pub fn flickr() -> DatasetProfile {
+    DatasetProfile {
+        name: "Flickr".into(),
+        num_vertices: 3_000,
+        target_avg_degree: 16.0,
+        keywords_per_vertex: 10,
+        vocabulary_size: 900,
+        avg_community_size: 45,
+        topic_size: 18,
+        topic_affinity: 0.72,
+        rewire_fraction: 0.18,
+        seed: 0xF11C4,
+    }
+}
+
+/// DBLP-like profile: sparse co-authorship edges, title keywords
+/// (paper: n=977k, d̂=7.0, l̂=11.8, kmax=118).
+pub fn dblp() -> DatasetProfile {
+    DatasetProfile {
+        name: "DBLP".into(),
+        num_vertices: 4_000,
+        target_avg_degree: 7.0,
+        keywords_per_vertex: 12,
+        vocabulary_size: 1_100,
+        avg_community_size: 25,
+        topic_size: 20,
+        topic_affinity: 0.78,
+        rewire_fraction: 0.12,
+        seed: 0xDB1B,
+    }
+}
+
+/// Tencent-like profile: the densest graph, short profile keywords
+/// (paper: n=2.3M, d̂=43.2, l̂=7.0, kmax=405).
+pub fn tencent() -> DatasetProfile {
+    DatasetProfile {
+        name: "Tencent".into(),
+        num_vertices: 5_000,
+        target_avg_degree: 26.0,
+        keywords_per_vertex: 7,
+        vocabulary_size: 800,
+        avg_community_size: 60,
+        topic_size: 14,
+        topic_affinity: 0.66,
+        rewire_fraction: 0.22,
+        seed: 0x7E9CE7,
+    }
+}
+
+/// DBpedia-like profile: the largest graph, entity keywords
+/// (paper: n=8.1M, d̂=17.7, l̂=15.0, kmax=95).
+pub fn dbpedia() -> DatasetProfile {
+    DatasetProfile {
+        name: "DBpedia".into(),
+        num_vertices: 6_000,
+        target_avg_degree: 14.0,
+        keywords_per_vertex: 15,
+        vocabulary_size: 1_600,
+        avg_community_size: 50,
+        topic_size: 24,
+        topic_affinity: 0.7,
+        rewire_fraction: 0.2,
+        seed: 0xDBED1A,
+    }
+}
+
+/// All four profiles in the order the paper lists them.
+pub fn all_profiles() -> Vec<DatasetProfile> {
+    vec![flickr(), dblp(), tencent(), dbpedia()]
+}
+
+/// A deliberately small profile for unit tests and doc examples.
+pub fn tiny() -> DatasetProfile {
+    DatasetProfile {
+        name: "Tiny".into(),
+        num_vertices: 220,
+        target_avg_degree: 9.0,
+        keywords_per_vertex: 6,
+        vocabulary_size: 90,
+        avg_community_size: 22,
+        topic_size: 10,
+        topic_affinity: 0.75,
+        rewire_fraction: 0.15,
+        seed: 42,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_follow_table3_orderings() {
+        let (f, d, t, p) = (flickr(), dblp(), tencent(), dbpedia());
+        // Tencent is the densest, DBLP the sparsest.
+        assert!(t.target_avg_degree > f.target_avg_degree);
+        assert!(f.target_avg_degree > d.target_avg_degree);
+        // DBpedia has the largest keyword sets, Tencent the smallest.
+        assert!(p.keywords_per_vertex > d.keywords_per_vertex);
+        assert!(d.keywords_per_vertex > f.keywords_per_vertex);
+        assert!(f.keywords_per_vertex > t.keywords_per_vertex);
+        // DBpedia is the largest graph.
+        assert!(p.num_vertices >= t.num_vertices);
+        assert_eq!(all_profiles().len(), 4);
+    }
+
+    #[test]
+    fn scaling_changes_size_not_density() {
+        let base = dblp();
+        let big = base.scaled(2.0);
+        assert_eq!(big.num_vertices, base.num_vertices * 2);
+        assert_eq!(big.target_avg_degree, base.target_avg_degree);
+        let small = base.scaled(0.001);
+        assert!(small.num_vertices >= 16);
+        assert_eq!(base.with_seed(9).seed, 9);
+    }
+}

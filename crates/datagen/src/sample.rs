@@ -1,0 +1,139 @@
+//! Sub-sampling helpers for the scalability experiments.
+//!
+//! Section 7.3 of the paper scales each dataset along two axes: the fraction
+//! of vertices (20 %–100 %, taking induced subgraphs) and the fraction of
+//! keywords kept per vertex (20 %–100 %). Both samplers are deterministic for
+//! a fixed seed so that a sweep uses nested subsets.
+
+use acq_graph::{AttributedGraph, GraphBuilder, VertexId};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Returns the subgraph induced by a random `fraction` of the vertices
+/// (labels and keywords preserved, identifiers re-densified).
+pub fn sample_vertices(graph: &AttributedGraph, fraction: f64, seed: u64) -> AttributedGraph {
+    let fraction = fraction.clamp(0.0, 1.0);
+    let n = graph.num_vertices();
+    let keep = ((n as f64) * fraction).round() as usize;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+    let kept: Vec<usize> = {
+        let mut k = order.into_iter().take(keep).collect::<Vec<_>>();
+        k.sort_unstable();
+        k
+    };
+
+    let mut new_id = vec![usize::MAX; n];
+    let mut builder = GraphBuilder::new();
+    for (fresh, &old) in kept.iter().enumerate() {
+        new_id[old] = fresh;
+        let old_vertex = VertexId::from_index(old);
+        let terms = graph.keyword_terms(old_vertex);
+        let label = graph.label(old_vertex).map(str::to_owned).unwrap_or_else(|| format!("v{old}"));
+        builder.add_vertex(&label, &terms);
+    }
+    for &old in &kept {
+        let v = VertexId::from_index(old);
+        for &u in graph.neighbors(v) {
+            if u.index() > old && new_id[u.index()] != usize::MAX {
+                builder
+                    .add_edge(
+                        VertexId::from_index(new_id[old]),
+                        VertexId::from_index(new_id[u.index()]),
+                    )
+                    .expect("sampled endpoints exist");
+            }
+        }
+    }
+    builder.build()
+}
+
+/// Returns a copy of the graph in which every vertex keeps only a random
+/// `fraction` of its keywords (at least one keyword is kept when the vertex
+/// had any, so queries remain meaningful).
+pub fn sample_keywords(graph: &AttributedGraph, fraction: f64, seed: u64) -> AttributedGraph {
+    let fraction = fraction.clamp(0.0, 1.0);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new();
+    for v in graph.vertices() {
+        let mut terms = graph.keyword_terms(v);
+        terms.shuffle(&mut rng);
+        let keep = ((terms.len() as f64) * fraction).round() as usize;
+        let keep = if terms.is_empty() { 0 } else { keep.max(1) };
+        let kept: Vec<&str> = terms.into_iter().take(keep).collect();
+        let label = graph.label(v).map(str::to_owned).unwrap_or_else(|| v.to_string());
+        builder.add_vertex(&label, &kept);
+    }
+    for v in graph.vertices() {
+        for &u in graph.neighbors(v) {
+            if u > v {
+                builder.add_edge(v, u).expect("same vertex set");
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate;
+    use crate::profiles::tiny;
+
+    #[test]
+    fn vertex_sampling_keeps_the_requested_fraction() {
+        let g = generate(&tiny());
+        let half = sample_vertices(&g, 0.5, 1);
+        assert_eq!(half.num_vertices(), g.num_vertices() / 2);
+        assert!(half.num_edges() < g.num_edges());
+        let all = sample_vertices(&g, 1.0, 1);
+        assert_eq!(all.num_vertices(), g.num_vertices());
+        assert_eq!(all.num_edges(), g.num_edges());
+        let none = sample_vertices(&g, 0.0, 1);
+        assert_eq!(none.num_vertices(), 0);
+    }
+
+    #[test]
+    fn vertex_sampling_preserves_keywords_and_labels() {
+        let g = generate(&tiny());
+        let half = sample_vertices(&g, 0.5, 1);
+        for v in half.vertices().take(20) {
+            let label = half.label(v).unwrap();
+            let original = g.vertex_by_label(label).unwrap();
+            let mut a = half.keyword_terms(v);
+            let mut b = g.keyword_terms(original);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "keywords of {label}");
+        }
+    }
+
+    #[test]
+    fn keyword_sampling_shrinks_keyword_sets_only() {
+        let g = generate(&tiny());
+        let thin = sample_keywords(&g, 0.4, 2);
+        assert_eq!(thin.num_vertices(), g.num_vertices());
+        assert_eq!(thin.num_edges(), g.num_edges());
+        assert!(thin.average_keywords() < g.average_keywords());
+        // Nobody loses *all* keywords.
+        for v in thin.vertices() {
+            if !g.keyword_set(v).is_empty() {
+                assert!(!thin.keyword_set(v).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let g = generate(&tiny());
+        let a = sample_vertices(&g, 0.6, 9);
+        let b = sample_vertices(&g, 0.6, 9);
+        assert_eq!(a.num_edges(), b.num_edges());
+        let c = sample_keywords(&g, 0.6, 9);
+        let d = sample_keywords(&g, 0.6, 9);
+        for v in c.vertices() {
+            assert_eq!(c.keyword_set(v), d.keyword_set(v));
+        }
+    }
+}

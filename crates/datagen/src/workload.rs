@@ -1,0 +1,101 @@
+//! Query workload selection.
+//!
+//! The paper evaluates every data point as the average over 300 query
+//! vertices whose core number is at least the default `k = 6`, so that a
+//! k-core containing the query vertex always exists. This module reproduces
+//! that selection, parameterised by count and minimum core number.
+
+use acq_graph::{AttributedGraph, VertexId};
+use acq_kcore::CoreDecomposition;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Selects up to `count` query vertices with core number ≥ `min_core` and a
+/// non-empty keyword set, uniformly at random with a fixed seed.
+pub fn select_query_vertices(
+    graph: &AttributedGraph,
+    decomposition: &CoreDecomposition,
+    count: usize,
+    min_core: u32,
+    seed: u64,
+) -> Vec<VertexId> {
+    let mut eligible: Vec<VertexId> = graph
+        .vertices()
+        .filter(|&v| decomposition.core_number(v) >= min_core && !graph.keyword_set(v).is_empty())
+        .collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    eligible.shuffle(&mut rng);
+    eligible.truncate(count);
+    eligible
+}
+
+/// Selects query vertices that carry at least `min_keywords` keywords — used
+/// by the |S|-sweep experiments (Figure 14(q–t) and Figure 17) which need to
+/// draw 1–9 query keywords per vertex.
+pub fn select_query_vertices_with_keywords(
+    graph: &AttributedGraph,
+    decomposition: &CoreDecomposition,
+    count: usize,
+    min_core: u32,
+    min_keywords: usize,
+    seed: u64,
+) -> Vec<VertexId> {
+    let mut eligible: Vec<VertexId> = graph
+        .vertices()
+        .filter(|&v| {
+            decomposition.core_number(v) >= min_core && graph.keyword_set(v).len() >= min_keywords
+        })
+        .collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    eligible.shuffle(&mut rng);
+    eligible.truncate(count);
+    eligible
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate;
+    use crate::profiles::tiny;
+
+    #[test]
+    fn selected_vertices_satisfy_the_core_constraint() {
+        let g = generate(&tiny());
+        let d = CoreDecomposition::compute(&g);
+        let qs = select_query_vertices(&g, &d, 30, 4, 1);
+        assert!(!qs.is_empty());
+        assert!(qs.len() <= 30);
+        for q in &qs {
+            assert!(d.core_number(*q) >= 4);
+            assert!(!g.keyword_set(*q).is_empty());
+        }
+    }
+
+    #[test]
+    fn selection_is_deterministic_and_respects_count() {
+        let g = generate(&tiny());
+        let d = CoreDecomposition::compute(&g);
+        let a = select_query_vertices(&g, &d, 10, 3, 5);
+        let b = select_query_vertices(&g, &d, 10, 3, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+    }
+
+    #[test]
+    fn keyword_rich_selection_filters_by_keyword_count() {
+        let g = generate(&tiny());
+        let d = CoreDecomposition::compute(&g);
+        let qs = select_query_vertices_with_keywords(&g, &d, 20, 2, 5, 3);
+        for q in &qs {
+            assert!(g.keyword_set(*q).len() >= 5);
+        }
+    }
+
+    #[test]
+    fn impossible_constraints_give_empty_workload() {
+        let g = generate(&tiny());
+        let d = CoreDecomposition::compute(&g);
+        let qs = select_query_vertices(&g, &d, 10, 10_000, 1);
+        assert!(qs.is_empty());
+    }
+}

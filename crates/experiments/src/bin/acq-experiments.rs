@@ -1,0 +1,128 @@
+//! Command-line driver that regenerates the paper's tables and figures.
+//!
+//! ```text
+//! acq-experiments [EXPERIMENT ...] [--scale F] [--queries N] [--k K] [--seed S] [--out FILE]
+//!
+//!   EXPERIMENT   one or more of: all, table3, fig7, fig8, fig9, fig11, table4,
+//!                table56, fig12, table7, fig13, fig14-cs, fig14-k, fig14-kw,
+//!                fig14-vx, fig14-s, fig15, fig16, fig17-v1, fig17-v2
+//!                (default: all)
+//!   --scale F    multiply every dataset profile's size by F     (default 1.0)
+//!   --queries N  query vertices per data point                  (default 50)
+//!   --k K        default minimum degree                          (default 6)
+//!   --seed S     RNG seed                                        (default 2016)
+//!   --out FILE   additionally append the rendered reports to FILE
+//! ```
+
+use acq_experiments::{all_experiment_ids, run_experiment, ExperimentConfig, ExperimentContext};
+use std::io::Write;
+use std::process::ExitCode;
+
+struct CliOptions {
+    experiments: Vec<String>,
+    config: ExperimentConfig,
+    out: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<CliOptions, String> {
+    let mut experiments = Vec::new();
+    let mut config = ExperimentConfig { queries: 50, ..Default::default() };
+    let mut out = None;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let mut next_value = |name: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i).cloned().ok_or_else(|| format!("missing value after {name}"))
+        };
+        match arg.as_str() {
+            "--scale" => config.scale = next_value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?,
+            "--queries" => {
+                config.queries = next_value("--queries")?.parse().map_err(|e| format!("--queries: {e}"))?
+            }
+            "--k" => config.default_k = next_value("--k")?.parse().map_err(|e| format!("--k: {e}"))?,
+            "--seed" => config.seed = next_value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--out" => out = Some(next_value("--out")?),
+            "--help" | "-h" => return Err("help".into()),
+            other if other.starts_with("--") => return Err(format!("unknown option {other}")),
+            other => experiments.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if experiments.is_empty() || experiments.iter().any(|e| e == "all") {
+        experiments = all_experiment_ids().iter().map(|s| s.to_string()).collect();
+    }
+    for e in &experiments {
+        if !all_experiment_ids().contains(&e.as_str()) {
+            return Err(format!("unknown experiment '{e}'; known: {:?}", all_experiment_ids()));
+        }
+    }
+    Ok(CliOptions { experiments, config, out })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(o) => o,
+        Err(message) => {
+            if message == "help" {
+                eprintln!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {message}\n\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "generating datasets (scale {}, {} queries per point, default k = {}) ...",
+        options.config.scale, options.config.queries, options.config.default_k
+    );
+    let ctx = ExperimentContext::new(options.config.clone());
+    for dataset in &ctx.datasets {
+        eprintln!(
+            "  {:<8} n={} m={} kmax={}",
+            dataset.name,
+            dataset.graph.num_vertices(),
+            dataset.graph.num_edges(),
+            dataset.decomposition().kmax()
+        );
+    }
+
+    let mut rendered = String::new();
+    for id in &options.experiments {
+        eprintln!("running {id} ...");
+        let reports = run_experiment(id, &ctx).expect("experiment ids validated during parsing");
+        for report in reports {
+            let text = report.render();
+            println!("{text}");
+            rendered.push_str(&text);
+            rendered.push('\n');
+        }
+    }
+
+    if let Some(path) = options.out {
+        match std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+            Ok(mut file) => {
+                if let Err(e) = file.write_all(rendered.as_bytes()) {
+                    eprintln!("error: could not write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("appended reports to {path}");
+            }
+            Err(e) => {
+                eprintln!("error: could not open {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage() -> String {
+    format!(
+        "usage: acq-experiments [EXPERIMENT ...] [--scale F] [--queries N] [--k K] [--seed S] [--out FILE]\n\
+         experiments: all {}",
+        all_experiment_ids().join(" ")
+    )
+}

@@ -1,0 +1,287 @@
+//! The DBLP case study (Section 7.2.2): Figures 11 and 12, Tables 4–7.
+//!
+//! These experiments run on the hand-crafted co-authorship graph of
+//! `acq_datagen::case_study`, querying the two central authors with `k = 4`,
+//! exactly as the paper queries Jim Gray and Jiawei Han.
+
+use crate::{ExperimentContext, ExperimentReport};
+use acq_baselines::{global_community, local_community, star_pattern_has_match, Codicil, CodicilConfig, StarPatternQuery};
+use acq_core::{dec, AcqQuery};
+use acq_datagen::{author_vertex, case_study_graph, CaseStudyAuthor};
+use acq_graph::{AttributedGraph, KeywordId, VertexId};
+use acq_metrics as metrics;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+const CASE_STUDY_K: usize = 4;
+
+/// The four methods compared in the case study, with the communities each one
+/// returns for a given author.
+fn communities_per_method(
+    graph: &AttributedGraph,
+    index: &acq_cltree::ClTree,
+    codicil: &Codicil,
+    author: VertexId,
+) -> Vec<(&'static str, Vec<Vec<VertexId>>)> {
+    let acq = {
+        let result = dec(graph, index, &AcqQuery::new(author, CASE_STUDY_K));
+        result.communities.iter().map(|c| c.vertices.clone()).collect::<Vec<_>>()
+    };
+    let global = global_community(graph, author, CASE_STUDY_K)
+        .map(|c| vec![c.sorted_members()])
+        .unwrap_or_default();
+    let local = local_community(graph, author, CASE_STUDY_K)
+        .map(|c| vec![c.sorted_members()])
+        .unwrap_or_default();
+    let cod = vec![codicil.community_of(graph, author).sorted_members()];
+    vec![("Cod", cod), ("Global", global), ("Local", local), ("ACQ", acq)]
+}
+
+struct CaseStudy {
+    graph: AttributedGraph,
+    index: acq_cltree::ClTree,
+    codicil: Codicil,
+}
+
+fn build_case_study() -> CaseStudy {
+    let graph = case_study_graph();
+    let index = acq_cltree::build_advanced(&graph, true);
+    let codicil = Codicil::detect(&graph, &CodicilConfig { num_clusters: 6, ..Default::default() });
+    CaseStudy { graph, index, codicil }
+}
+
+/// Figure 11 — member frequency (MF) of the most frequent keywords in the
+/// communities returned by each method, in descending MF order.
+pub fn fig11_member_frequency(_ctx: &ExperimentContext) -> Vec<ExperimentReport> {
+    let cs = build_case_study();
+    let mut reports = Vec::new();
+    for author in [CaseStudyAuthor::JimGray, CaseStudyAuthor::JiaweiHan] {
+        let mut report = ExperimentReport::new(
+            "fig11",
+            &format!("MF of the top keywords per method ({})", author.label()),
+            &["method", "rank 1", "rank 2", "rank 3", "rank 4", "rank 5", "rank 6"],
+        );
+        let q = author_vertex(&cs.graph, author);
+        for (method, communities) in communities_per_method(&cs.graph, &cs.index, &cs.codicil, q) {
+            let ranked = metrics::keywords_by_member_frequency(&cs.graph, &communities);
+            let mut row = vec![method.to_string()];
+            for i in 0..6 {
+                row.push(match ranked.get(i) {
+                    Some(&(_, mf)) => format!("{mf:.2}"),
+                    None => "-".into(),
+                });
+            }
+            report.push_row(row);
+        }
+        reports.push(report);
+    }
+    reports
+}
+
+/// Table 4 — number of distinct keywords of the communities per method. ACQ
+/// should have by far the fewest (easy to interpret), Global by far the most.
+pub fn table4_distinct_keywords(_ctx: &ExperimentContext) -> Vec<ExperimentReport> {
+    let cs = build_case_study();
+    let mut report = ExperimentReport::new(
+        "table4",
+        "# distinct keywords of the returned communities",
+        &["author", "Cod", "Global", "Local", "ACQ"],
+    );
+    for author in [CaseStudyAuthor::JimGray, CaseStudyAuthor::JiaweiHan] {
+        let q = author_vertex(&cs.graph, author);
+        let mut row = vec![author.label().to_string()];
+        for (_, communities) in communities_per_method(&cs.graph, &cs.index, &cs.codicil, q) {
+            row.push(metrics::distinct_keywords(&cs.graph, &communities).to_string());
+        }
+        report.push_row(row);
+    }
+    vec![report]
+}
+
+/// Tables 5–6 — the six keywords with the highest member frequency per method.
+pub fn table56_top_keywords(_ctx: &ExperimentContext) -> Vec<ExperimentReport> {
+    let cs = build_case_study();
+    let mut reports = Vec::new();
+    for (table, author) in [("table5", CaseStudyAuthor::JimGray), ("table6", CaseStudyAuthor::JiaweiHan)] {
+        let mut report = ExperimentReport::new(
+            table,
+            &format!("Top-6 keywords by member frequency ({})", author.label()),
+            &["method", "keywords"],
+        );
+        let q = author_vertex(&cs.graph, author);
+        for (method, communities) in communities_per_method(&cs.graph, &cs.index, &cs.codicil, q) {
+            let ranked = metrics::keywords_by_member_frequency(&cs.graph, &communities);
+            let terms: Vec<&str> = ranked
+                .iter()
+                .take(6)
+                .filter_map(|&(kw, _)| cs.graph.dictionary().term(kw))
+                .collect();
+            report.push_row(vec![method.to_string(), terms.join(", ")]);
+        }
+        reports.push(report);
+    }
+    reports
+}
+
+/// Figure 12 — average community size as `k` varies from 4 to 8, per method.
+/// The paper's shape: Global is enormous, Local jumps to Global's size at
+/// large k, the AC stays small and stable.
+pub fn fig12_community_size(ctx: &ExperimentContext) -> Vec<ExperimentReport> {
+    let mut report = ExperimentReport::new(
+        "fig12",
+        "Average community size vs k",
+        &["dataset", "method", "k=4", "k=5", "k=6", "k=7", "k=8"],
+    );
+    // Use the DBLP-like synthetic dataset with its standard workload (the case
+    // study graph is too small to sweep k up to 8).
+    let Some(dataset) = ctx.datasets.iter().find(|d| d.name == "DBLP").or(ctx.datasets.first())
+    else {
+        return vec![report];
+    };
+    let queries = dataset.workload(&ctx.config, 8);
+    for method in ["Global", "Local", "ACQ"] {
+        let mut row = vec![dataset.name.clone(), method.to_string()];
+        for k in 4..=8usize {
+            let mut sizes: Vec<Vec<VertexId>> = Vec::new();
+            for &q in &queries {
+                let communities: Vec<Vec<VertexId>> = match method {
+                    "Global" => global_community(&dataset.graph, q, k)
+                        .map(|c| vec![c.sorted_members()])
+                        .unwrap_or_default(),
+                    "Local" => local_community(&dataset.graph, q, k)
+                        .map(|c| vec![c.sorted_members()])
+                        .unwrap_or_default(),
+                    _ => dec(&dataset.graph, &dataset.index, &AcqQuery::new(q, k))
+                        .communities
+                        .iter()
+                        .map(|c| c.vertices.clone())
+                        .collect(),
+                };
+                sizes.extend(communities);
+            }
+            row.push(format!("{:.1}", metrics::average_size(&sizes)));
+        }
+        report.push_row(row);
+    }
+    vec![report]
+}
+
+/// Table 7 — fraction of star-pattern (GPM) queries returning at least one
+/// match, as the keyword set grows. The paper's point: the fraction collapses
+/// once |S| ≥ 3, so GPM cannot replace community search.
+pub fn table7_gpm(ctx: &ExperimentContext) -> Vec<ExperimentReport> {
+    let mut report = ExperimentReport::new(
+        "table7",
+        "% of GPM star queries with a non-empty answer",
+        &["|S|", "Star-6", "Star-8", "Star-10"],
+    );
+    let Some(dataset) = ctx.datasets.iter().find(|d| d.name == "DBLP").or(ctx.datasets.first())
+    else {
+        return vec![report];
+    };
+    let queries = acq_datagen::select_query_vertices_with_keywords(
+        &dataset.graph,
+        dataset.decomposition(),
+        ctx.config.queries.max(20),
+        ctx.config.default_k as u32,
+        5,
+        ctx.config.seed,
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(ctx.config.seed ^ 0x57A7);
+    let draws_per_query = 10usize;
+    for s_size in 1..=5usize {
+        let mut row = vec![s_size.to_string()];
+        for leaves in [6usize, 8, 10] {
+            let mut hits = 0usize;
+            let mut total = 0usize;
+            for &q in &queries {
+                let wq: Vec<KeywordId> = dataset.graph.keyword_set(q).iter().collect();
+                if wq.len() < s_size {
+                    continue;
+                }
+                for _ in 0..draws_per_query {
+                    let sample: Vec<KeywordId> =
+                        wq.choose_multiple(&mut rng, s_size).copied().collect();
+                    let query = StarPatternQuery { vertex: q, leaves, keywords: sample };
+                    if star_pattern_has_match(&dataset.graph, &query) {
+                        hits += 1;
+                    }
+                    total += 1;
+                }
+            }
+            let pct = if total == 0 { 0.0 } else { hits as f64 / total as f64 * 100.0 };
+            row.push(format!("{pct:.1}%"));
+        }
+        report.push_row(row);
+    }
+    vec![report]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExperimentConfig, ExperimentContext};
+
+    fn quick_ctx() -> ExperimentContext {
+        ExperimentContext::dblp_only(ExperimentConfig::smoke_test())
+    }
+
+    #[test]
+    fn table4_acq_has_fewest_distinct_keywords() {
+        let ctx = quick_ctx();
+        let reports = table4_distinct_keywords(&ctx);
+        for row in &reports[0].rows {
+            let global: usize = row[2].parse().unwrap();
+            let acq: usize = row[4].parse().unwrap();
+            assert!(acq <= global, "{row:?}");
+            assert!(acq > 0);
+        }
+    }
+
+    #[test]
+    fn table56_acq_top_keywords_are_theme_keywords() {
+        let ctx = quick_ctx();
+        let reports = table56_top_keywords(&ctx);
+        // Table 5 is Jim Gray's; the ACQ row must surface his themes rather
+        // than generic noise words.
+        let acq_row = reports[0].rows.iter().find(|r| r[0] == "ACQ").unwrap();
+        let jim_theme_hit = ["sloan", "sdss", "transaction", "data", "system", "survey", "sky"]
+            .iter()
+            .any(|t| acq_row[1].contains(t));
+        assert!(jim_theme_hit, "ACQ keywords: {}", acq_row[1]);
+    }
+
+    #[test]
+    fn fig11_reports_four_methods_per_author() {
+        let ctx = quick_ctx();
+        let reports = fig11_member_frequency(&ctx);
+        assert_eq!(reports.len(), 2);
+        for r in &reports {
+            assert_eq!(r.rows.len(), 4);
+        }
+    }
+
+    #[test]
+    fn fig12_acq_communities_are_smaller_than_global() {
+        let ctx = quick_ctx();
+        let reports = fig12_community_size(&ctx);
+        let rows = &reports[0].rows;
+        if rows.iter().all(|r| r[2] != "0.0") {
+            let size = |method: &str| -> f64 {
+                rows.iter().find(|r| r[1] == method).unwrap()[2].parse().unwrap()
+            };
+            assert!(size("ACQ") <= size("Global") + 1e-9);
+        }
+    }
+
+    #[test]
+    fn table7_match_rate_decreases_with_keyword_set_size() {
+        let ctx = quick_ctx();
+        let reports = table7_gpm(&ctx);
+        let rows = &reports[0].rows;
+        assert_eq!(rows.len(), 5);
+        let first: f64 = rows[0][1].trim_end_matches('%').parse().unwrap();
+        let last: f64 = rows[4][1].trim_end_matches('%').parse().unwrap();
+        assert!(last <= first, "match rate should not grow with |S|");
+    }
+}

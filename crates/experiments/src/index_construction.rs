@@ -1,0 +1,63 @@
+//! Figure 13 — index-construction efficiency and scalability.
+//!
+//! For each dataset and each vertex fraction (20 %–100 %) the experiment
+//! times the four construction variants the paper compares: `Basic`,
+//! `Basic-` (no inverted lists), `Advanced` and `Advanced-`. The expected
+//! shape: `Advanced` is consistently faster than `Basic` and the gap widens
+//! with graph size; dropping the inverted lists saves the same additive cost
+//! from both.
+
+use crate::{time_ms, ExperimentContext, ExperimentReport};
+use acq_cltree::{build_advanced, build_basic};
+use acq_datagen::sample_vertices;
+
+/// Runs the Figure 13 sweep.
+pub fn fig13_index_construction(ctx: &ExperimentContext) -> Vec<ExperimentReport> {
+    let mut report = ExperimentReport::new(
+        "fig13",
+        "Index construction time (ms) vs fraction of vertices",
+        &["dataset", "% vertices", "Basic", "Basic-", "Advanced", "Advanced-"],
+    );
+    for dataset in &ctx.datasets {
+        for percent in [20usize, 40, 60, 80, 100] {
+            let graph = if percent == 100 {
+                dataset.graph.clone()
+            } else {
+                sample_vertices(&dataset.graph, percent as f64 / 100.0, ctx.config.seed)
+            };
+            let (_, basic) = time_ms(|| build_basic(&graph, true));
+            let (_, basic_minus) = time_ms(|| build_basic(&graph, false));
+            let (_, advanced) = time_ms(|| build_advanced(&graph, true));
+            let (_, advanced_minus) = time_ms(|| build_advanced(&graph, false));
+            report.push_row(vec![
+                dataset.name.clone(),
+                format!("{percent}%"),
+                format!("{basic:.2}"),
+                format!("{basic_minus:.2}"),
+                format!("{advanced:.2}"),
+                format!("{advanced_minus:.2}"),
+            ]);
+        }
+    }
+    vec![report]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExperimentConfig, ExperimentContext};
+
+    #[test]
+    fn fig13_emits_five_fractions_per_dataset() {
+        let ctx = ExperimentContext::dblp_only(ExperimentConfig::smoke_test());
+        let reports = fig13_index_construction(&ctx);
+        assert_eq!(reports[0].rows.len(), 5 * ctx.datasets.len());
+        // Timings are non-negative numbers.
+        for row in &reports[0].rows {
+            for cell in &row[2..] {
+                let v: f64 = cell.parse().unwrap();
+                assert!(v >= 0.0);
+            }
+        }
+    }
+}

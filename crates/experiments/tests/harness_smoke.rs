@@ -1,0 +1,45 @@
+//! Smoke tests for the experiment harness as a whole: every registered
+//! experiment id runs end-to-end on a miniature context and produces
+//! well-formed reports.
+
+use acq_experiments::{all_experiment_ids, run_experiment, ExperimentConfig, ExperimentContext};
+
+#[test]
+fn every_experiment_id_runs_and_produces_well_formed_tables() {
+    let mut config = ExperimentConfig::smoke_test();
+    config.queries = 3;
+    // A single small dataset keeps the full sweep fast enough for CI.
+    let ctx = ExperimentContext::dblp_only(config);
+    for id in all_experiment_ids() {
+        let reports = run_experiment(id, &ctx).unwrap_or_else(|| panic!("unknown id {id}"));
+        assert!(!reports.is_empty(), "{id} produced no report");
+        for report in reports {
+            assert!(!report.headers.is_empty(), "{id} report has no columns");
+            for row in &report.rows {
+                assert_eq!(row.len(), report.headers.len(), "{id} row width mismatch");
+            }
+            let rendered = report.render();
+            assert!(rendered.starts_with("## "), "{id} rendering lacks a heading");
+        }
+    }
+}
+
+#[test]
+fn default_config_matches_paper_defaults() {
+    let config = ExperimentConfig::default();
+    assert_eq!(config.default_k, 6, "the paper's default minimum degree");
+    assert!((config.scale - 1.0).abs() < f64::EPSILON);
+    assert!(config.queries > 0);
+}
+
+#[test]
+fn dataset_workload_respects_core_constraint() {
+    let config = ExperimentConfig::smoke_test();
+    let ctx = ExperimentContext::dblp_only(config.clone());
+    let dataset = &ctx.datasets[0];
+    let workload = dataset.workload(&config, 3);
+    assert!(!workload.is_empty());
+    for q in workload {
+        assert!(dataset.decomposition().core_number(q) >= 3);
+    }
+}

@@ -1,0 +1,131 @@
+//! Level-wise Apriori mining (Agrawal & Srikant, VLDB 1994).
+//!
+//! Used as the reference implementation for FP-Growth and as the second
+//! candidate-generation strategy the paper mentions for `Dec`. The structure
+//! intentionally mirrors the paper's two-step framework: generate size-(c+1)
+//! candidates from size-c frequent sets, prune by the anti-monotonicity
+//! property, then count support with one pass over the transactions.
+
+use crate::itemset::{FrequentItemset, Item, Itemset, Transaction};
+use std::collections::{HashMap, HashSet};
+
+/// Mines all itemsets appearing in at least `min_support` transactions.
+/// A `min_support` of 0 is treated as 1 (an itemset must occur somewhere).
+pub fn apriori(transactions: &[Transaction], min_support: usize) -> Vec<FrequentItemset> {
+    let min_support = min_support.max(1);
+    let mut results = Vec::new();
+
+    // Level 1: frequent single items.
+    let mut counts: HashMap<Item, usize> = HashMap::new();
+    for t in transactions {
+        for &i in t.items() {
+            *counts.entry(i).or_default() += 1;
+        }
+    }
+    let mut current: Vec<Itemset> = counts
+        .iter()
+        .filter(|(_, &c)| c >= min_support)
+        .map(|(&i, _)| vec![i])
+        .collect();
+    current.sort();
+    for set in &current {
+        results.push(FrequentItemset::new(set.clone(), counts[&set[0]]));
+    }
+
+    // Levels 2..: join + prune + count.
+    while !current.is_empty() {
+        let candidates = generate_candidates(&current);
+        if candidates.is_empty() {
+            break;
+        }
+        let mut next = Vec::new();
+        for cand in candidates {
+            let support = transactions.iter().filter(|t| t.contains_all(&cand)).count();
+            if support >= min_support {
+                results.push(FrequentItemset::new(cand.clone(), support));
+                next.push(cand);
+            }
+        }
+        next.sort();
+        current = next;
+    }
+
+    results
+}
+
+/// The classic Apriori join: two size-c frequent sets that share their first
+/// c-1 items produce one size-(c+1) candidate, which is kept only if *all* of
+/// its size-c subsets are frequent (anti-monotonicity pruning, the same
+/// Lemma 1 reasoning the ACQ paper uses for keyword sets).
+fn generate_candidates(frequent: &[Itemset]) -> Vec<Itemset> {
+    let frequent_lookup: HashSet<&[Item]> = frequent.iter().map(Vec::as_slice).collect();
+    let mut candidates = Vec::new();
+    for (idx, a) in frequent.iter().enumerate() {
+        for b in &frequent[idx + 1..] {
+            let c = a.len();
+            if a[..c - 1] != b[..c - 1] {
+                continue;
+            }
+            let mut joined = a.clone();
+            joined.push(*b.last().expect("non-empty itemset"));
+            joined.sort_unstable();
+            // Prune: every size-c subset must be frequent.
+            let all_subsets_frequent = (0..joined.len()).all(|drop| {
+                let mut subset = joined.clone();
+                subset.remove(drop);
+                frequent_lookup.contains(subset.as_slice())
+            });
+            if all_subsets_frequent {
+                candidates.push(joined);
+            }
+        }
+    }
+    candidates.sort();
+    candidates.dedup();
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn txs(raw: &[&[u32]]) -> Vec<Transaction> {
+        raw.iter().map(|t| Transaction::new(t.to_vec())).collect()
+    }
+
+    #[test]
+    fn single_transaction_yields_all_subsets_at_support_one() {
+        let found = apriori(&txs(&[&[1, 2, 3]]), 1);
+        // 7 non-empty subsets of {1,2,3}.
+        assert_eq!(found.len(), 7);
+        assert!(found.iter().all(|f| f.support == 1));
+    }
+
+    #[test]
+    fn min_support_filters_itemsets() {
+        let found = apriori(&txs(&[&[1, 2], &[1, 2], &[1, 3]]), 2);
+        let norm = crate::normalize(found);
+        assert_eq!(norm, vec![(vec![1], 3), (vec![1, 2], 2), (vec![2], 2)]);
+    }
+
+    #[test]
+    fn candidate_generation_joins_and_prunes() {
+        // {1,2}, {1,3}, {2,3} -> candidate {1,2,3}; all subsets frequent.
+        let cands = generate_candidates(&[vec![1, 2], vec![1, 3], vec![2, 3]]);
+        assert_eq!(cands, vec![vec![1, 2, 3]]);
+        // {1,2}, {1,3} only -> {1,2,3} pruned because {2,3} is missing.
+        let cands = generate_candidates(&[vec![1, 2], vec![1, 3]]);
+        assert!(cands.is_empty());
+        // Sets differing in more than the last item do not join.
+        let cands = generate_candidates(&[vec![1, 2], vec![3, 4]]);
+        assert!(cands.is_empty());
+    }
+
+    #[test]
+    fn support_counts_transactions_not_occurrences() {
+        // Item 1 appears twice in one transaction after dedup it is once.
+        let found = apriori(&txs(&[&[1, 1, 2]]), 1);
+        let norm = crate::normalize(found);
+        assert!(norm.contains(&(vec![1], 1)));
+    }
+}

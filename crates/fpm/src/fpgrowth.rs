@@ -1,0 +1,228 @@
+//! FP-Growth mining (Han, Pei & Yin, SIGMOD 2000) — the algorithm the paper's
+//! `Dec` query algorithm uses to generate candidate keyword sets from the
+//! neighbourhood of the query vertex with minimum support `k`.
+
+use crate::itemset::{FrequentItemset, Item, Itemset, Transaction};
+use std::collections::HashMap;
+
+/// One node of an [`FpTree`]. Nodes are stored in an arena (`Vec`) and linked
+/// by indices, which avoids both `Rc<RefCell<…>>` plumbing and unsafe code.
+#[derive(Debug, Clone)]
+struct FpNode {
+    item: Item,
+    count: usize,
+    parent: usize,
+    children: HashMap<Item, usize>,
+}
+
+/// A frequent-pattern tree: the compressed prefix-tree representation of a set
+/// of (weighted) transactions restricted to frequent items.
+#[derive(Debug, Clone)]
+pub struct FpTree {
+    nodes: Vec<FpNode>,
+    /// For every frequent item: the indices of all tree nodes carrying it.
+    header: HashMap<Item, Vec<usize>>,
+    /// Total support of every frequent item in the underlying transactions.
+    item_support: HashMap<Item, usize>,
+    min_support: usize,
+}
+
+const ROOT: usize = 0;
+
+impl FpTree {
+    /// Builds the tree from weighted transactions (`(items, weight)` pairs).
+    /// Items below `min_support` are dropped; the rest are inserted in
+    /// descending global-support order (ties broken by item id) so that common
+    /// prefixes share nodes.
+    fn build(weighted: &[(Itemset, usize)], min_support: usize) -> Self {
+        let mut item_support: HashMap<Item, usize> = HashMap::new();
+        for (items, weight) in weighted {
+            for &i in items {
+                *item_support.entry(i).or_default() += weight;
+            }
+        }
+        item_support.retain(|_, support| *support >= min_support);
+
+        let mut tree = FpTree {
+            nodes: vec![FpNode { item: 0, count: 0, parent: usize::MAX, children: HashMap::new() }],
+            header: HashMap::new(),
+            item_support: item_support.clone(),
+            min_support,
+        };
+
+        for (items, weight) in weighted {
+            let mut frequent: Vec<Item> = items
+                .iter()
+                .copied()
+                .filter(|i| item_support.contains_key(i))
+                .collect();
+            // Descending support, ascending item id for determinism.
+            frequent.sort_by(|a, b| {
+                item_support[b].cmp(&item_support[a]).then_with(|| a.cmp(b))
+            });
+            frequent.dedup();
+            tree.insert(&frequent, *weight);
+        }
+        tree
+    }
+
+    /// Builds the tree straight from unweighted transactions.
+    pub fn from_transactions(transactions: &[Transaction], min_support: usize) -> Self {
+        let weighted: Vec<(Itemset, usize)> =
+            transactions.iter().map(|t| (t.items().to_vec(), 1usize)).collect();
+        Self::build(&weighted, min_support.max(1))
+    }
+
+    /// Number of nodes, excluding the synthetic root.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Whether the tree holds no frequent item at all.
+    pub fn is_empty(&self) -> bool {
+        self.header.is_empty()
+    }
+
+    fn insert(&mut self, items: &[Item], weight: usize) {
+        let mut current = ROOT;
+        for &item in items {
+            let next = match self.nodes[current].children.get(&item) {
+                Some(&child) => {
+                    self.nodes[child].count += weight;
+                    child
+                }
+                None => {
+                    let idx = self.nodes.len();
+                    self.nodes.push(FpNode {
+                        item,
+                        count: weight,
+                        parent: current,
+                        children: HashMap::new(),
+                    });
+                    self.nodes[current].children.insert(item, idx);
+                    self.header.entry(item).or_default().push(idx);
+                    idx
+                }
+            };
+            current = next;
+        }
+    }
+
+    /// The conditional pattern base of `item`: for every node carrying `item`,
+    /// the path from the root to its parent, weighted by the node's count.
+    fn conditional_pattern_base(&self, item: Item) -> Vec<(Itemset, usize)> {
+        let mut base = Vec::new();
+        let Some(nodes) = self.header.get(&item) else {
+            return base;
+        };
+        for &node_idx in nodes {
+            let count = self.nodes[node_idx].count;
+            let mut path = Vec::new();
+            let mut cur = self.nodes[node_idx].parent;
+            while cur != ROOT && cur != usize::MAX {
+                path.push(self.nodes[cur].item);
+                cur = self.nodes[cur].parent;
+            }
+            if !path.is_empty() {
+                path.reverse();
+                base.push((path, count));
+            }
+        }
+        base
+    }
+
+    /// Recursively mines the tree, appending results to `out`. `suffix` is the
+    /// itemset conditioned on so far (in reverse discovery order).
+    fn mine(&self, suffix: &[Item], out: &mut Vec<FrequentItemset>) {
+        // Process items in ascending support order (the classic heuristic);
+        // order does not affect correctness, only tree sizes.
+        let mut items: Vec<(Item, usize)> =
+            self.item_support.iter().map(|(&i, &s)| (i, s)).collect();
+        items.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+
+        for (item, support) in items {
+            let mut found = suffix.to_vec();
+            found.push(item);
+            out.push(FrequentItemset::new(found.clone(), support));
+
+            let base = self.conditional_pattern_base(item);
+            if base.is_empty() {
+                continue;
+            }
+            let conditional = FpTree::build(&base, self.min_support);
+            if !conditional.is_empty() {
+                conditional.mine(&found, out);
+            }
+        }
+    }
+}
+
+/// Mines all itemsets with support ≥ `min_support` using FP-Growth.
+/// A `min_support` of 0 is treated as 1.
+pub fn fp_growth(transactions: &[Transaction], min_support: usize) -> Vec<FrequentItemset> {
+    let tree = FpTree::from_transactions(transactions, min_support);
+    let mut out = Vec::new();
+    tree.mine(&[], &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn txs(raw: &[&[u32]]) -> Vec<Transaction> {
+        raw.iter().map(|t| Transaction::new(t.to_vec())).collect()
+    }
+
+    #[test]
+    fn tree_shares_prefixes() {
+        // Three transactions sharing the prefix {1, 2} once ordered by support.
+        let t = txs(&[&[1, 2, 3], &[1, 2, 4], &[1, 2]]);
+        let tree = FpTree::from_transactions(&t, 1);
+        // Nodes: 1, 2 shared; 3 and 4 as separate leaves => 4 nodes.
+        assert_eq!(tree.node_count(), 4);
+        assert!(!tree.is_empty());
+    }
+
+    #[test]
+    fn infrequent_items_are_dropped_from_tree() {
+        let t = txs(&[&[1, 9], &[1], &[1]]);
+        let tree = FpTree::from_transactions(&t, 2);
+        assert_eq!(tree.node_count(), 1, "only item 1 survives");
+    }
+
+    #[test]
+    fn mines_known_supports() {
+        let t = txs(&[&[1, 2, 5], &[2, 4], &[2, 3], &[1, 2, 4], &[1, 3], &[2, 3], &[1, 3], &[1, 2, 3, 5], &[1, 2, 3]]);
+        let found = crate::normalize(fp_growth(&t, 2));
+        assert!(found.contains(&(vec![2], 7)));
+        assert!(found.contains(&(vec![1], 6)));
+        assert!(found.contains(&(vec![1, 2], 4)));
+        assert!(found.contains(&(vec![1, 5], 2)));
+        assert!(found.contains(&(vec![1, 2, 5], 2)));
+        assert!(!found.iter().any(|(i, _)| i == &vec![3, 4]), "{{3,4}} has support 0");
+    }
+
+    #[test]
+    fn conditional_pattern_base_paths_are_root_to_parent() {
+        let t = txs(&[&[1, 2, 3], &[1, 3]]);
+        let tree = FpTree::from_transactions(&t, 1);
+        let mut base = tree.conditional_pattern_base(3);
+        base.sort();
+        // Item ordering by support: 1 (2), 3 (2), 2 (1) -> transactions are
+        // inserted as [1,3,2] and [1,3]; the pattern base of 3 is {[1]:2}.
+        assert_eq!(base, vec![(vec![1], 2)]);
+    }
+
+    #[test]
+    fn duplicate_items_within_transaction_count_once() {
+        let found = crate::normalize(fp_growth(&[Transaction::new(vec![5, 5, 6])], 1));
+        assert_eq!(found, vec![(vec![5], 1), (vec![5, 6], 1), (vec![6], 1)]);
+    }
+
+    #[test]
+    fn high_min_support_yields_nothing() {
+        let t = txs(&[&[1, 2], &[2, 3]]);
+        assert!(fp_growth(&t, 3).is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! Transactions and frequent itemsets.
+
+/// A single item — in the ACQ context, an interned keyword identifier.
+pub type Item = u32;
+
+/// An itemset: a sorted, deduplicated list of items.
+pub type Itemset = Vec<Item>;
+
+/// One transaction handed to the miners. In the `Dec` algorithm a transaction
+/// is the (filtered) keyword set of one neighbour of the query vertex.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transaction {
+    items: Itemset,
+}
+
+impl Transaction {
+    /// Builds a transaction from arbitrary items (sorted and deduplicated).
+    pub fn new(mut items: Vec<Item>) -> Self {
+        items.sort_unstable();
+        items.dedup();
+        Self { items }
+    }
+
+    /// The sorted items of this transaction.
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the transaction carries no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the transaction contains every item of `subset` (which must be
+    /// sorted).
+    pub fn contains_all(&self, subset: &[Item]) -> bool {
+        let mut it = self.items.iter();
+        'outer: for want in subset {
+            for have in it.by_ref() {
+                match have.cmp(want) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+}
+
+impl FromIterator<Item> for Transaction {
+    fn from_iter<T: IntoIterator<Item = Item>>(iter: T) -> Self {
+        Transaction::new(iter.into_iter().collect())
+    }
+}
+
+/// A frequent itemset together with its support (number of transactions that
+/// contain it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrequentItemset {
+    /// The items, sorted ascending.
+    pub items: Itemset,
+    /// Number of transactions containing all of `items`.
+    pub support: usize,
+}
+
+impl FrequentItemset {
+    /// Creates a frequent itemset, normalising the item order.
+    pub fn new(mut items: Itemset, support: usize) -> Self {
+        items.sort_unstable();
+        items.dedup();
+        Self { items, support }
+    }
+
+    /// Number of items in the set.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the itemset is empty (only produced by degenerate inputs).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transaction_normalises_input() {
+        let t = Transaction::new(vec![3, 1, 3, 2]);
+        assert_eq!(t.items(), &[1, 2, 3]);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert!(Transaction::new(vec![]).is_empty());
+    }
+
+    #[test]
+    fn transaction_subset_test() {
+        let t = Transaction::new(vec![1, 3, 5, 7]);
+        assert!(t.contains_all(&[1, 5]));
+        assert!(t.contains_all(&[]));
+        assert!(!t.contains_all(&[2]));
+        assert!(!t.contains_all(&[5, 9]));
+    }
+
+    #[test]
+    fn transaction_from_iterator() {
+        let t: Transaction = [5u32, 1, 5].into_iter().collect();
+        assert_eq!(t.items(), &[1, 5]);
+    }
+
+    #[test]
+    fn frequent_itemset_normalises() {
+        let f = FrequentItemset::new(vec![9, 2, 9], 4);
+        assert_eq!(f.items, vec![2, 9]);
+        assert_eq!(f.support, 4);
+        assert_eq!(f.len(), 2);
+        assert!(!f.is_empty());
+    }
+}

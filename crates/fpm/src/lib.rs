@@ -1,0 +1,190 @@
+//! # acq-fpm
+//!
+//! Frequent-itemset mining for the ACQ reproduction.
+//!
+//! The paper's `Dec` query algorithm (Section 6.2) generates its candidate
+//! keyword sets by mining the keyword sets of the query vertex's neighbours
+//! with a frequent-pattern-mining algorithm, using the degree threshold `k`
+//! as the minimum support: a keyword combination can only label a valid
+//! attributed community if at least `k` neighbours of `q` carry it. The paper
+//! uses FP-Growth (Han, Pei & Yin, SIGMOD 2000); Apriori (Agrawal & Srikant)
+//! is provided as a reference implementation, and both are exercised against
+//! each other in the property tests.
+//!
+//! Items are plain `u32`s so the crate stays independent of the graph crate;
+//! callers map `KeywordId`s in and out.
+
+#![warn(missing_docs)]
+
+mod apriori;
+mod fpgrowth;
+mod itemset;
+
+pub use apriori::apriori;
+pub use fpgrowth::{fp_growth, FpTree};
+pub use itemset::{FrequentItemset, Itemset, Transaction};
+
+/// Which mining algorithm to run; the paper defaults to FP-Growth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MiningAlgorithm {
+    /// Candidate-generation-free FP-Growth (default, as in the paper).
+    #[default]
+    FpGrowth,
+    /// Level-wise Apriori; simpler, used as a cross-checking oracle.
+    Apriori,
+}
+
+/// Mines all itemsets with support ≥ `min_support` from `transactions`,
+/// dispatching on the chosen algorithm.
+pub fn mine_frequent_itemsets(
+    transactions: &[Transaction],
+    min_support: usize,
+    algorithm: MiningAlgorithm,
+) -> Vec<FrequentItemset> {
+    match algorithm {
+        MiningAlgorithm::FpGrowth => fp_growth(transactions, min_support),
+        MiningAlgorithm::Apriori => apriori(transactions, min_support),
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn normalize(mut sets: Vec<FrequentItemset>) -> Vec<(Vec<u32>, usize)> {
+    let mut out: Vec<(Vec<u32>, usize)> = sets
+        .drain(..)
+        .map(|f| {
+            let mut items = f.items.clone();
+            items.sort_unstable();
+            (items, f.support)
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transactions(raw: &[&[u32]]) -> Vec<Transaction> {
+        raw.iter().map(|t| Transaction::new(t.to_vec())).collect()
+    }
+
+    #[test]
+    fn both_algorithms_agree_on_textbook_example() {
+        // The classic market-basket example.
+        let txs = transactions(&[
+            &[1, 2, 5],
+            &[2, 4],
+            &[2, 3],
+            &[1, 2, 4],
+            &[1, 3],
+            &[2, 3],
+            &[1, 3],
+            &[1, 2, 3, 5],
+            &[1, 2, 3],
+        ]);
+        let fp = normalize(fp_growth(&txs, 2));
+        let ap = normalize(apriori(&txs, 2));
+        assert_eq!(fp, ap);
+        // Spot-check a few known supports.
+        assert!(fp.contains(&(vec![1, 2], 4)));
+        assert!(fp.contains(&(vec![2, 3], 4)));
+        assert!(fp.contains(&(vec![1, 2, 5], 2)));
+        assert!(!fp.iter().any(|(items, _)| items == &vec![4, 5]));
+    }
+
+    #[test]
+    fn dispatcher_selects_algorithm() {
+        let txs = transactions(&[&[1, 2], &[1, 2], &[1]]);
+        let a = normalize(mine_frequent_itemsets(&txs, 2, MiningAlgorithm::FpGrowth));
+        let b = normalize(mine_frequent_itemsets(&txs, 2, MiningAlgorithm::Apriori));
+        assert_eq!(a, b);
+        assert_eq!(a, vec![(vec![1], 3), (vec![1, 2], 2), (vec![2], 2)]);
+    }
+
+    #[test]
+    fn empty_inputs_produce_no_itemsets() {
+        assert!(fp_growth(&[], 1).is_empty());
+        assert!(apriori(&[], 1).is_empty());
+        let txs = transactions(&[&[], &[]]);
+        assert!(fp_growth(&txs, 1).is_empty());
+    }
+
+    #[test]
+    fn min_support_zero_is_treated_as_one() {
+        let txs = transactions(&[&[7]]);
+        let fp = normalize(fp_growth(&txs, 0));
+        assert_eq!(fp, vec![(vec![7], 1)]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    fn arb_transactions() -> impl Strategy<Value = Vec<Transaction>> {
+        proptest::collection::vec(
+            proptest::collection::hash_set(0u32..12, 0..6)
+                .prop_map(|s| Transaction::new(s.into_iter().collect())),
+            0..24,
+        )
+    }
+
+    /// Brute-force support counting over all subsets present in the output.
+    fn support_of(transactions: &[Transaction], items: &[u32]) -> usize {
+        transactions
+            .iter()
+            .filter(|t| items.iter().all(|i| t.items().contains(i)))
+            .count()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn fpgrowth_and_apriori_agree(txs in arb_transactions(), min_support in 1usize..5) {
+            let fp = crate::normalize(fp_growth(&txs, min_support));
+            let ap = crate::normalize(apriori(&txs, min_support));
+            prop_assert_eq!(fp, ap);
+        }
+
+        #[test]
+        fn reported_supports_are_correct(txs in arb_transactions(), min_support in 1usize..5) {
+            for f in fp_growth(&txs, min_support) {
+                prop_assert_eq!(f.support, support_of(&txs, &f.items));
+                prop_assert!(f.support >= min_support);
+                let unique: HashSet<u32> = f.items.iter().copied().collect();
+                prop_assert_eq!(unique.len(), f.items.len(), "no duplicate items");
+            }
+        }
+
+        #[test]
+        fn output_is_downward_closed(txs in arb_transactions(), min_support in 1usize..5) {
+            // Anti-monotonicity: every non-empty subset of a frequent itemset
+            // is frequent, hence must also be reported.
+            let found = fp_growth(&txs, min_support);
+            let keys: HashSet<Vec<u32>> = found
+                .iter()
+                .map(|f| {
+                    let mut v = f.items.clone();
+                    v.sort_unstable();
+                    v
+                })
+                .collect();
+            for f in &found {
+                if f.items.len() < 2 {
+                    continue;
+                }
+                for drop in 0..f.items.len() {
+                    let mut subset = f.items.clone();
+                    subset.remove(drop);
+                    subset.sort_unstable();
+                    prop_assert!(keys.contains(&subset),
+                        "missing subset {:?} of {:?}", subset, f.items);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Error types of the graph crate.
+
+use crate::ids::VertexId;
+use std::fmt;
+
+/// Errors raised while building or editing an attributed graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint refers to a vertex that was never added.
+    UnknownVertex(VertexId),
+    /// Self-loops are not allowed in the (simple, undirected) graph model.
+    SelfLoop(VertexId),
+    /// A dataset file could not be parsed.
+    Parse {
+        /// 1-based line number where parsing failed.
+        line: usize,
+        /// Description of what was expected.
+        message: String,
+    },
+    /// An I/O failure while reading or writing a dataset file.
+    Io(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownVertex(v) => write!(f, "unknown vertex {v}"),
+            GraphError::SelfLoop(v) => write!(f, "self-loop on vertex {v} is not allowed"),
+            GraphError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            GraphError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_have_readable_messages() {
+        assert_eq!(GraphError::UnknownVertex(VertexId(3)).to_string(), "unknown vertex 3");
+        assert!(GraphError::SelfLoop(VertexId(1)).to_string().contains("self-loop"));
+        let parse = GraphError::Parse { line: 7, message: "bad edge".into() };
+        assert!(parse.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let err: GraphError = io.into();
+        assert!(matches!(err, GraphError::Io(_)));
+    }
+}

@@ -1,0 +1,531 @@
+//! The immutable attributed graph and its builder.
+
+use crate::error::GraphError;
+use crate::ids::{KeywordId, VertexId};
+use crate::keywords::{KeywordDictionary, KeywordSet};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// An undirected attributed graph `G(V, E)` in compressed sparse row form.
+///
+/// * Vertices are identified by dense [`VertexId`]s `0..n`.
+/// * Each vertex carries a [`KeywordSet`] `W(v)` and an optional display label
+///   (e.g. an author name in the DBLP-style datasets).
+/// * Edges are stored twice (once per endpoint) in a CSR layout: `offsets` has
+///   `n + 1` entries and `neighbors[offsets[v]..offsets[v+1]]` are the sorted
+///   neighbours of `v`.
+///
+/// The structure is immutable after construction; the update methods
+/// ([`with_edge_inserted`](Self::with_edge_inserted) and friends) return a new
+/// graph, which is what the CL-tree maintenance experiments operate on.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttributedGraph {
+    offsets: Vec<usize>,
+    neighbors: Vec<VertexId>,
+    keywords: Vec<KeywordSet>,
+    labels: Vec<Option<String>>,
+    dictionary: KeywordDictionary,
+}
+
+impl AttributedGraph {
+    /// Number of vertices `n = |V|`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.keywords.len()
+    }
+
+    /// Number of undirected edges `m = |E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Whether `v` is a valid vertex of this graph.
+    #[inline]
+    pub fn contains_vertex(&self, v: VertexId) -> bool {
+        v.index() < self.num_vertices()
+    }
+
+    /// Iterates over all vertex identifiers.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.num_vertices()).map(VertexId::from_index)
+    }
+
+    /// The sorted neighbours of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a vertex of this graph.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let i = v.index();
+        &self.neighbors[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Degree of `v` in the full graph, `deg_G(v)`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let i = v.index();
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// Whether the undirected edge `{u, v}` exists.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if !self.contains_vertex(u) || !self.contains_vertex(v) {
+            return false;
+        }
+        // Search from the lower-degree endpoint.
+        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// The keyword set `W(v)` of a vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a vertex of this graph.
+    #[inline]
+    pub fn keyword_set(&self, v: VertexId) -> &KeywordSet {
+        &self.keywords[v.index()]
+    }
+
+    /// The optional display label of a vertex.
+    pub fn label(&self, v: VertexId) -> Option<&str> {
+        self.labels[v.index()].as_deref()
+    }
+
+    /// Finds the first vertex whose label equals `label`.
+    pub fn vertex_by_label(&self, label: &str) -> Option<VertexId> {
+        self.labels
+            .iter()
+            .position(|l| l.as_deref() == Some(label))
+            .map(VertexId::from_index)
+    }
+
+    /// The shared keyword dictionary.
+    pub fn dictionary(&self) -> &KeywordDictionary {
+        &self.dictionary
+    }
+
+    /// Average vertex degree `d̂ = 2m / n` (0 for the empty graph).
+    pub fn average_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            (2 * self.num_edges()) as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// Average keyword-set size `l̂` (0 for the empty graph).
+    pub fn average_keywords(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.keywords.iter().map(KeywordSet::len).sum::<usize>() as f64
+                / self.num_vertices() as f64
+        }
+    }
+
+    /// Resolves keyword strings of a vertex through the dictionary.
+    pub fn keyword_terms(&self, v: VertexId) -> Vec<&str> {
+        self.dictionary.terms_of(self.keyword_set(v)).collect()
+    }
+
+    /// Returns a new graph with the undirected edge `{u, v}` inserted.
+    ///
+    /// The rebuild is `O(n + m)`; this is intended for the incremental index
+    /// maintenance experiments, not for bulk loading (use [`GraphBuilder`]).
+    pub fn with_edge_inserted(&self, u: VertexId, v: VertexId) -> Result<Self, GraphError> {
+        if !self.contains_vertex(u) || !self.contains_vertex(v) {
+            return Err(GraphError::UnknownVertex(if self.contains_vertex(u) { v } else { u }));
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        if self.has_edge(u, v) {
+            return Ok(self.clone());
+        }
+        let mut builder = self.to_builder();
+        builder.add_edge(u, v)?;
+        Ok(builder.build())
+    }
+
+    /// Returns a new graph with the undirected edge `{u, v}` removed.
+    /// Removing a non-existent edge is a no-op.
+    pub fn with_edge_removed(&self, u: VertexId, v: VertexId) -> Result<Self, GraphError> {
+        if !self.contains_vertex(u) || !self.contains_vertex(v) {
+            return Err(GraphError::UnknownVertex(if self.contains_vertex(u) { v } else { u }));
+        }
+        let mut builder = self.to_builder_without_edge(u, v);
+        builder.dedup_edges();
+        Ok(builder.build())
+    }
+
+    /// Returns a new graph where keyword `term` was added to vertex `v`.
+    pub fn with_keyword_added(&self, v: VertexId, term: &str) -> Result<Self, GraphError> {
+        if !self.contains_vertex(v) {
+            return Err(GraphError::UnknownVertex(v));
+        }
+        let mut next = self.clone();
+        let id = next.dictionary.intern(term);
+        next.keywords[v.index()] = next.keywords[v.index()].with_inserted(id);
+        Ok(next)
+    }
+
+    /// Returns a new graph where keyword `term` was removed from vertex `v`
+    /// (no-op if the vertex did not carry the keyword).
+    pub fn with_keyword_removed(&self, v: VertexId, term: &str) -> Result<Self, GraphError> {
+        if !self.contains_vertex(v) {
+            return Err(GraphError::UnknownVertex(v));
+        }
+        let mut next = self.clone();
+        if let Some(id) = next.dictionary.get(term) {
+            next.keywords[v.index()] = next.keywords[v.index()].with_removed(id);
+        }
+        Ok(next)
+    }
+
+    /// Copies the graph back into a builder (used by the edge-update methods).
+    fn to_builder(&self) -> GraphBuilder {
+        let mut b = GraphBuilder::new();
+        b.dictionary = self.dictionary.clone();
+        b.keywords = self.keywords.clone();
+        b.labels = self.labels.clone();
+        for v in self.vertices() {
+            for &u in self.neighbors(v) {
+                if v < u {
+                    b.edges.push((v, u));
+                }
+            }
+        }
+        b
+    }
+
+    fn to_builder_without_edge(&self, x: VertexId, y: VertexId) -> GraphBuilder {
+        let mut b = self.to_builder();
+        let (x, y) = if x < y { (x, y) } else { (y, x) };
+        b.edges.retain(|&(a, c)| !(a == x && c == y));
+        b
+    }
+}
+
+/// Incrementally assembles an [`AttributedGraph`].
+///
+/// ```
+/// use acq_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new();
+/// let alice = b.add_vertex("Alice", &["art", "cook", "yoga"]);
+/// let bob = b.add_vertex("Bob", &["research", "sports", "yoga"]);
+/// b.add_edge(alice, bob).unwrap();
+/// let g = b.build();
+/// assert_eq!(g.num_vertices(), 2);
+/// assert_eq!(g.num_edges(), 1);
+/// assert!(g.has_edge(alice, bob));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    pub(crate) dictionary: KeywordDictionary,
+    pub(crate) keywords: Vec<KeywordSet>,
+    pub(crate) labels: Vec<Option<String>>,
+    pub(crate) edges: Vec<(VertexId, VertexId)>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of vertices added so far.
+    pub fn num_vertices(&self) -> usize {
+        self.keywords.len()
+    }
+
+    /// Adds a labelled vertex with the given keyword strings and returns its id.
+    pub fn add_vertex(&mut self, label: &str, keywords: &[&str]) -> VertexId {
+        let ids: Vec<KeywordId> = keywords.iter().map(|t| self.dictionary.intern(t)).collect();
+        self.push_vertex(Some(label.to_owned()), KeywordSet::from_ids(ids))
+    }
+
+    /// Adds an unlabelled vertex with the given keyword strings.
+    pub fn add_unlabeled_vertex(&mut self, keywords: &[&str]) -> VertexId {
+        let ids: Vec<KeywordId> = keywords.iter().map(|t| self.dictionary.intern(t)).collect();
+        self.push_vertex(None, KeywordSet::from_ids(ids))
+    }
+
+    /// Adds a vertex whose keywords are already interned identifiers.
+    pub fn add_vertex_with_ids(&mut self, label: Option<String>, keywords: KeywordSet) -> VertexId {
+        self.push_vertex(label, keywords)
+    }
+
+    /// Interns a keyword string through the builder's dictionary.
+    pub fn intern_keyword(&mut self, term: &str) -> KeywordId {
+        self.dictionary.intern(term)
+    }
+
+    fn push_vertex(&mut self, label: Option<String>, keywords: KeywordSet) -> VertexId {
+        let id = VertexId::from_index(self.keywords.len());
+        self.keywords.push(keywords);
+        self.labels.push(label);
+        id
+    }
+
+    /// Adds an undirected edge. Self-loops are rejected; duplicate edges are
+    /// tolerated (deduplicated at [`build`](Self::build) time).
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> Result<(), GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        let n = self.keywords.len();
+        if u.index() >= n {
+            return Err(GraphError::UnknownVertex(u));
+        }
+        if v.index() >= n {
+            return Err(GraphError::UnknownVertex(v));
+        }
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.edges.push((a, b));
+        Ok(())
+    }
+
+    pub(crate) fn dedup_edges(&mut self) {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+    }
+
+    /// Finalises the builder into an immutable CSR graph.
+    pub fn build(mut self) -> AttributedGraph {
+        self.dedup_edges();
+        let n = self.keywords.len();
+        let mut degree = vec![0usize; n];
+        for &(u, v) in &self.edges {
+            degree[u.index()] += 1;
+            degree[v.index()] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![VertexId(0); acc];
+        for &(u, v) in &self.edges {
+            neighbors[cursor[u.index()]] = v;
+            cursor[u.index()] += 1;
+            neighbors[cursor[v.index()]] = u;
+            cursor[v.index()] += 1;
+        }
+        // Sort each adjacency list so has_edge can binary-search and iteration
+        // order is deterministic.
+        for v in 0..n {
+            neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        AttributedGraph {
+            offsets,
+            neighbors,
+            keywords: self.keywords,
+            labels: self.labels,
+            dictionary: self.dictionary,
+        }
+    }
+}
+
+/// Convenience constructor used throughout the test-suites: builds a graph from
+/// an edge list and per-vertex keyword strings.
+///
+/// `keywords[i]` are the keyword strings of vertex `i`; vertices are created
+/// for `0..keywords.len()`.
+pub fn graph_from_edges(keywords: &[&[&str]], edges: &[(u32, u32)]) -> AttributedGraph {
+    let mut b = GraphBuilder::new();
+    for kws in keywords {
+        b.add_unlabeled_vertex(kws);
+    }
+    for &(u, v) in edges {
+        b.add_edge(VertexId(u), VertexId(v)).expect("edge endpoints must exist");
+    }
+    b.build()
+}
+
+/// Builds a keyword-less graph with `n` vertices from an edge list; handy for
+/// tests and benchmarks of the purely structural algorithms (k-core, CL-tree
+/// skeleton, baselines on non-attributed graphs).
+pub fn unlabeled_graph(n: usize, edges: &[(u32, u32)]) -> AttributedGraph {
+    let mut b = GraphBuilder::new();
+    for _ in 0..n {
+        b.add_unlabeled_vertex(&[]);
+    }
+    for &(u, v) in edges {
+        b.add_edge(VertexId(u), VertexId(v)).expect("edge endpoints must exist");
+    }
+    b.build()
+}
+
+/// Builds the running-example graph of the paper's Figure 3(a)/4: ten vertices
+/// `A..J` with keywords `w, x, y, z` and the depicted edges. Used by unit
+/// tests, the quickstart example and documentation.
+pub fn paper_figure3_graph() -> AttributedGraph {
+    let mut b = GraphBuilder::new();
+    let a = b.add_vertex("A", &["w", "x", "y"]);
+    let bb = b.add_vertex("B", &["x"]);
+    let c = b.add_vertex("C", &["x", "y"]);
+    let d = b.add_vertex("D", &["x", "y", "z"]);
+    let e = b.add_vertex("E", &["y", "z"]);
+    let f = b.add_vertex("F", &["y"]);
+    let g = b.add_vertex("G", &["x", "y"]);
+    let h = b.add_vertex("H", &["y", "z"]);
+    let i = b.add_vertex("I", &["x"]);
+    let j = b.add_vertex("J", &["x"]);
+    // The 3-ĉore {A, B, C, D} is a clique.
+    for &(u, v) in &[(a, bb), (a, c), (a, d), (bb, c), (bb, d), (c, d)] {
+        b.add_edge(u, v).unwrap();
+    }
+    // E attaches to the 3-ĉore with two edges (core number 2).
+    b.add_edge(e, a).unwrap();
+    b.add_edge(e, d).unwrap();
+    // F and G hang off E with one edge each (core number 1).
+    b.add_edge(f, e).unwrap();
+    b.add_edge(g, e).unwrap();
+    // H–I form a separate 1-ĉore component; J is isolated (core number 0).
+    b.add_edge(h, i).unwrap();
+    let _ = j;
+    b.build()
+}
+
+/// The ordered set of vertex ids, useful for assertions in tests.
+pub fn sorted_ids(ids: impl IntoIterator<Item = VertexId>) -> Vec<VertexId> {
+    let set: BTreeSet<VertexId> = ids.into_iter().collect();
+    set.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_constructs_csr_graph() {
+        let g = graph_from_edges(
+            &[&["a"], &["a", "b"], &["b"], &["c"]],
+            &[(0, 1), (1, 2), (2, 0), (2, 3)],
+        );
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(VertexId(2)), 3);
+        assert_eq!(g.neighbors(VertexId(2)), &[VertexId(0), VertexId(1), VertexId(3)]);
+        assert!(g.has_edge(VertexId(0), VertexId(2)));
+        assert!(!g.has_edge(VertexId(0), VertexId(3)));
+        assert!((g.average_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_edges_are_deduplicated() {
+        let g = graph_from_edges(&[&[], &[]], &[(0, 1), (1, 0), (0, 1)]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(VertexId(0)), 1);
+    }
+
+    #[test]
+    fn self_loops_are_rejected() {
+        let mut b = GraphBuilder::new();
+        let v = b.add_unlabeled_vertex(&[]);
+        assert!(matches!(b.add_edge(v, v), Err(GraphError::SelfLoop(_))));
+    }
+
+    #[test]
+    fn unknown_vertices_are_rejected() {
+        let mut b = GraphBuilder::new();
+        let v = b.add_unlabeled_vertex(&[]);
+        assert!(matches!(b.add_edge(v, VertexId(5)), Err(GraphError::UnknownVertex(_))));
+    }
+
+    #[test]
+    fn labels_resolve_both_ways() {
+        let g = paper_figure3_graph();
+        let a = g.vertex_by_label("A").unwrap();
+        assert_eq!(g.label(a), Some("A"));
+        assert_eq!(g.vertex_by_label("Z"), None);
+    }
+
+    #[test]
+    fn keyword_terms_resolve_through_dictionary() {
+        let g = paper_figure3_graph();
+        let d = g.vertex_by_label("D").unwrap();
+        let mut terms = g.keyword_terms(d);
+        terms.sort_unstable();
+        assert_eq!(terms, vec!["x", "y", "z"]);
+        assert!((g.average_keywords() - 1.8).abs() < 1e-9, "18 keywords over 10 vertices");
+    }
+
+    #[test]
+    fn figure3_graph_matches_paper_shape() {
+        let g = paper_figure3_graph();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.num_edges(), 11);
+        let a = g.vertex_by_label("A").unwrap();
+        assert_eq!(g.degree(a), 4);
+        let j = g.vertex_by_label("J").unwrap();
+        assert_eq!(g.degree(j), 0, "J is isolated and has core number 0");
+    }
+
+    #[test]
+    fn edge_insertion_returns_new_graph() {
+        let g = paper_figure3_graph();
+        let h = g.vertex_by_label("H").unwrap();
+        let i = g.vertex_by_label("I").unwrap();
+        let f = g.vertex_by_label("F").unwrap();
+        assert!(!g.has_edge(h, f));
+        let g2 = g.with_edge_inserted(h, f).unwrap();
+        assert!(g2.has_edge(h, f));
+        assert!(!g.has_edge(h, f), "original untouched");
+        assert_eq!(g2.num_edges(), g.num_edges() + 1);
+        // Inserting an existing edge is a no-op.
+        let g3 = g2.with_edge_inserted(h, i).unwrap();
+        assert_eq!(g3.num_edges(), g2.num_edges());
+    }
+
+    #[test]
+    fn edge_removal_returns_new_graph() {
+        let g = paper_figure3_graph();
+        let h = g.vertex_by_label("H").unwrap();
+        let i = g.vertex_by_label("I").unwrap();
+        let g2 = g.with_edge_removed(h, i).unwrap();
+        assert!(!g2.has_edge(h, i));
+        assert_eq!(g2.num_edges(), g.num_edges() - 1);
+    }
+
+    #[test]
+    fn keyword_updates_return_new_graph() {
+        let g = paper_figure3_graph();
+        let b = g.vertex_by_label("B").unwrap();
+        let g2 = g.with_keyword_added(b, "music").unwrap();
+        assert!(g2.keyword_terms(b).contains(&"music"));
+        assert!(!g.keyword_terms(b).contains(&"music"));
+        let g3 = g2.with_keyword_removed(b, "music").unwrap();
+        assert!(!g3.keyword_terms(b).contains(&"music"));
+        // Removing an unknown keyword is a no-op.
+        let g4 = g3.with_keyword_removed(b, "nonexistent").unwrap();
+        assert_eq!(g4.keyword_set(b), g3.keyword_set(b));
+    }
+
+    #[test]
+    fn update_methods_validate_vertices() {
+        let g = paper_figure3_graph();
+        let bad = VertexId(999);
+        assert!(g.with_edge_inserted(bad, VertexId(0)).is_err());
+        assert!(g.with_keyword_added(bad, "x").is_err());
+    }
+
+    #[test]
+    fn graph_serde_roundtrip() {
+        let g = paper_figure3_graph();
+        let json = serde_json::to_string(&g).unwrap();
+        let g2: AttributedGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(g2.num_vertices(), g.num_vertices());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        let a = VertexId(0);
+        assert_eq!(g2.neighbors(a), g.neighbors(a));
+        assert_eq!(g2.keyword_set(a), g.keyword_set(a));
+    }
+}

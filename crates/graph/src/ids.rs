@@ -1,0 +1,147 @@
+//! Strongly-typed identifiers for vertices and keywords.
+//!
+//! The paper's graphs have up to 8.1 million vertices and tens of millions of
+//! distinct keywords, so identifiers are kept at 32 bits: this halves the size
+//! of adjacency and inverted lists compared to `usize` on 64-bit targets,
+//! which is where most of the index memory goes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a vertex in an [`AttributedGraph`](crate::AttributedGraph).
+///
+/// Vertex identifiers are dense: a graph with `n` vertices uses exactly the
+/// identifiers `0..n`. This lets algorithms use plain arrays indexed by
+/// `VertexId` instead of hash maps.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct VertexId(pub u32);
+
+impl VertexId {
+    /// Largest representable vertex identifier.
+    pub const MAX: VertexId = VertexId(u32::MAX);
+
+    /// Returns the identifier as a `usize`, suitable for array indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a vertex identifier from an array index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in 32 bits.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        assert!(index <= u32::MAX as usize, "vertex index {index} overflows u32");
+        VertexId(index as u32)
+    }
+}
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for VertexId {
+    fn from(value: u32) -> Self {
+        VertexId(value)
+    }
+}
+
+/// Identifier of an interned keyword.
+///
+/// Keyword identifiers are handed out densely by a
+/// [`KeywordDictionary`](crate::KeywordDictionary) in first-seen order.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct KeywordId(pub u32);
+
+impl KeywordId {
+    /// Returns the identifier as a `usize`, suitable for array indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a keyword identifier from an array index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in 32 bits.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        assert!(index <= u32::MAX as usize, "keyword index {index} overflows u32");
+        KeywordId(index as u32)
+    }
+}
+
+impl fmt::Debug for KeywordId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+impl fmt::Display for KeywordId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for KeywordId {
+    fn from(value: u32) -> Self {
+        KeywordId(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_id_roundtrips_through_index() {
+        let v = VertexId::from_index(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(v, VertexId(42));
+    }
+
+    #[test]
+    fn keyword_id_roundtrips_through_index() {
+        let w = KeywordId::from_index(7);
+        assert_eq!(w.index(), 7);
+        assert_eq!(w, KeywordId(7));
+    }
+
+    #[test]
+    fn vertex_id_orders_by_value() {
+        assert!(VertexId(3) < VertexId(10));
+        assert!(KeywordId(0) < KeywordId(1));
+    }
+
+    #[test]
+    fn debug_formats_are_compact() {
+        assert_eq!(format!("{:?}", VertexId(5)), "v5");
+        assert_eq!(format!("{:?}", KeywordId(9)), "w9");
+        assert_eq!(VertexId(5).to_string(), "5");
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u32")]
+    fn vertex_id_from_huge_index_panics() {
+        let _ = VertexId::from_index(u32::MAX as usize + 1);
+    }
+
+    #[test]
+    fn conversion_from_u32() {
+        assert_eq!(VertexId::from(3u32), VertexId(3));
+        assert_eq!(KeywordId::from(3u32), KeywordId(3));
+    }
+}

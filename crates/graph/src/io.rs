@@ -1,0 +1,200 @@
+//! Reading and writing attributed graphs.
+//!
+//! Two formats are supported:
+//!
+//! 1. **Text pair** — the format the paper's datasets are usually distributed
+//!    in: an edge-list file (`u v` per line, `#` comments allowed) plus a
+//!    vertex-keyword file (`v<TAB>kw1 kw2 ...` or `v kw1 kw2 ...`). Vertices
+//!    are numbered densely by first appearance.
+//! 2. **JSON snapshot** — a single self-describing file produced with `serde`,
+//!    convenient for caching generated datasets between experiment runs.
+
+use crate::error::GraphError;
+use crate::graph::{AttributedGraph, GraphBuilder};
+use crate::ids::VertexId;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Parses an attributed graph from an edge-list reader and a keyword reader.
+///
+/// Vertex tokens may be arbitrary strings (author names, user ids); they are
+/// mapped to dense [`VertexId`]s in order of first appearance across both
+/// files. Lines starting with `#` and blank lines are ignored.
+pub fn read_text<R1: Read, R2: Read>(edges: R1, keywords: R2) -> Result<AttributedGraph, GraphError> {
+    let mut builder = GraphBuilder::new();
+    let mut ids: HashMap<String, VertexId> = HashMap::new();
+
+    let vertex_id = |builder: &mut GraphBuilder, ids: &mut HashMap<String, VertexId>, token: &str| {
+        *ids.entry(token.to_owned()).or_insert_with(|| builder.add_vertex(token, &[]))
+    };
+
+    // Keyword file first so that labelled vertices keep their keywords even if
+    // they never appear in the edge file.
+    let mut pending_keywords: Vec<(VertexId, Vec<String>)> = Vec::new();
+    for (lineno, line) in BufReader::new(keywords).lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let vertex_token = parts.next().ok_or_else(|| GraphError::Parse {
+            line: lineno + 1,
+            message: "missing vertex token".into(),
+        })?;
+        let v = vertex_id(&mut builder, &mut ids, vertex_token);
+        let kws: Vec<String> = parts.map(str::to_owned).collect();
+        pending_keywords.push((v, kws));
+    }
+
+    let mut edge_pairs: Vec<(VertexId, VertexId)> = Vec::new();
+    for (lineno, line) in BufReader::new(edges).lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let (Some(a), Some(b)) = (parts.next(), parts.next()) else {
+            return Err(GraphError::Parse {
+                line: lineno + 1,
+                message: format!("expected two vertex tokens, got '{trimmed}'"),
+            });
+        };
+        let u = vertex_id(&mut builder, &mut ids, a);
+        let v = vertex_id(&mut builder, &mut ids, b);
+        if u == v {
+            // The paper's graph model is simple and undirected; drop self-loops.
+            continue;
+        }
+        edge_pairs.push((u, v));
+    }
+
+    // Attach keywords now that all vertices exist.
+    let mut keyword_sets: Vec<Vec<String>> = vec![Vec::new(); builder.num_vertices()];
+    for (v, kws) in pending_keywords {
+        keyword_sets[v.index()].extend(kws);
+    }
+    let mut rebuilt = GraphBuilder::new();
+    // Rebuild preserving ids: iterate in id order.
+    let mut by_id: Vec<(String, VertexId)> = ids.iter().map(|(s, &v)| (s.clone(), v)).collect();
+    by_id.sort_by_key(|&(_, v)| v);
+    for (label, v) in &by_id {
+        let kw_refs: Vec<&str> = keyword_sets[v.index()].iter().map(String::as_str).collect();
+        let new_id = rebuilt.add_vertex(label, &kw_refs);
+        debug_assert_eq!(new_id, *v, "dense ids must be preserved");
+    }
+    for (u, v) in edge_pairs {
+        rebuilt.add_edge(u, v)?;
+    }
+    Ok(rebuilt.build())
+}
+
+/// Reads the text-pair format from two files on disk.
+pub fn read_text_files<P: AsRef<Path>>(edge_path: P, keyword_path: P) -> Result<AttributedGraph, GraphError> {
+    let edges = std::fs::File::open(edge_path)?;
+    let keywords = std::fs::File::open(keyword_path)?;
+    read_text(edges, keywords)
+}
+
+/// Writes the graph in the text-pair format to the given writers.
+pub fn write_text<W1: Write, W2: Write>(
+    graph: &AttributedGraph,
+    mut edges: W1,
+    mut keywords: W2,
+) -> Result<(), GraphError> {
+    for v in graph.vertices() {
+        let label = graph.label(v).map(str::to_owned).unwrap_or_else(|| v.to_string());
+        let terms = graph.keyword_terms(v).join(" ");
+        writeln!(keywords, "{label}\t{terms}")?;
+    }
+    for v in graph.vertices() {
+        for &u in graph.neighbors(v) {
+            if v < u {
+                let vl = graph.label(v).map(str::to_owned).unwrap_or_else(|| v.to_string());
+                let ul = graph.label(u).map(str::to_owned).unwrap_or_else(|| u.to_string());
+                writeln!(edges, "{vl} {ul}")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Serialises a graph to a JSON snapshot.
+pub fn write_json<W: Write>(graph: &AttributedGraph, writer: W) -> Result<(), GraphError> {
+    serde_json::to_writer(writer, graph).map_err(|e| GraphError::Io(e.to_string()))
+}
+
+/// Reads a graph from a JSON snapshot produced by [`write_json`].
+pub fn read_json<R: Read>(reader: R) -> Result<AttributedGraph, GraphError> {
+    serde_json::from_reader(reader).map_err(|e| GraphError::Io(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::paper_figure3_graph;
+
+    const EDGES: &str = "# toy co-author graph\nalice bob\nbob carol\ncarol alice\ncarol dave\n";
+    const KEYWORDS: &str = "alice\tart cook yoga\nbob\tresearch sports yoga\ncarol\tart research\ndave\tweb\n";
+
+    #[test]
+    fn read_text_builds_expected_graph() {
+        let g = read_text(EDGES.as_bytes(), KEYWORDS.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        let alice = g.vertex_by_label("alice").unwrap();
+        let carol = g.vertex_by_label("carol").unwrap();
+        assert!(g.has_edge(alice, carol));
+        let mut terms = g.keyword_terms(alice);
+        terms.sort_unstable();
+        assert_eq!(terms, vec!["art", "cook", "yoga"]);
+    }
+
+    #[test]
+    fn read_text_ignores_comments_blanks_and_self_loops() {
+        let edges = "# c\n\nx y\nx x\n";
+        let kws = "x\ta\ny\tb\n";
+        let g = read_text(edges.as_bytes(), kws.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 2);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn read_text_reports_malformed_edge_lines() {
+        let err = read_text("only_one_token\n".as_bytes(), "".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_structure_and_keywords() {
+        let g = paper_figure3_graph();
+        let mut edge_buf = Vec::new();
+        let mut kw_buf = Vec::new();
+        write_text(&g, &mut edge_buf, &mut kw_buf).unwrap();
+        let g2 = read_text(edge_buf.as_slice(), kw_buf.as_slice()).unwrap();
+        assert_eq!(g2.num_vertices(), g.num_vertices());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        for label in ["A", "D", "J"] {
+            let v1 = g.vertex_by_label(label).unwrap();
+            let v2 = g2.vertex_by_label(label).unwrap();
+            assert_eq!(g.degree(v1), g2.degree(v2), "degree of {label}");
+            let mut t1 = g.keyword_terms(v1);
+            let mut t2 = g2.keyword_terms(v2);
+            t1.sort_unstable();
+            t2.sort_unstable();
+            assert_eq!(t1, t2, "keywords of {label}");
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let g = paper_figure3_graph();
+        let mut buf = Vec::new();
+        write_json(&g, &mut buf).unwrap();
+        let g2 = read_json(buf.as_slice()).unwrap();
+        assert_eq!(g2.num_vertices(), g.num_vertices());
+        assert_eq!(g2.num_edges(), g.num_edges());
+    }
+}

@@ -1,0 +1,136 @@
+//! # acq-graph
+//!
+//! Attributed-graph substrate for the reproduction of *Effective Community
+//! Search for Large Attributed Graphs* (Fang et al., PVLDB 2016).
+//!
+//! An attributed graph is an undirected graph in which every vertex carries a
+//! set of keywords `W(v)`. This crate provides:
+//!
+//! * [`AttributedGraph`] — an immutable CSR graph with interned keywords;
+//! * [`GraphBuilder`] — incremental construction;
+//! * [`VertexSubset`] — membership bitsets with induced-subgraph operations
+//!   (in-subset degrees, connected components), the workhorse of the ACQ
+//!   query algorithms;
+//! * [`KeywordDictionary`] / [`KeywordSet`] — keyword interning and sorted-set
+//!   operations (containment, intersection, Jaccard);
+//! * dataset I/O ([`io`]) and summary statistics ([`statistics`]).
+//!
+//! ```
+//! use acq_graph::{paper_figure3_graph, VertexSubset};
+//!
+//! let g = paper_figure3_graph();
+//! let a = g.vertex_by_label("A").unwrap();
+//! assert_eq!(g.degree(a), 4);
+//! let comp = VertexSubset::full(g.num_vertices()).component_of(&g, a).unwrap();
+//! assert_eq!(comp.len(), 7);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod components;
+pub mod error;
+pub mod graph;
+pub mod ids;
+pub mod io;
+pub mod keywords;
+pub mod statistics;
+pub mod subgraph;
+
+pub use error::GraphError;
+pub use graph::{graph_from_edges, paper_figure3_graph, sorted_ids, unlabeled_graph, AttributedGraph, GraphBuilder};
+pub use ids::{KeywordId, VertexId};
+pub use keywords::{KeywordDictionary, KeywordSet};
+pub use statistics::GraphStatistics;
+pub use subgraph::VertexSubset;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Strategy: a random simple graph as (n, edge list) with n in 1..=40.
+    fn arb_graph() -> impl Strategy<Value = AttributedGraph> {
+        (1usize..40).prop_flat_map(|n| {
+            let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..120);
+            let keywords = proptest::collection::vec(proptest::collection::vec(0u32..8, 0..6), n);
+            (edges, keywords).prop_map(|(edges, kws)| {
+                let mut b = GraphBuilder::new();
+                for kw in &kws {
+                    let terms: Vec<String> = kw.iter().map(|k| format!("kw{k}")).collect();
+                    let refs: Vec<&str> = terms.iter().map(String::as_str).collect();
+                    b.add_unlabeled_vertex(&refs);
+                }
+                for &(u, v) in &edges {
+                    if u != v {
+                        b.add_edge(VertexId(u), VertexId(v)).unwrap();
+                    }
+                }
+                b.build()
+            })
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn adjacency_is_symmetric(g in arb_graph()) {
+            for v in g.vertices() {
+                for &u in g.neighbors(v) {
+                    prop_assert!(g.has_edge(u, v));
+                    prop_assert!(g.neighbors(u).contains(&v));
+                }
+            }
+        }
+
+        #[test]
+        fn handshake_lemma_holds(g in arb_graph()) {
+            let degree_sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+            prop_assert_eq!(degree_sum, 2 * g.num_edges());
+        }
+
+        #[test]
+        fn adjacency_lists_are_sorted_and_deduped(g in arb_graph()) {
+            for v in g.vertices() {
+                let ns = g.neighbors(v);
+                prop_assert!(ns.windows(2).all(|w| w[0] < w[1]));
+                prop_assert!(!ns.contains(&v), "no self loops");
+            }
+        }
+
+        #[test]
+        fn components_partition_vertices(g in arb_graph()) {
+            let comps = components::connected_components(&g);
+            let total: usize = comps.iter().map(VertexSubset::len).sum();
+            prop_assert_eq!(total, g.num_vertices());
+            // Each vertex appears in exactly one component.
+            let mut seen = vec![false; g.num_vertices()];
+            for c in &comps {
+                for v in c.iter() {
+                    prop_assert!(!seen[v.index()]);
+                    seen[v.index()] = true;
+                }
+            }
+        }
+
+        #[test]
+        fn jaccard_is_symmetric_and_bounded(g in arb_graph()) {
+            let vs: Vec<VertexId> = g.vertices().collect();
+            for &u in vs.iter().take(8) {
+                for &v in vs.iter().take(8) {
+                    let a = g.keyword_set(u).jaccard(g.keyword_set(v));
+                    let b = g.keyword_set(v).jaccard(g.keyword_set(u));
+                    prop_assert!((a - b).abs() < 1e-12);
+                    prop_assert!((0.0..=1.0).contains(&a));
+                }
+            }
+        }
+
+        #[test]
+        fn text_roundtrip_preserves_edges(g in arb_graph()) {
+            let mut eb = Vec::new();
+            let mut kb = Vec::new();
+            io::write_text(&g, &mut eb, &mut kb).unwrap();
+            let g2 = io::read_text(eb.as_slice(), kb.as_slice()).unwrap();
+            prop_assert_eq!(g2.num_edges(), g.num_edges());
+        }
+    }
+}

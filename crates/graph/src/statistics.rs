@@ -1,0 +1,103 @@
+//! Dataset statistics in the style of the paper's Table 3.
+
+use crate::graph::AttributedGraph;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of an attributed graph, mirroring the columns of the
+/// paper's Table 3 (vertices, edges, `kmax`, average degree `d̂`, average
+/// keyword-set size `l̂`) plus a few extras used by the experiment reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphStatistics {
+    /// Number of vertices `n`.
+    pub vertices: usize,
+    /// Number of undirected edges `m`.
+    pub edges: usize,
+    /// Average degree `d̂ = 2m/n`.
+    pub average_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Average keyword-set size `l̂`.
+    pub average_keywords: f64,
+    /// Maximum keyword-set size.
+    pub max_keywords: usize,
+    /// Number of distinct keywords in the dictionary.
+    pub distinct_keywords: usize,
+    /// Number of connected components.
+    pub components: usize,
+}
+
+impl GraphStatistics {
+    /// Computes the statistics of `graph`.
+    ///
+    /// Note: `kmax` (the maximum core number) is deliberately *not* computed
+    /// here — core decomposition lives in the `acq-kcore` crate; the experiment
+    /// harness combines both when printing Table 3.
+    pub fn compute(graph: &AttributedGraph) -> Self {
+        let n = graph.num_vertices();
+        let max_degree = graph.vertices().map(|v| graph.degree(v)).max().unwrap_or(0);
+        let max_keywords = graph.vertices().map(|v| graph.keyword_set(v).len()).max().unwrap_or(0);
+        let components = crate::components::connected_components(graph).len();
+        GraphStatistics {
+            vertices: n,
+            edges: graph.num_edges(),
+            average_degree: graph.average_degree(),
+            max_degree,
+            average_keywords: graph.average_keywords(),
+            max_keywords,
+            distinct_keywords: graph.dictionary().len(),
+            components,
+        }
+    }
+
+    /// Renders a single human-readable row, used by the experiment binaries.
+    pub fn to_row(&self, name: &str) -> String {
+        format!(
+            "{name}\tn={}\tm={}\td̂={:.2}\tl̂={:.2}\tdistinct_kw={}\tcomponents={}",
+            self.vertices,
+            self.edges,
+            self.average_degree,
+            self.average_keywords,
+            self.distinct_keywords,
+            self.components
+        )
+    }
+}
+
+/// Degree histogram: `histogram[d]` is the number of vertices with degree `d`.
+pub fn degree_histogram(graph: &AttributedGraph) -> Vec<usize> {
+    let max_degree = graph.vertices().map(|v| graph.degree(v)).max().unwrap_or(0);
+    let mut hist = vec![0usize; max_degree + 1];
+    for v in graph.vertices() {
+        hist[graph.degree(v)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::paper_figure3_graph;
+
+    #[test]
+    fn statistics_of_figure3_graph() {
+        let g = paper_figure3_graph();
+        let s = GraphStatistics::compute(&g);
+        assert_eq!(s.vertices, 10);
+        assert_eq!(s.edges, 11);
+        assert_eq!(s.components, 3);
+        assert_eq!(s.max_degree, 4);
+        assert_eq!(s.distinct_keywords, 4);
+        assert!((s.average_degree - 2.2).abs() < 1e-9);
+        assert!((s.average_keywords - 1.8).abs() < 1e-9);
+        assert!(s.to_row("toy").contains("n=10"));
+    }
+
+    #[test]
+    fn degree_histogram_sums_to_n() {
+        let g = paper_figure3_graph();
+        let hist = degree_histogram(&g);
+        assert_eq!(hist.iter().sum::<usize>(), g.num_vertices());
+        assert_eq!(hist[0], 1, "J is isolated");
+        assert_eq!(hist.len(), 5, "max degree 4");
+    }
+}

@@ -1,0 +1,261 @@
+//! Vertex subsets and induced-subgraph operations.
+//!
+//! The ACQ algorithms never materialise induced subgraphs; instead they work
+//! on a [`VertexSubset`] (a membership bitset over the parent graph) and count
+//! degrees *within* the subset. This keeps `G[S']` and `Gk[S']` computations
+//! allocation-light, which matters because the incremental algorithms verify
+//! many candidate keyword sets per query.
+
+use crate::graph::AttributedGraph;
+use crate::ids::VertexId;
+
+/// A subset of the vertices of a fixed [`AttributedGraph`], stored as a bitset
+/// plus an explicit member list for fast iteration.
+#[derive(Debug, Clone)]
+pub struct VertexSubset {
+    bits: Vec<u64>,
+    members: Vec<VertexId>,
+}
+
+impl VertexSubset {
+    /// Creates an empty subset for a graph with `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        Self { bits: vec![0u64; n.div_ceil(64)], members: Vec::new() }
+    }
+
+    /// Creates a subset containing all `n` vertices of the graph.
+    pub fn full(n: usize) -> Self {
+        let mut s = Self::empty(n);
+        for i in 0..n {
+            s.insert(VertexId::from_index(i));
+        }
+        s
+    }
+
+    /// Builds a subset from an iterator of vertices (duplicates are fine).
+    pub fn from_iter(n: usize, vertices: impl IntoIterator<Item = VertexId>) -> Self {
+        let mut s = Self::empty(n);
+        for v in vertices {
+            s.insert(v);
+        }
+        s
+    }
+
+    /// Number of vertices in the subset.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the subset is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        let i = v.index();
+        (self.bits[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Inserts a vertex; returns `true` if it was newly inserted.
+    pub fn insert(&mut self, v: VertexId) -> bool {
+        let i = v.index();
+        let mask = 1u64 << (i % 64);
+        if self.bits[i / 64] & mask != 0 {
+            return false;
+        }
+        self.bits[i / 64] |= mask;
+        self.members.push(v);
+        true
+    }
+
+    /// The member vertices, in insertion order.
+    #[inline]
+    pub fn members(&self) -> &[VertexId] {
+        &self.members
+    }
+
+    /// Iterates over the member vertices.
+    pub fn iter(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.members.iter().copied()
+    }
+
+    /// A sorted copy of the member vertices (for deterministic output).
+    pub fn sorted_members(&self) -> Vec<VertexId> {
+        let mut m = self.members.clone();
+        m.sort_unstable();
+        m
+    }
+
+    /// Intersection with another subset over the same graph.
+    pub fn intersect(&self, other: &VertexSubset) -> VertexSubset {
+        debug_assert_eq!(self.bits.len(), other.bits.len(), "subsets of different graphs");
+        let mut out = VertexSubset::empty(self.bits.len() * 64);
+        out.bits.truncate(self.bits.len());
+        let (small, large) = if self.len() <= other.len() { (self, other) } else { (other, self) };
+        for &v in &small.members {
+            if large.contains(v) {
+                out.insert(v);
+            }
+        }
+        out
+    }
+
+    /// Union with another subset over the same graph.
+    pub fn union(&self, other: &VertexSubset) -> VertexSubset {
+        debug_assert_eq!(self.bits.len(), other.bits.len(), "subsets of different graphs");
+        let mut out = self.clone();
+        for &v in &other.members {
+            out.insert(v);
+        }
+        out
+    }
+
+    /// Degree of `v` counted inside the subset (neighbours that are members).
+    pub fn degree_within(&self, graph: &AttributedGraph, v: VertexId) -> usize {
+        graph.neighbors(v).iter().filter(|&&u| self.contains(u)).count()
+    }
+
+    /// Number of edges of the induced subgraph `G[subset]`.
+    pub fn induced_edge_count(&self, graph: &AttributedGraph) -> usize {
+        self.members
+            .iter()
+            .map(|&v| self.degree_within(graph, v))
+            .sum::<usize>()
+            / 2
+    }
+
+    /// The connected component of the induced subgraph that contains `start`,
+    /// or `None` if `start` is not a member.
+    pub fn component_of(&self, graph: &AttributedGraph, start: VertexId) -> Option<VertexSubset> {
+        if !self.contains(start) {
+            return None;
+        }
+        let mut comp = VertexSubset::empty(graph.num_vertices());
+        let mut queue = std::collections::VecDeque::new();
+        comp.insert(start);
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for &u in graph.neighbors(v) {
+                if self.contains(u) && comp.insert(u) {
+                    queue.push_back(u);
+                }
+            }
+        }
+        Some(comp)
+    }
+
+    /// All connected components of the induced subgraph, each as a subset.
+    pub fn components(&self, graph: &AttributedGraph) -> Vec<VertexSubset> {
+        let mut seen = VertexSubset::empty(graph.num_vertices());
+        let mut out = Vec::new();
+        for &v in &self.members {
+            if seen.contains(v) {
+                continue;
+            }
+            let comp = self.component_of(graph, v).expect("member vertex");
+            for &u in comp.members() {
+                seen.insert(u);
+            }
+            out.push(comp);
+        }
+        out
+    }
+
+    /// Whether the induced subgraph is connected (the empty subset counts as
+    /// connected).
+    pub fn is_connected(&self, graph: &AttributedGraph) -> bool {
+        match self.members.first() {
+            None => true,
+            Some(&v) => self.component_of(graph, v).expect("member").len() == self.len(),
+        }
+    }
+}
+
+impl PartialEq for VertexSubset {
+    fn eq(&self, other: &Self) -> bool {
+        self.sorted_members() == other.sorted_members()
+    }
+}
+
+impl Eq for VertexSubset {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::paper_figure3_graph;
+
+    fn subset_of(graph: &AttributedGraph, labels: &[&str]) -> VertexSubset {
+        VertexSubset::from_iter(
+            graph.num_vertices(),
+            labels.iter().map(|l| graph.vertex_by_label(l).unwrap()),
+        )
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = VertexSubset::empty(100);
+        assert!(s.insert(VertexId(3)));
+        assert!(!s.insert(VertexId(3)));
+        assert!(s.contains(VertexId(3)));
+        assert!(!s.contains(VertexId(4)));
+        assert_eq!(s.len(), 1);
+        assert!(VertexSubset::empty(10).is_empty());
+        assert_eq!(VertexSubset::full(10).len(), 10);
+    }
+
+    #[test]
+    fn degree_within_counts_only_members() {
+        let g = paper_figure3_graph();
+        let s = subset_of(&g, &["A", "B", "C"]);
+        let a = g.vertex_by_label("A").unwrap();
+        // A's neighbours are B, C, D, E; only B and C are members.
+        assert_eq!(s.degree_within(&g, a), 2);
+        assert_eq!(s.induced_edge_count(&g), 3, "triangle A-B-C");
+    }
+
+    #[test]
+    fn component_of_respects_membership() {
+        let g = paper_figure3_graph();
+        // Omit E, which is the only path from {A..D} to {F, G}.
+        let s = subset_of(&g, &["A", "B", "C", "D", "F", "G"]);
+        let a = g.vertex_by_label("A").unwrap();
+        let comp = s.component_of(&g, a).unwrap();
+        assert_eq!(comp.len(), 4);
+        assert!(!comp.contains(g.vertex_by_label("F").unwrap()));
+        assert!(s.component_of(&g, g.vertex_by_label("E").unwrap()).is_none());
+    }
+
+    #[test]
+    fn components_partition_the_subset() {
+        let g = paper_figure3_graph();
+        let s = subset_of(&g, &["A", "B", "H", "I", "J"]);
+        let comps = s.components(&g);
+        let mut sizes: Vec<usize> = comps.iter().map(VertexSubset::len).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 2, 2], "{{A,B}}, {{H,I}}, {{J}}");
+        assert!(!s.is_connected(&g));
+        assert!(subset_of(&g, &["A", "B"]).is_connected(&g));
+        assert!(VertexSubset::empty(g.num_vertices()).is_connected(&g));
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let g = paper_figure3_graph();
+        let s1 = subset_of(&g, &["A", "B", "C"]);
+        let s2 = subset_of(&g, &["B", "C", "D"]);
+        assert_eq!(s1.intersect(&s2), subset_of(&g, &["B", "C"]));
+        assert_eq!(s1.union(&s2), subset_of(&g, &["A", "B", "C", "D"]));
+    }
+
+    #[test]
+    fn equality_ignores_insertion_order() {
+        let g = paper_figure3_graph();
+        let s1 = subset_of(&g, &["A", "B"]);
+        let s2 = subset_of(&g, &["B", "A"]);
+        assert_eq!(s1, s2);
+    }
+}

@@ -1,0 +1,258 @@
+//! Core decomposition — the `O(m)` algorithm of Batagelj & Zaversnik.
+//!
+//! Definition 1/2 of the paper: the *k-core* `H_k` is the largest subgraph in
+//! which every vertex has degree ≥ k inside `H_k`; the *core number* of a
+//! vertex is the largest `k` such that the vertex belongs to `H_k`. The k-cores
+//! are nested, which is the observation the CL-tree is built on.
+
+use acq_graph::{AttributedGraph, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// The result of a core decomposition: one core number per vertex plus the
+/// peeling order, which several downstream algorithms reuse.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoreDecomposition {
+    core: Vec<u32>,
+    /// Vertices in the order they were peeled (non-decreasing core number).
+    peel_order: Vec<VertexId>,
+    kmax: u32,
+}
+
+impl CoreDecomposition {
+    /// Runs the bin-sort core decomposition of Batagelj & Zaversnik (2003) in
+    /// `O(n + m)` time.
+    pub fn compute(graph: &AttributedGraph) -> Self {
+        let n = graph.num_vertices();
+        if n == 0 {
+            return Self { core: Vec::new(), peel_order: Vec::new(), kmax: 0 };
+        }
+
+        // Degrees and the maximum degree.
+        let mut degree: Vec<usize> = (0..n).map(|i| graph.degree(VertexId::from_index(i))).collect();
+        let max_degree = degree.iter().copied().max().unwrap_or(0);
+
+        // Bin sort vertices by degree: `bin[d]` is the index in `order` where
+        // the block of degree-d vertices starts.
+        let mut bin = vec![0usize; max_degree + 2];
+        for &d in &degree {
+            bin[d] += 1;
+        }
+        let mut start = 0usize;
+        for b in bin.iter_mut() {
+            let count = *b;
+            *b = start;
+            start += count;
+        }
+        // `order` holds vertices sorted by current degree; `pos[v]` is v's
+        // index inside `order`.
+        let mut order = vec![0usize; n];
+        let mut pos = vec![0usize; n];
+        {
+            let mut next = bin.clone();
+            for v in 0..n {
+                let d = degree[v];
+                order[next[d]] = v;
+                pos[v] = next[d];
+                next[d] += 1;
+            }
+        }
+
+        let mut core = vec![0u32; n];
+        let mut peel_order = Vec::with_capacity(n);
+        for i in 0..n {
+            let v = order[i];
+            core[v] = degree[v] as u32;
+            peel_order.push(VertexId::from_index(v));
+            // "Remove" v: every neighbour with a larger current degree moves
+            // one bin down.
+            for &u in graph.neighbors(VertexId::from_index(v)) {
+                let u = u.index();
+                if degree[u] > degree[v] {
+                    let du = degree[u];
+                    let pu = pos[u];
+                    // Swap u with the first vertex of its bin.
+                    let pw = bin[du];
+                    let w = order[pw];
+                    if u != w {
+                        order[pu] = w;
+                        order[pw] = u;
+                        pos[w] = pu;
+                        pos[u] = pw;
+                    }
+                    bin[du] += 1;
+                    degree[u] -= 1;
+                }
+            }
+        }
+
+        let kmax = core.iter().copied().max().unwrap_or(0);
+        Self { core, peel_order, kmax }
+    }
+
+    /// Core number of a single vertex.
+    #[inline]
+    pub fn core_number(&self, v: VertexId) -> u32 {
+        self.core[v.index()]
+    }
+
+    /// The whole core-number array, indexed by vertex id.
+    pub fn core_numbers(&self) -> &[u32] {
+        &self.core
+    }
+
+    /// The maximum core number `kmax` of the graph.
+    #[inline]
+    pub fn kmax(&self) -> u32 {
+        self.kmax
+    }
+
+    /// Number of vertices covered by this decomposition.
+    pub fn len(&self) -> usize {
+        self.core.len()
+    }
+
+    /// Whether the decomposition is over the empty graph.
+    pub fn is_empty(&self) -> bool {
+        self.core.is_empty()
+    }
+
+    /// Vertices in the order they were peeled (non-decreasing core number).
+    pub fn peel_order(&self) -> &[VertexId] {
+        &self.peel_order
+    }
+
+    /// Iterates over the vertices whose core number is at least `k`.
+    pub fn vertices_with_core_at_least(&self, k: u32) -> impl Iterator<Item = VertexId> + '_ {
+        self.core
+            .iter()
+            .enumerate()
+            .filter(move |(_, &c)| c >= k)
+            .map(|(i, _)| VertexId::from_index(i))
+    }
+
+    /// Iterates over the vertices whose core number is exactly `k`.
+    pub fn vertices_with_core_exactly(&self, k: u32) -> impl Iterator<Item = VertexId> + '_ {
+        self.core
+            .iter()
+            .enumerate()
+            .filter(move |(_, &c)| c == k)
+            .map(|(i, _)| VertexId::from_index(i))
+    }
+
+    /// The minimum core number among a set of vertices — the paper's
+    /// *subgraph core number* (Definition 4). Returns `None` for an empty set.
+    pub fn subgraph_core_number<I: IntoIterator<Item = VertexId>>(&self, vertices: I) -> Option<u32> {
+        vertices.into_iter().map(|v| self.core_number(v)).min()
+    }
+
+    /// Mutable access for the maintenance algorithms in [`crate::maintenance`].
+    pub(crate) fn core_mut(&mut self) -> &mut Vec<u32> {
+        &mut self.core
+    }
+
+    /// Recomputes `kmax` and invalidates the peel order after in-place updates
+    /// made by the maintenance algorithms.
+    pub(crate) fn refresh_after_update(&mut self) {
+        self.kmax = self.core.iter().copied().max().unwrap_or(0);
+        self.peel_order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acq_graph::{graph_from_edges, paper_figure3_graph, unlabeled_graph};
+
+    #[test]
+    fn figure3_core_numbers_match_paper() {
+        // Figure 3(b): core 3 = {A,B,C,D}, core 2 = {E}, core 1 = {F,G,H,I},
+        // core 0 = {J}.
+        let g = paper_figure3_graph();
+        let d = CoreDecomposition::compute(&g);
+        let core_of = |label: &str| d.core_number(g.vertex_by_label(label).unwrap());
+        for l in ["A", "B", "C", "D"] {
+            assert_eq!(core_of(l), 3, "core of {l}");
+        }
+        assert_eq!(core_of("E"), 2);
+        for l in ["F", "G", "H", "I"] {
+            assert_eq!(core_of(l), 1, "core of {l}");
+        }
+        assert_eq!(core_of("J"), 0);
+        assert_eq!(d.kmax(), 3);
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let empty = unlabeled_graph(0, &[]);
+        let d = CoreDecomposition::compute(&empty);
+        assert!(d.is_empty());
+        assert_eq!(d.kmax(), 0);
+
+        let single = graph_from_edges(&[&["a"]], &[]);
+        let d = CoreDecomposition::compute(&single);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.core_number(VertexId(0)), 0);
+    }
+
+    #[test]
+    fn clique_core_number_is_n_minus_1() {
+        // K5: every vertex has core number 4.
+        let edges: Vec<(u32, u32)> =
+            (0..5).flat_map(|i| ((i + 1)..5).map(move |j| (i, j))).collect();
+        let g = unlabeled_graph(5, &edges);
+        let d = CoreDecomposition::compute(&g);
+        for v in g.vertices() {
+            assert_eq!(d.core_number(v), 4);
+        }
+        assert_eq!(d.kmax(), 4);
+    }
+
+    #[test]
+    fn path_graph_has_core_number_one() {
+        let g = unlabeled_graph(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let d = CoreDecomposition::compute(&g);
+        for v in g.vertices() {
+            assert_eq!(d.core_number(v), 1);
+        }
+    }
+
+    #[test]
+    fn peel_order_is_non_decreasing_in_core_number() {
+        let g = paper_figure3_graph();
+        let d = CoreDecomposition::compute(&g);
+        let cores: Vec<u32> = d.peel_order().iter().map(|&v| d.core_number(v)).collect();
+        assert!(cores.windows(2).all(|w| w[0] <= w[1]), "peel order {cores:?}");
+        assert_eq!(d.peel_order().len(), g.num_vertices());
+    }
+
+    #[test]
+    fn vertices_with_core_filters() {
+        let g = paper_figure3_graph();
+        let d = CoreDecomposition::compute(&g);
+        assert_eq!(d.vertices_with_core_at_least(3).count(), 4);
+        assert_eq!(d.vertices_with_core_at_least(1).count(), 9);
+        assert_eq!(d.vertices_with_core_exactly(2).count(), 1);
+        assert_eq!(d.vertices_with_core_exactly(0).count(), 1);
+    }
+
+    #[test]
+    fn subgraph_core_number_is_minimum() {
+        let g = paper_figure3_graph();
+        let d = CoreDecomposition::compute(&g);
+        let a = g.vertex_by_label("A").unwrap();
+        let e = g.vertex_by_label("E").unwrap();
+        assert_eq!(d.subgraph_core_number([a, e]), Some(2));
+        assert_eq!(d.subgraph_core_number([a]), Some(3));
+        assert_eq!(d.subgraph_core_number(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn star_graph_centre_has_core_one() {
+        // A star: hub 0 connected to 6 leaves. Everything peels at k=1.
+        let edges: Vec<(u32, u32)> = (1..7).map(|i| (0, i)).collect();
+        let g = unlabeled_graph(7, &edges);
+        let d = CoreDecomposition::compute(&g);
+        assert_eq!(d.core_number(VertexId(0)), 1);
+        assert_eq!(d.kmax(), 1);
+    }
+}

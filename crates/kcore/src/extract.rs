@@ -1,0 +1,217 @@
+//! Extracting k-cores, k-ĉores and minimum-degree subgraphs.
+//!
+//! The paper distinguishes the *k-core* `H_k` (possibly disconnected) from its
+//! connected components, the *k-ĉores*, which are what community-search
+//! algorithms actually return. The third primitive here, [`peel_to_kcore`],
+//! reduces an arbitrary vertex subset to its maximal subgraph of minimum
+//! degree ≥ k — the "find `Gk[S']` from `G[S']`" step that every ACQ query
+//! algorithm performs after keyword filtering.
+
+use crate::decompose::CoreDecomposition;
+use acq_graph::{AttributedGraph, VertexId, VertexSubset};
+use std::collections::VecDeque;
+
+/// The k-core `H_k` of the whole graph as a vertex subset: exactly the
+/// vertices whose core number is at least `k`.
+pub fn kcore_subset(graph: &AttributedGraph, decomposition: &CoreDecomposition, k: u32) -> VertexSubset {
+    VertexSubset::from_iter(graph.num_vertices(), decomposition.vertices_with_core_at_least(k))
+}
+
+/// The k-ĉore containing `q`: the connected component of `H_k` that holds the
+/// query vertex, or `None` if `q`'s core number is below `k`.
+pub fn connected_kcore_containing(
+    graph: &AttributedGraph,
+    decomposition: &CoreDecomposition,
+    q: VertexId,
+    k: u32,
+) -> Option<VertexSubset> {
+    if decomposition.core_number(q) < k {
+        return None;
+    }
+    // BFS from q restricted to vertices with core number >= k; cheaper than
+    // materialising the full H_k when the component is small.
+    let mut comp = VertexSubset::empty(graph.num_vertices());
+    let mut queue = VecDeque::new();
+    comp.insert(q);
+    queue.push_back(q);
+    while let Some(v) = queue.pop_front() {
+        for &u in graph.neighbors(v) {
+            if decomposition.core_number(u) >= k && comp.insert(u) {
+                queue.push_back(u);
+            }
+        }
+    }
+    Some(comp)
+}
+
+/// Reduces `subset` to its maximal sub-subgraph in which every vertex has
+/// degree ≥ `k` *within the result* — i.e. the k-core of the induced subgraph
+/// `G[subset]`. Runs the standard iterative peel with a worklist; `O(|E(subset)|)`.
+pub fn peel_to_kcore(graph: &AttributedGraph, subset: &VertexSubset, k: usize) -> VertexSubset {
+    let n = graph.num_vertices();
+    let mut alive = subset.clone();
+    // In-subset degrees.
+    let mut degree = vec![0usize; n];
+    for v in subset.iter() {
+        degree[v.index()] = subset.degree_within(graph, v);
+    }
+    let mut removed = vec![false; n];
+    let mut queue: VecDeque<VertexId> =
+        subset.iter().filter(|&v| degree[v.index()] < k).collect();
+    for v in &queue {
+        removed[v.index()] = true;
+    }
+    while let Some(v) = queue.pop_front() {
+        for &u in graph.neighbors(v) {
+            if alive.contains(u) && !removed[u.index()] {
+                degree[u.index()] -= 1;
+                if degree[u.index()] < k {
+                    removed[u.index()] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    let survivors: Vec<VertexId> = subset.iter().filter(|v| !removed[v.index()]).collect();
+    alive = VertexSubset::from_iter(n, survivors);
+    alive
+}
+
+/// Like [`peel_to_kcore`] but additionally restricts the result to the
+/// connected component containing `q`. Returns `None` if `q` itself is peeled
+/// away (or was not a member of `subset`).
+///
+/// This is exactly the subgraph `Gk[S']` of the paper when `subset` is the set
+/// of vertices containing keyword set `S'` reachable from `q`.
+pub fn peel_to_kcore_containing(
+    graph: &AttributedGraph,
+    subset: &VertexSubset,
+    q: VertexId,
+    k: usize,
+) -> Option<VertexSubset> {
+    let peeled = peel_to_kcore(graph, subset, k);
+    if !peeled.contains(q) {
+        return None;
+    }
+    let comp = peeled.component_of(graph, q)?;
+    // The component of a min-degree-k subgraph still has min degree k, because
+    // all neighbours of a component member inside `peeled` are in the same
+    // component.
+    Some(comp)
+}
+
+/// Lemma 3 of the paper: a connected graph with `n` vertices and `m` edges
+/// cannot contain a k-ĉore when `m - n < k(k-1)/2 - 1`. Returns `true` when
+/// the subgraph **may** contain a k-ĉore (i.e. it is *not* pruned).
+pub fn may_contain_kcore(num_vertices: usize, num_edges: usize, k: usize) -> bool {
+    if k <= 1 {
+        return num_vertices > 0;
+    }
+    let threshold = (k * (k - 1)) as i64 / 2 - 1;
+    num_edges as i64 - num_vertices as i64 >= threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acq_graph::{graph_from_edges, paper_figure3_graph, unlabeled_graph};
+
+    fn labels(graph: &AttributedGraph, s: &VertexSubset) -> Vec<String> {
+        let mut v: Vec<String> =
+            s.iter().map(|v| graph.label(v).unwrap_or("?").to_owned()).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn kcore_subset_matches_example1() {
+        let g = paper_figure3_graph();
+        let d = CoreDecomposition::compute(&g);
+        let h3 = kcore_subset(&g, &d, 3);
+        assert_eq!(labels(&g, &h3), vec!["A", "B", "C", "D"]);
+        let h1 = kcore_subset(&g, &d, 1);
+        assert_eq!(h1.len(), 9, "everything except the isolated J");
+        let h0 = kcore_subset(&g, &d, 0);
+        assert_eq!(h0.len(), 10);
+    }
+
+    #[test]
+    fn connected_kcore_splits_components() {
+        let g = paper_figure3_graph();
+        let d = CoreDecomposition::compute(&g);
+        let a = g.vertex_by_label("A").unwrap();
+        let h = g.vertex_by_label("H").unwrap();
+        let j = g.vertex_by_label("J").unwrap();
+        // Example 1: the 1-core has two 1-ĉores, {A..G} and {H, I}.
+        let c1 = connected_kcore_containing(&g, &d, a, 1).unwrap();
+        assert_eq!(c1.len(), 7);
+        let c2 = connected_kcore_containing(&g, &d, h, 1).unwrap();
+        assert_eq!(labels(&g, &c2), vec!["H", "I"]);
+        // J has core number 0, so there is no 1-ĉore containing it.
+        assert!(connected_kcore_containing(&g, &d, j, 1).is_none());
+        assert!(connected_kcore_containing(&g, &d, j, 0).is_some());
+        // The 3-ĉore containing A is the clique.
+        let c3 = connected_kcore_containing(&g, &d, a, 3).unwrap();
+        assert_eq!(labels(&g, &c3), vec!["A", "B", "C", "D"]);
+        // Asking for k above A's core number yields nothing.
+        assert!(connected_kcore_containing(&g, &d, a, 4).is_none());
+    }
+
+    #[test]
+    fn peel_reduces_subset_to_min_degree_k() {
+        let g = paper_figure3_graph();
+        // Vertices containing keyword y reachable from A: {A, C, D, E, F, G}.
+        let sub = VertexSubset::from_iter(
+            g.num_vertices(),
+            ["A", "C", "D", "E", "F", "G"].iter().map(|l| g.vertex_by_label(l).unwrap()),
+        );
+        let peeled = peel_to_kcore(&g, &sub, 2);
+        assert_eq!(labels(&g, &peeled), vec!["A", "C", "D", "E"], "Section 3 example: G2[{{y}}]");
+        // Without B the remaining vertices cannot sustain minimum degree 3.
+        assert!(peel_to_kcore(&g, &sub, 3).is_empty());
+    }
+
+    #[test]
+    fn peel_containing_returns_component_of_query() {
+        let g = paper_figure3_graph();
+        let a = g.vertex_by_label("A").unwrap();
+        let h = g.vertex_by_label("H").unwrap();
+        // Two disjoint pieces that both survive 1-core peeling.
+        let sub = VertexSubset::from_iter(
+            g.num_vertices(),
+            ["A", "B", "C", "D", "H", "I"].iter().map(|l| g.vertex_by_label(l).unwrap()),
+        );
+        let from_a = peel_to_kcore_containing(&g, &sub, a, 1).unwrap();
+        assert_eq!(labels(&g, &from_a), vec!["A", "B", "C", "D"]);
+        let from_h = peel_to_kcore_containing(&g, &sub, h, 1).unwrap();
+        assert_eq!(labels(&g, &from_h), vec!["H", "I"]);
+        // q peeled away -> None.
+        assert!(peel_to_kcore_containing(&g, &sub, h, 2).is_none());
+    }
+
+    #[test]
+    fn lemma3_pruning_bound() {
+        // A triangle (n=3, m=3): m - n = 0 >= 3*2/2 - 1 = 2? No -> pruned for k=3.
+        assert!(!may_contain_kcore(3, 3, 3));
+        // K4 (n=4, m=6): m - n = 2 >= 2 -> may contain a 3-core (and does).
+        assert!(may_contain_kcore(4, 6, 3));
+        // k <= 1 is never pruned for non-empty graphs.
+        assert!(may_contain_kcore(1, 0, 1));
+        assert!(may_contain_kcore(5, 4, 0));
+        assert!(!may_contain_kcore(0, 0, 1));
+        // Lemma 3 is a necessary condition only: it may admit graphs with no
+        // k-core, but must never reject one that has it. K5 for k=4:
+        assert!(may_contain_kcore(5, 10, 4));
+    }
+
+    #[test]
+    fn peel_of_disconnected_subset_keeps_all_qualifying_components() {
+        // Two disjoint triangles.
+        let g = unlabeled_graph(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let full = VertexSubset::full(6);
+        let peeled = peel_to_kcore(&g, &full, 2);
+        assert_eq!(peeled.len(), 6, "both triangles are 2-cores");
+        let comp = peel_to_kcore_containing(&g, &full, VertexId(0), 2).unwrap();
+        assert_eq!(comp.len(), 3, "but the ĉore containing v0 is one triangle");
+    }
+}

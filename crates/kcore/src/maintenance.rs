@@ -1,0 +1,307 @@
+//! Incremental core-number maintenance under single edge updates.
+//!
+//! The paper's index-maintenance discussion (Section 5.2.2 / Appendix F)
+//! builds on the observation of Li, Yu & Mao (TKDE 2014): when an edge
+//! `{u, v}` is inserted or removed, the only vertices whose core number can
+//! change are those whose core number equals `c = min(core(u), core(v))`, and
+//! they change by at most one. This module implements the traversal-style
+//! maintenance algorithm: collect the *subcore* (vertices with core number
+//! `c` reachable from the updated endpoints through core-`c` vertices), then
+//! run a local eviction cascade to decide which of them move to `c + 1`
+//! (insertion) or down to `c - 1` (removal).
+
+use crate::decompose::CoreDecomposition;
+use acq_graph::{AttributedGraph, VertexId};
+use std::collections::VecDeque;
+
+/// Updates `decomposition` in place after the edge `{u, v}` has been
+/// **inserted** into `graph` (`graph` must already contain the edge).
+///
+/// Runs in time proportional to the size of the affected subcore, typically a
+/// tiny fraction of the graph.
+pub fn apply_edge_insertion(
+    graph: &AttributedGraph,
+    decomposition: &mut CoreDecomposition,
+    u: VertexId,
+    v: VertexId,
+) {
+    let c = decomposition.core_number(u).min(decomposition.core_number(v));
+    let candidates = subcore_candidates(graph, decomposition, u, v, c);
+    if candidates.is_empty() {
+        decomposition.refresh_after_update();
+        return;
+    }
+
+    // Eviction cascade: a candidate can move to c+1 only if it has at least
+    // c+1 neighbours that are either candidates or already have a larger core
+    // number (those are guaranteed to sit in the (c+1)-core of the new graph).
+    let n = graph.num_vertices();
+    let mut in_candidates = vec![false; n];
+    for &w in &candidates {
+        in_candidates[w.index()] = true;
+    }
+    let mut support = vec![0usize; n];
+    for &w in &candidates {
+        support[w.index()] = graph
+            .neighbors(w)
+            .iter()
+            .filter(|&&x| decomposition.core_number(x) > c || in_candidates[x.index()])
+            .count();
+    }
+    let mut evicted = vec![false; n];
+    let mut queue: VecDeque<VertexId> = candidates
+        .iter()
+        .copied()
+        .filter(|&w| support[w.index()] <= c as usize)
+        .collect();
+    for &w in &queue {
+        evicted[w.index()] = true;
+    }
+    while let Some(w) = queue.pop_front() {
+        for &x in graph.neighbors(w) {
+            if in_candidates[x.index()] && !evicted[x.index()] {
+                support[x.index()] -= 1;
+                if support[x.index()] <= c as usize {
+                    evicted[x.index()] = true;
+                    queue.push_back(x);
+                }
+            }
+        }
+    }
+
+    let core = decomposition.core_mut();
+    for &w in &candidates {
+        if !evicted[w.index()] {
+            core[w.index()] = c + 1;
+        }
+    }
+    decomposition.refresh_after_update();
+}
+
+/// Updates `decomposition` in place after the edge `{u, v}` has been
+/// **removed** from `graph` (`graph` must no longer contain the edge).
+pub fn apply_edge_removal(
+    graph: &AttributedGraph,
+    decomposition: &mut CoreDecomposition,
+    u: VertexId,
+    v: VertexId,
+) {
+    let c = decomposition.core_number(u).min(decomposition.core_number(v));
+    if c == 0 {
+        decomposition.refresh_after_update();
+        return;
+    }
+    let candidates = subcore_candidates(graph, decomposition, u, v, c);
+    if candidates.is_empty() {
+        decomposition.refresh_after_update();
+        return;
+    }
+
+    let n = graph.num_vertices();
+    let mut in_candidates = vec![false; n];
+    for &w in &candidates {
+        in_candidates[w.index()] = true;
+    }
+    // A candidate keeps core number c only if it still has at least c
+    // neighbours with (old) core number >= c, counting only candidates that
+    // themselves survive the cascade.
+    let mut support = vec![0usize; n];
+    for &w in &candidates {
+        support[w.index()] = graph
+            .neighbors(w)
+            .iter()
+            .filter(|&&x| decomposition.core_number(x) >= c)
+            .count();
+    }
+    let mut demoted = vec![false; n];
+    let mut queue: VecDeque<VertexId> = candidates
+        .iter()
+        .copied()
+        .filter(|&w| support[w.index()] < c as usize)
+        .collect();
+    for &w in &queue {
+        demoted[w.index()] = true;
+    }
+    while let Some(w) = queue.pop_front() {
+        for &x in graph.neighbors(w) {
+            if in_candidates[x.index()] && !demoted[x.index()] {
+                support[x.index()] -= 1;
+                if support[x.index()] < c as usize {
+                    demoted[x.index()] = true;
+                    queue.push_back(x);
+                }
+            }
+        }
+    }
+
+    let core = decomposition.core_mut();
+    for &w in &candidates {
+        if demoted[w.index()] {
+            core[w.index()] = c - 1;
+        }
+    }
+    decomposition.refresh_after_update();
+}
+
+/// Collects the subcore affected by an update on `{u, v}`: vertices whose core
+/// number equals `c`, reachable from the endpoint(s) of core number `c`
+/// through vertices of core number `c`.
+fn subcore_candidates(
+    graph: &AttributedGraph,
+    decomposition: &CoreDecomposition,
+    u: VertexId,
+    v: VertexId,
+    c: u32,
+) -> Vec<VertexId> {
+    let n = graph.num_vertices();
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::new();
+    for root in [u, v] {
+        if decomposition.core_number(root) == c && !seen[root.index()] {
+            seen[root.index()] = true;
+            queue.push_back(root);
+        }
+    }
+    let mut out = Vec::new();
+    while let Some(w) = queue.pop_front() {
+        out.push(w);
+        for &x in graph.neighbors(w) {
+            if !seen[x.index()] && decomposition.core_number(x) == c {
+                seen[x.index()] = true;
+                queue.push_back(x);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acq_graph::{graph_from_edges, paper_figure3_graph, unlabeled_graph};
+
+    fn assert_matches_recomputation(graph: &AttributedGraph, maintained: &CoreDecomposition) {
+        let fresh = CoreDecomposition::compute(graph);
+        for v in graph.vertices() {
+            assert_eq!(
+                maintained.core_number(v),
+                fresh.core_number(v),
+                "core number of {:?} diverged from recomputation",
+                v
+            );
+        }
+        assert_eq!(maintained.kmax(), fresh.kmax());
+    }
+
+    #[test]
+    fn insertion_promotes_subcore() {
+        // Start from a 4-cycle (all core 2 ... actually core 2 requires the
+        // cycle; a 4-cycle has min degree 2, so core number 2 for all).
+        let g = unlabeled_graph(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let mut d = CoreDecomposition::compute(&g);
+        assert!(g.vertices().all(|v| d.core_number(v) == 2));
+        // Adding a chord creates a 3-core on {0,1,2} ? No: {0,1,2,3} with chord
+        // (0,2) still leaves vertices 1 and 3 with degree 2, so cores stay 2.
+        let g2 = g.with_edge_inserted(VertexId(0), VertexId(2)).unwrap();
+        apply_edge_insertion(&g2, &mut d, VertexId(0), VertexId(2));
+        assert_matches_recomputation(&g2, &d);
+        // Completing K4 promotes everybody to core 3.
+        let g3 = g2.with_edge_inserted(VertexId(1), VertexId(3)).unwrap();
+        apply_edge_insertion(&g3, &mut d, VertexId(1), VertexId(3));
+        assert!(g3.vertices().all(|v| d.core_number(v) == 3));
+        assert_matches_recomputation(&g3, &d);
+    }
+
+    #[test]
+    fn insertion_between_different_cores_only_affects_lower() {
+        let g = paper_figure3_graph();
+        let mut d = CoreDecomposition::compute(&g);
+        let f = g.vertex_by_label("F").unwrap();
+        let a = g.vertex_by_label("A").unwrap();
+        // F (core 1) gains an edge to A (core 3): F's subcore {F, G} is examined.
+        let g2 = g.with_edge_inserted(f, a).unwrap();
+        apply_edge_insertion(&g2, &mut d, f, a);
+        assert_matches_recomputation(&g2, &d);
+        assert_eq!(d.core_number(f), 2, "F now has two neighbours in the 2-core");
+        assert_eq!(d.core_number(a), 3, "A is unchanged");
+    }
+
+    #[test]
+    fn insertion_connecting_isolated_vertex() {
+        let g = paper_figure3_graph();
+        let mut d = CoreDecomposition::compute(&g);
+        let j = g.vertex_by_label("J").unwrap();
+        let a = g.vertex_by_label("A").unwrap();
+        assert_eq!(d.core_number(j), 0);
+        let g2 = g.with_edge_inserted(j, a).unwrap();
+        apply_edge_insertion(&g2, &mut d, j, a);
+        assert_eq!(d.core_number(j), 1);
+        assert_matches_recomputation(&g2, &d);
+    }
+
+    #[test]
+    fn removal_demotes_subcore() {
+        // K4 minus an edge: the two endpoints of the removed edge drop to 2.
+        let g = unlabeled_graph(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let mut d = CoreDecomposition::compute(&g);
+        assert!(g.vertices().all(|v| d.core_number(v) == 3));
+        let g2 = g.with_edge_removed(VertexId(0), VertexId(1)).unwrap();
+        apply_edge_removal(&g2, &mut d, VertexId(0), VertexId(1));
+        assert_matches_recomputation(&g2, &d);
+        assert!(g2.vertices().all(|v| d.core_number(v) == 2), "K4 minus an edge is a 2-core");
+    }
+
+    #[test]
+    fn removal_cascades_through_chain() {
+        // A path 0-1-2-3: removing the middle edge keeps cores at 1 except the
+        // endpoints of broken degree-0 pieces... removing (1,2) leaves two
+        // paths of length 1, so everyone keeps core 1.
+        let g = unlabeled_graph(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut d = CoreDecomposition::compute(&g);
+        let g2 = g.with_edge_removed(VertexId(1), VertexId(2)).unwrap();
+        apply_edge_removal(&g2, &mut d, VertexId(1), VertexId(2));
+        assert_matches_recomputation(&g2, &d);
+        // Removing (0,1) then isolates 0 and 1 -> core 0.
+        let g3 = g2.with_edge_removed(VertexId(0), VertexId(1)).unwrap();
+        apply_edge_removal(&g3, &mut d, VertexId(0), VertexId(1));
+        assert_matches_recomputation(&g3, &d);
+        assert_eq!(d.core_number(VertexId(0)), 0);
+        assert_eq!(d.core_number(VertexId(1)), 0);
+    }
+
+    #[test]
+    fn removal_in_figure3_graph() {
+        let g = paper_figure3_graph();
+        let mut d = CoreDecomposition::compute(&g);
+        let a = g.vertex_by_label("A").unwrap();
+        let b = g.vertex_by_label("B").unwrap();
+        // Removing one clique edge drops the whole clique to core 2.
+        let g2 = g.with_edge_removed(a, b).unwrap();
+        apply_edge_removal(&g2, &mut d, a, b);
+        assert_matches_recomputation(&g2, &d);
+        for l in ["A", "B", "C", "D"] {
+            assert_eq!(d.core_number(g.vertex_by_label(l).unwrap()), 2, "core of {l}");
+        }
+    }
+
+    #[test]
+    fn sequences_of_updates_stay_consistent() {
+        let g0 = paper_figure3_graph();
+        let mut d = CoreDecomposition::compute(&g0);
+        let ids: Vec<VertexId> = g0.vertices().collect();
+        let mut g = g0;
+        // A fixed pseudo-random-ish update schedule.
+        let pairs = [(0usize, 5usize), (5, 9), (2, 7), (7, 8), (1, 6), (3, 9)];
+        for &(a, b) in &pairs {
+            let (u, v) = (ids[a], ids[b]);
+            if g.has_edge(u, v) {
+                g = g.with_edge_removed(u, v).unwrap();
+                apply_edge_removal(&g, &mut d, u, v);
+            } else {
+                g = g.with_edge_inserted(u, v).unwrap();
+                apply_edge_insertion(&g, &mut d, u, v);
+            }
+            assert_matches_recomputation(&g, &d);
+        }
+    }
+}

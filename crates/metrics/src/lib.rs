@@ -1,0 +1,307 @@
+//! # acq-metrics
+//!
+//! The community-quality measures of the paper's Section 7.2:
+//!
+//! * **CMF** — community member frequency: average relative occurrence
+//!   frequency of the query vertex's keywords inside the returned
+//!   communities (Equation 3).
+//! * **CPJ** — community pair-wise Jaccard: average Jaccard similarity of the
+//!   keyword sets over all member pairs (Equation 4).
+//! * **MF** — member frequency of a single keyword across the returned
+//!   communities (Section 7.2.2), used for the keyword-distribution plots and
+//!   the "top-6 keywords" tables.
+//! * Structural statistics (average member degree, fraction of members with
+//!   degree ≥ k, community size) and distinct-keyword counts, used for
+//!   Figure 8(c,d), Figure 12 and Table 4.
+
+#![warn(missing_docs)]
+
+use acq_graph::{AttributedGraph, KeywordId, VertexId};
+use std::collections::HashSet;
+
+/// A community as far as the metrics are concerned: any set of vertices.
+pub type Community = Vec<VertexId>;
+
+/// Community member frequency (Equation 3): for each keyword of `reference_keywords`
+/// (the paper uses `W(q)`), the fraction of members of each community carrying
+/// it, averaged over keywords and communities. Ranges over `[0, 1]`; higher is
+/// more cohesive. Returns 0.0 for degenerate inputs (no communities, empty
+/// communities, or an empty reference keyword set).
+pub fn cmf(graph: &AttributedGraph, communities: &[Community], reference_keywords: &[KeywordId]) -> f64 {
+    if communities.is_empty() || reference_keywords.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for community in communities {
+        if community.is_empty() {
+            continue;
+        }
+        for &kw in reference_keywords {
+            let carrying = community.iter().filter(|&&v| graph.keyword_set(v).contains(kw)).count();
+            total += carrying as f64 / community.len() as f64;
+            counted += 1;
+        }
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+/// Above this size the pairwise Jaccard of a community is estimated from a
+/// systematic sample of members instead of all `|C|²` pairs. The paper's
+/// communities returned by `Global` reach 10⁵ vertices, for which the exact
+/// computation is quadratic and pointless — the estimate converges long before
+/// this cut-off.
+pub const CPJ_EXACT_LIMIT: usize = 400;
+
+/// Community pair-wise Jaccard (Equation 4): the average keyword-set Jaccard
+/// similarity over all ordered member pairs (including self-pairs, exactly as
+/// the paper's `1/|Ci|²` normalisation does), averaged over communities.
+///
+/// Communities larger than [`CPJ_EXACT_LIMIT`] are evaluated on a systematic
+/// sample of [`CPJ_EXACT_LIMIT`] members (every ⌈|C|/limit⌉-th member), which
+/// keeps the measure tractable for the huge structure-only baselines.
+pub fn cpj(graph: &AttributedGraph, communities: &[Community]) -> f64 {
+    if communities.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for community in communities {
+        if community.is_empty() {
+            continue;
+        }
+        let sampled: Vec<VertexId> = if community.len() > CPJ_EXACT_LIMIT {
+            let stride = community.len().div_ceil(CPJ_EXACT_LIMIT);
+            community.iter().step_by(stride).copied().collect()
+        } else {
+            community.clone()
+        };
+        let mut acc = 0.0;
+        for &a in &sampled {
+            for &b in &sampled {
+                acc += graph.keyword_set(a).jaccard(graph.keyword_set(b));
+            }
+        }
+        total += acc / (sampled.len() * sampled.len()) as f64;
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+/// Member frequency of one keyword (Section 7.2.2): the fraction of members
+/// carrying `keyword`, averaged over the communities.
+pub fn member_frequency(graph: &AttributedGraph, communities: &[Community], keyword: KeywordId) -> f64 {
+    if communities.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for community in communities {
+        if community.is_empty() {
+            continue;
+        }
+        let carrying = community.iter().filter(|&&v| graph.keyword_set(v).contains(keyword)).count();
+        total += carrying as f64 / community.len() as f64;
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+/// The keywords appearing anywhere in the communities ranked by their member
+/// frequency (descending), as `(keyword, MF)` pairs. Used for Figure 11 and
+/// the Tables 5–6 "top-6 keywords" rows.
+pub fn keywords_by_member_frequency(
+    graph: &AttributedGraph,
+    communities: &[Community],
+) -> Vec<(KeywordId, f64)> {
+    let mut distinct: HashSet<KeywordId> = HashSet::new();
+    for community in communities {
+        for &v in community {
+            distinct.extend(graph.keyword_set(v).iter());
+        }
+    }
+    let mut ranked: Vec<(KeywordId, f64)> = distinct
+        .into_iter()
+        .map(|kw| (kw, member_frequency(graph, communities, kw)))
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+    ranked
+}
+
+/// Number of distinct keywords carried by the members of the communities
+/// (Table 4).
+pub fn distinct_keywords(graph: &AttributedGraph, communities: &[Community]) -> usize {
+    let mut distinct: HashSet<KeywordId> = HashSet::new();
+    for community in communities {
+        for &v in community {
+            distinct.extend(graph.keyword_set(v).iter());
+        }
+    }
+    distinct.len()
+}
+
+/// Average community size (Figure 12).
+pub fn average_size(communities: &[Community]) -> f64 {
+    if communities.is_empty() {
+        return 0.0;
+    }
+    communities.iter().map(Vec::len).sum::<usize>() as f64 / communities.len() as f64
+}
+
+/// Structural cohesion of a community measured *inside* the community: the
+/// average member degree and the fraction of members with internal degree at
+/// least `k` (Figure 8(c) and 8(d)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StructuralCohesion {
+    /// Mean internal degree over all members.
+    pub average_degree: f64,
+    /// Fraction of members whose internal degree is at least the threshold.
+    pub fraction_with_min_degree: f64,
+}
+
+/// Computes [`StructuralCohesion`] for a set of communities with threshold `k`.
+pub fn structural_cohesion(
+    graph: &AttributedGraph,
+    communities: &[Community],
+    k: usize,
+) -> StructuralCohesion {
+    let mut degree_sum = 0.0;
+    let mut meets = 0usize;
+    let mut members = 0usize;
+    for community in communities {
+        let inside: HashSet<VertexId> = community.iter().copied().collect();
+        for &v in community {
+            let internal = graph.neighbors(v).iter().filter(|u| inside.contains(u)).count();
+            degree_sum += internal as f64;
+            if internal >= k {
+                meets += 1;
+            }
+            members += 1;
+        }
+    }
+    if members == 0 {
+        StructuralCohesion { average_degree: 0.0, fraction_with_min_degree: 0.0 }
+    } else {
+        StructuralCohesion {
+            average_degree: degree_sum / members as f64,
+            fraction_with_min_degree: meets as f64 / members as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acq_graph::paper_figure3_graph;
+
+    fn by_labels(graph: &AttributedGraph, labels: &[&str]) -> Community {
+        labels.iter().map(|l| graph.vertex_by_label(l).unwrap()).collect()
+    }
+
+    #[test]
+    fn cmf_counts_keyword_coverage() {
+        let g = paper_figure3_graph();
+        // Community {A, C, D}; reference keywords W(A) = {w, x, y}.
+        // w: 1/3, x: 3/3, y: 3/3 -> mean = 7/9.
+        let a = g.vertex_by_label("A").unwrap();
+        let community = by_labels(&g, &["A", "C", "D"]);
+        let wq: Vec<KeywordId> = g.keyword_set(a).iter().collect();
+        let value = cmf(&g, &[community], &wq);
+        assert!((value - 7.0 / 9.0).abs() < 1e-9, "got {value}");
+        assert_eq!(cmf(&g, &[], &wq), 0.0);
+        assert_eq!(cmf(&g, &[vec![]], &wq), 0.0);
+        assert_eq!(cmf(&g, &[by_labels(&g, &["A"])], &[]), 0.0);
+    }
+
+    #[test]
+    fn cpj_matches_hand_computation() {
+        let g = paper_figure3_graph();
+        // Community {A, C}: W(A)={w,x,y}, W(C)={x,y}.
+        // Pairs: (A,A)=1, (C,C)=1, (A,C)=(C,A)=2/3 -> mean = (2 + 4/3)/4 = 5/6.
+        let community = by_labels(&g, &["A", "C"]);
+        let value = cpj(&g, &[community]);
+        assert!((value - 5.0 / 6.0).abs() < 1e-9, "got {value}");
+        assert_eq!(cpj(&g, &[]), 0.0);
+    }
+
+    #[test]
+    fn higher_keyword_cohesion_scores_higher() {
+        let g = paper_figure3_graph();
+        let a = g.vertex_by_label("A").unwrap();
+        let wq: Vec<KeywordId> = g.keyword_set(a).iter().collect();
+        // The AC {A, C, D} shares x and y; the whole 2-ĉore {A,B,C,D,E} does not.
+        let ac = by_labels(&g, &["A", "C", "D"]);
+        let kcore = by_labels(&g, &["A", "B", "C", "D", "E"]);
+        assert!(cmf(&g, &[ac.clone()], &wq) > cmf(&g, &[kcore.clone()], &wq));
+        assert!(cpj(&g, &[ac]) > cpj(&g, &[kcore]));
+    }
+
+    #[test]
+    fn member_frequency_and_ranking() {
+        let g = paper_figure3_graph();
+        let x = g.dictionary().get("x").unwrap();
+        let w = g.dictionary().get("w").unwrap();
+        let community = by_labels(&g, &["A", "B", "C", "D"]);
+        assert!((member_frequency(&g, &[community.clone()], x) - 1.0).abs() < 1e-12);
+        assert!((member_frequency(&g, &[community.clone()], w) - 0.25).abs() < 1e-12);
+        let ranked = keywords_by_member_frequency(&g, &[community]);
+        assert_eq!(ranked[0].0, x, "x is carried by everyone");
+        assert!(ranked.iter().any(|&(kw, _)| kw == w));
+        assert_eq!(member_frequency(&g, &[], x), 0.0);
+    }
+
+    #[test]
+    fn distinct_keywords_and_size() {
+        let g = paper_figure3_graph();
+        let community = by_labels(&g, &["A", "B", "C", "D"]);
+        // Keywords: w, x, y, z? D has z -> {w, x, y, z}.
+        assert_eq!(distinct_keywords(&g, &[community.clone()]), 4);
+        assert_eq!(average_size(&[community, by_labels(&g, &["H", "I"])]), 3.0);
+        assert_eq!(average_size(&[]), 0.0);
+        assert_eq!(distinct_keywords(&g, &[]), 0);
+    }
+
+    #[test]
+    fn structural_cohesion_of_clique_vs_loose_cluster() {
+        let g = paper_figure3_graph();
+        let clique = by_labels(&g, &["A", "B", "C", "D"]);
+        let loose = by_labels(&g, &["E", "F", "G", "H"]);
+        let tight = structural_cohesion(&g, &[clique], 3);
+        assert!((tight.average_degree - 3.0).abs() < 1e-12);
+        assert!((tight.fraction_with_min_degree - 1.0).abs() < 1e-12);
+        let weak = structural_cohesion(&g, &[loose], 3);
+        assert!(weak.average_degree < 2.0);
+        assert_eq!(weak.fraction_with_min_degree, 0.0);
+        let empty = structural_cohesion(&g, &[], 3);
+        assert_eq!(empty.average_degree, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod sampling_tests {
+    use super::*;
+    use acq_graph::paper_figure3_graph;
+
+    #[test]
+    fn cpj_sampling_matches_exact_value_on_homogeneous_large_community() {
+        // A large community of identical keyword sets has CPJ exactly 1.0, with
+        // or without sampling.
+        let g = paper_figure3_graph();
+        let a = g.vertex_by_label("A").unwrap();
+        let big: Community = std::iter::repeat(a).take(CPJ_EXACT_LIMIT * 3).collect();
+        let value = cpj(&g, &[big]);
+        assert!((value - 1.0).abs() < 1e-9);
+    }
+}

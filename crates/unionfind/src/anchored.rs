@@ -1,0 +1,199 @@
+//! The Anchored Union-Find (AUF) of the paper's Appendix D.
+
+use crate::union_find::UnionFind;
+
+/// A union-find forest in which every root carries an **anchor vertex**.
+///
+/// Definition 3 of the paper: for a connected subgraph the anchor vertex is
+/// the member with the minimum core number. The `advanced` CL-tree
+/// construction processes vertices from the highest core number downwards;
+/// whenever it links a freshly created CL-tree node to the component of an
+/// already-processed neighbour, the component's anchor tells it *which*
+/// existing CL-tree node is the correct child (the one whose core number is
+/// closest from above).
+///
+/// The structure mirrors Algorithm 8 of the paper: `MAKESET`, `FIND`, `UNION`
+/// are the classic operations, and `UPDATEANCHOR(x, core, y)` replaces the
+/// anchor of `x`'s root by `y` whenever `y` has a smaller core number.
+#[derive(Debug, Clone)]
+pub struct AnchoredUnionFind {
+    inner: UnionFind,
+    anchor: Vec<usize>,
+}
+
+impl AnchoredUnionFind {
+    /// Creates `n` singleton sets; each element starts as its own anchor.
+    pub fn new(n: usize) -> Self {
+        Self { inner: UnionFind::new(n), anchor: (0..n).collect() }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the forest is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Number of disjoint sets.
+    pub fn num_components(&self) -> usize {
+        self.inner.num_components()
+    }
+
+    /// Representative of the set containing `x` (with path compression).
+    pub fn find(&mut self, x: usize) -> usize {
+        self.inner.find(x)
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.inner.connected(a, b)
+    }
+
+    /// Merges the sets of `a` and `b`, keeping the anchor with the smaller
+    /// core number on the surviving root.
+    ///
+    /// The paper's Algorithm 8 leaves the anchor of the surviving root
+    /// untouched and relies on explicit `UPDATEANCHOR` calls; we preserve that
+    /// behaviour when `core_numbers` is not supplied (see [`Self::union`]) and offer
+    /// this safer variant for callers that have the core array at hand.
+    pub fn union_with_cores(&mut self, a: usize, b: usize, core_numbers: &[u32]) -> Option<usize> {
+        let anchor_a = self.anchor_of_element(a);
+        let anchor_b = self.anchor_of_element(b);
+        let winner = self.inner.union(a, b)?;
+        let best = if core_numbers[anchor_a] <= core_numbers[anchor_b] { anchor_a } else { anchor_b };
+        self.anchor[winner] = best;
+        Some(winner)
+    }
+
+    /// Merges the sets of `a` and `b` exactly as the paper's `UNION` does: the
+    /// surviving root keeps its own anchor. Callers are expected to invoke
+    /// [`update_anchor`](Self::update_anchor) afterwards, as Algorithm 9 does.
+    pub fn union(&mut self, a: usize, b: usize) -> Option<usize> {
+        let anchor_a = self.anchor_of_element(a);
+        let anchor_b = self.anchor_of_element(b);
+        let ra = self.inner.find(a);
+        let winner = self.inner.union(a, b)?;
+        // The surviving root keeps the anchor it already had.
+        let kept = if winner == ra { anchor_a } else { anchor_b };
+        self.anchor[winner] = kept;
+        Some(winner)
+    }
+
+    /// The paper's `UPDATEANCHOR(x, coreG[], y)`: if `y`'s core number is
+    /// smaller than the core number of the anchor of `x`'s root, `y` becomes
+    /// the new anchor.
+    pub fn update_anchor(&mut self, x: usize, core_numbers: &[u32], y: usize) {
+        let root = self.inner.find(x);
+        let current = self.anchor[root];
+        if core_numbers[y] < core_numbers[current]
+            || (core_numbers[y] == core_numbers[current] && y < current)
+        {
+            self.anchor[root] = y;
+        }
+    }
+
+    /// Anchor of the set whose **root** is `root` (no path compression).
+    pub fn anchor_of(&self, root: usize) -> usize {
+        self.anchor[root]
+    }
+
+    /// Anchor of the set containing the arbitrary element `x`.
+    pub fn anchor_of_element(&mut self, x: usize) -> usize {
+        let root = self.inner.find(x);
+        self.anchor[root]
+    }
+
+    /// Read-only anchor lookup (no path compression).
+    pub fn anchor_of_element_immutable(&self, x: usize) -> usize {
+        self.anchor[self.inner.find_immutable(x)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_sets_are_their_own_anchor() {
+        let mut auf = AnchoredUnionFind::new(4);
+        for i in 0..4 {
+            assert_eq!(auf.anchor_of_element(i), i);
+        }
+        assert_eq!(auf.len(), 4);
+        assert!(!auf.is_empty());
+        assert_eq!(auf.num_components(), 4);
+    }
+
+    #[test]
+    fn update_anchor_prefers_smaller_core() {
+        // cores: v0=3, v1=1, v2=2
+        let cores = vec![3, 1, 2];
+        let mut auf = AnchoredUnionFind::new(3);
+        auf.union(0, 2);
+        auf.update_anchor(0, &cores, 0);
+        auf.update_anchor(0, &cores, 2);
+        assert_eq!(auf.anchor_of_element(0), 2, "core 2 < core 3");
+        auf.union(0, 1);
+        auf.update_anchor(0, &cores, 1);
+        assert_eq!(auf.anchor_of_element(2), 1, "core 1 is the minimum");
+    }
+
+    #[test]
+    fn update_anchor_keeps_current_on_larger_core() {
+        let cores = vec![1, 5];
+        let mut auf = AnchoredUnionFind::new(2);
+        auf.union(0, 1);
+        auf.update_anchor(0, &cores, 0);
+        auf.update_anchor(0, &cores, 1);
+        assert_eq!(auf.anchor_of_element(1), 0);
+    }
+
+    #[test]
+    fn union_with_cores_merges_anchors_automatically() {
+        let cores = vec![4, 2, 3, 1];
+        let mut auf = AnchoredUnionFind::new(4);
+        auf.union_with_cores(0, 1, &cores);
+        assert_eq!(auf.anchor_of_element(0), 1);
+        auf.union_with_cores(2, 3, &cores);
+        assert_eq!(auf.anchor_of_element(2), 3);
+        auf.union_with_cores(0, 3, &cores);
+        assert_eq!(auf.anchor_of_element(1), 3, "core 1 wins overall");
+    }
+
+    #[test]
+    fn paper_example3_anchor_behaviour() {
+        // Figure 5 of the paper: when the k=2 node is created, the component
+        // {A,B,C,D,E} (cores 3,3,3,3,2) must be anchored at E, so that the k=1
+        // node p4 can find its child p3 through E.
+        // Vertex mapping: A=0, B=1, C=2, D=3, E=4.
+        let cores = vec![3, 3, 3, 3, 2];
+        let mut auf = AnchoredUnionFind::new(5);
+        // k=3: clique A,B,C,D is unioned first.
+        for &(a, b) in &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)] {
+            auf.union(a, b);
+            auf.update_anchor(a, &cores, a);
+            auf.update_anchor(a, &cores, b);
+        }
+        assert_eq!(cores[auf.anchor_of_element(0)], 3);
+        // k=2: E joins via edges to A and D.
+        for &(a, b) in &[(4, 0), (4, 3)] {
+            auf.union(a, b);
+            auf.update_anchor(a, &cores, a);
+            auf.update_anchor(a, &cores, b);
+        }
+        assert_eq!(auf.anchor_of_element(0), 4, "anchor moved to E (core 2)");
+    }
+
+    #[test]
+    fn immutable_anchor_lookup_matches() {
+        let cores = vec![2, 1, 3];
+        let mut auf = AnchoredUnionFind::new(3);
+        auf.union(0, 1);
+        auf.update_anchor(0, &cores, 1);
+        let a = auf.anchor_of_element(0);
+        assert_eq!(auf.anchor_of_element_immutable(0), a);
+    }
+}

@@ -1,0 +1,174 @@
+//! # acq-unionfind
+//!
+//! Disjoint-set (union-find) forests, including the paper's **Anchored
+//! Union-Find** (AUF) extension used by the `advanced` CL-tree construction
+//! algorithm (Section 5.2.2 and Appendix D of Fang et al., PVLDB 2016).
+//!
+//! The classic structure maintains connected components under edge insertion
+//! with near-constant amortised cost (union by rank + path compression,
+//! `O(α(n))` per operation). The AUF additionally attaches an **anchor
+//! vertex** to every tree root: the member of the component whose core number
+//! is smallest among the vertices it has been updated with. During the
+//! bottom-up CL-tree build the anchor identifies, for each already-built
+//! component, the CL-tree node that must become a child of the node currently
+//! being created.
+
+#![warn(missing_docs)]
+
+mod anchored;
+mod union_find;
+
+pub use anchored::AnchoredUnionFind;
+pub use union_find::UnionFind;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    /// A brute-force connectivity oracle over an explicit edge list.
+    fn oracle_components(n: usize, edges: &[(usize, usize)]) -> Vec<usize> {
+        let mut comp: Vec<usize> = (0..n).collect();
+        loop {
+            let mut changed = false;
+            for &(a, b) in edges {
+                let (ca, cb) = (comp[a], comp[b]);
+                if ca != cb {
+                    let target = ca.min(cb);
+                    let source = ca.max(cb);
+                    for c in comp.iter_mut() {
+                        if *c == source {
+                            *c = target;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        comp
+    }
+
+    proptest! {
+        #[test]
+        fn union_find_matches_oracle(
+            n in 1usize..40,
+            raw_edges in proptest::collection::vec((0usize..40, 0usize..40), 0..80)
+        ) {
+            let edges: Vec<(usize, usize)> =
+                raw_edges.into_iter().map(|(a, b)| (a % n, b % n)).collect();
+            let mut uf = UnionFind::new(n);
+            for &(a, b) in &edges {
+                uf.union(a, b);
+            }
+            let oracle = oracle_components(n, &edges);
+            for a in 0..n {
+                for b in 0..n {
+                    prop_assert_eq!(
+                        uf.find(a) == uf.find(b),
+                        oracle[a] == oracle[b],
+                        "connectivity of {} and {}", a, b
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn union_find_component_sizes_sum_to_n(
+            n in 1usize..40,
+            raw_edges in proptest::collection::vec((0usize..40, 0usize..40), 0..80)
+        ) {
+            let mut uf = UnionFind::new(n);
+            for (a, b) in raw_edges {
+                uf.union(a % n, b % n);
+            }
+            let mut sizes: HashMap<usize, usize> = HashMap::new();
+            for v in 0..n {
+                *sizes.entry(uf.find(v)).or_default() += 1;
+            }
+            prop_assert_eq!(sizes.values().sum::<usize>(), n);
+            prop_assert_eq!(sizes.len(), uf.num_components());
+        }
+
+        #[test]
+        fn union_with_cores_keeps_minimum_core_anchor(
+            n in 1usize..30,
+            raw_edges in proptest::collection::vec((0usize..30, 0usize..30), 1..60),
+            cores in proptest::collection::vec(0u32..6, 30)
+        ) {
+            let edges: Vec<(usize, usize)> =
+                raw_edges.into_iter().map(|(a, b)| (a % n, b % n)).collect();
+            let cores = &cores[..n];
+            let mut auf = AnchoredUnionFind::new(n);
+            for &(a, b) in &edges {
+                if a != b {
+                    auf.union_with_cores(a, b, cores);
+                }
+            }
+            let mut by_root: HashMap<usize, Vec<usize>> = HashMap::new();
+            for v in 0..n {
+                by_root.entry(auf.find(v)).or_default().push(v);
+            }
+            for (root, members) in by_root {
+                let anchor = auf.anchor_of(root);
+                prop_assert!(members.contains(&anchor), "anchor must stay in its component");
+                let min_core = members.iter().map(|&m| cores[m]).min().unwrap();
+                prop_assert_eq!(
+                    cores[anchor], min_core,
+                    "anchor core must equal the minimum core of the component"
+                );
+            }
+        }
+
+        /// The paper's `UNION` + `UPDATEANCHOR` discipline: when components are
+        /// merged while vertices are processed in descending core order (as
+        /// Algorithm 9 does), the anchor of every multi-vertex component ends
+        /// up on a member with the minimum core number.
+        #[test]
+        fn descending_core_processing_yields_min_core_anchor(
+            n in 2usize..30,
+            raw_edges in proptest::collection::vec((0usize..30, 0usize..30), 1..60),
+            cores in proptest::collection::vec(0u32..6, 30)
+        ) {
+            let mut edges: Vec<(usize, usize)> = raw_edges
+                .into_iter()
+                .map(|(a, b)| (a % n, b % n))
+                .filter(|(a, b)| a != b)
+                .collect();
+            let cores = &cores[..n];
+            // Algorithm 9 examines an edge when its lower-core endpoint is
+            // processed, i.e. edges in descending order of min(core).
+            edges.sort_by_key(|&(a, b)| std::cmp::Reverse(cores[a].min(cores[b])));
+            let mut auf = AnchoredUnionFind::new(n);
+            let mut touched = vec![false; n];
+            for &(a, b) in &edges {
+                auf.union(a, b);
+                auf.update_anchor(a, cores, a);
+                auf.update_anchor(a, cores, b);
+                touched[a] = true;
+                touched[b] = true;
+            }
+            let mut by_root: HashMap<usize, Vec<usize>> = HashMap::new();
+            for v in 0..n {
+                by_root.entry(auf.find(v)).or_default().push(v);
+            }
+            for (root, members) in by_root {
+                if members.len() < 2 {
+                    continue;
+                }
+                let anchor = auf.anchor_of(root);
+                prop_assert!(members.contains(&anchor));
+                let min_core = members
+                    .iter()
+                    .filter(|&&m| touched[m])
+                    .map(|&m| cores[m])
+                    .min()
+                    .unwrap();
+                prop_assert_eq!(cores[anchor], min_core);
+            }
+        }
+    }
+}

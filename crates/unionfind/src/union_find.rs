@@ -1,0 +1,154 @@
+//! Classic disjoint-set forest with union by rank and path compression.
+
+/// A disjoint-set forest over the elements `0..n`.
+///
+/// `find` and `union` run in `O(α(n))` amortised time, where `α` is the
+/// inverse Ackermann function (below 5 for every practical input, as the
+/// paper notes when analysing the `advanced` CL-tree construction).
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates a forest of `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self { parent: (0..n).collect(), rank: vec![0; n], components: n }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the forest is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets currently in the forest.
+    pub fn num_components(&self) -> usize {
+        self.components
+    }
+
+    /// Returns the representative of the set containing `x`, compressing the
+    /// path along the way.
+    pub fn find(&mut self, x: usize) -> usize {
+        debug_assert!(x < self.parent.len(), "element {x} out of range");
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression: point every vertex on the path directly at root.
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Read-only find (no path compression); useful when `&mut self` is not
+    /// available.
+    pub fn find_immutable(&self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        root
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Merges the sets containing `a` and `b`. Returns the representative of
+    /// the merged set, or `None` if they were already in the same set.
+    pub fn union(&mut self, a: usize, b: usize) -> Option<usize> {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return None;
+        }
+        self.components -= 1;
+        let winner = match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => {
+                self.parent[ra] = rb;
+                rb
+            }
+            std::cmp::Ordering::Greater => {
+                self.parent[rb] = ra;
+                ra
+            }
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+                ra
+            }
+        };
+        Some(winner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_are_their_own_representatives() {
+        let mut uf = UnionFind::new(5);
+        for i in 0..5 {
+            assert_eq!(uf.find(i), i);
+        }
+        assert_eq!(uf.num_components(), 5);
+        assert_eq!(uf.len(), 5);
+        assert!(!uf.is_empty());
+        assert!(UnionFind::new(0).is_empty());
+    }
+
+    #[test]
+    fn union_merges_components() {
+        let mut uf = UnionFind::new(6);
+        assert!(uf.union(0, 1).is_some());
+        assert!(uf.union(2, 3).is_some());
+        assert!(!uf.connected(0, 2));
+        assert!(uf.union(1, 3).is_some());
+        assert!(uf.connected(0, 2));
+        assert_eq!(uf.num_components(), 3, "{{0,1,2,3}}, {{4}}, {{5}}");
+    }
+
+    #[test]
+    fn union_of_same_set_returns_none() {
+        let mut uf = UnionFind::new(3);
+        uf.union(0, 1);
+        assert_eq!(uf.union(1, 0), None);
+        assert_eq!(uf.num_components(), 2);
+    }
+
+    #[test]
+    fn find_immutable_agrees_with_find() {
+        let mut uf = UnionFind::new(10);
+        for i in 0..9 {
+            uf.union(i, i + 1);
+        }
+        let root = uf.find(0);
+        for i in 0..10 {
+            assert_eq!(uf.find_immutable(i), root);
+        }
+    }
+
+    #[test]
+    fn long_chain_is_compressed() {
+        // Build a long chain and make sure find still works at both ends.
+        let n = 10_000;
+        let mut uf = UnionFind::new(n);
+        for i in 0..n - 1 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.num_components(), 1);
+        assert!(uf.connected(0, n - 1));
+    }
+}

@@ -1,0 +1,96 @@
+//! The DBLP case study of the paper (Figures 2, 10 and 18): personalised
+//! research communities around two prolific authors.
+//!
+//! The example runs on the hand-crafted co-authorship graph of
+//! `acq_datagen::case_study` (a stand-in for DBLP, see DESIGN.md) and shows
+//! how different query keyword sets `S` pull out different communities for
+//! the same author, how the AC compares with the structure-only k-core, and
+//! how the Variant 1 / Variant 2 queries behave.
+//!
+//! ```text
+//! cargo run --example researcher_communities
+//! ```
+
+use attributed_community_search::baselines::global_community;
+use attributed_community_search::datagen::case_study::{self, themes};
+use attributed_community_search::metrics;
+use attributed_community_search::prelude::*;
+
+fn print_result(graph: &AttributedGraph, heading: &str, result: &AcqResult) {
+    println!("\n{heading}");
+    if result.communities.is_empty() {
+        println!("  (no community satisfies the constraints)");
+        return;
+    }
+    for community in &result.communities {
+        println!(
+            "  {} members, AC-label {:?}",
+            community.len(),
+            community.label_terms(graph)
+        );
+        println!("    {}", community.member_names(graph).join(", "));
+    }
+}
+
+fn main() {
+    let graph = case_study::case_study_graph();
+    let engine = AcqEngine::new(&graph);
+    let k = 4;
+
+    // ------------------------------------------------------------------ Jim
+    let jim = case_study::author_vertex(&graph, case_study::CaseStudyAuthor::JimGray);
+    println!("== Jim Gray (k = {k}) ==");
+    println!("keywords of the query vertex: {:?}", graph.keyword_terms(jim));
+
+    // Figure 2(a): the database-systems side of Jim's collaborations.
+    let db_query = AcqQuery::with_keyword_terms(&graph, jim, k, themes::DATABASE);
+    print_result(&graph, "S = {transaction, data, management, system, research}:",
+        &engine.query(&db_query).unwrap());
+
+    // Figure 2(b): the Sloan Digital Sky Survey side.
+    let sdss_query = AcqQuery::with_keyword_terms(&graph, jim, k, themes::SDSS);
+    print_result(&graph, "S = {sloan, digital, sky, survey, sdss}:",
+        &engine.query(&sdss_query).unwrap());
+
+    // What a keyword-oblivious method returns instead: one big k-core.
+    let kcore = global_community(&graph, jim, k).expect("Jim sits in a 4-core");
+    let distinct = metrics::distinct_keywords(
+        &graph,
+        &[kcore.sorted_members()],
+    );
+    println!(
+        "\nGlobal (structure only): {} members, {} distinct keywords — hard to interpret",
+        kcore.len(),
+        distinct
+    );
+
+    // --------------------------------------------------------------- Jiawei
+    let han = case_study::author_vertex(&graph, case_study::CaseStudyAuthor::JiaweiHan);
+    println!("\n== Jiawei Han (k = {k}) ==");
+
+    // Figure 10(a): graph-analysis collaborators.
+    let analysis = AcqQuery::with_keyword_terms(&graph, han, k, themes::GRAPH_ANALYSIS);
+    print_result(&graph, "S = {analysis, mine, data, information, network}:",
+        &engine.query(&analysis).unwrap());
+
+    // Figure 10(b): pattern-mining collaborators.
+    let pattern = AcqQuery::with_keyword_terms(&graph, han, k, themes::PATTERN_MINING);
+    print_result(&graph, "S = {mine, data, pattern, database}:",
+        &engine.query(&pattern).unwrap());
+
+    // ------------------------------------------------ Variants (Figure 18)
+    println!("\n== Variants (Jiawei Han) ==");
+    let stream_kw: Vec<KeywordId> = themes::STREAM
+        .iter()
+        .filter_map(|t| graph.dictionary().get(t))
+        .collect();
+    let v1 = engine
+        .query_variant1(&Variant1Query { vertex: han, k, keywords: stream_kw.clone() })
+        .unwrap();
+    print_result(&graph, "Variant 1 — every member must contain {stream, classification, data, mine}:", &v1);
+
+    let v2 = engine
+        .query_variant2(&Variant2Query { vertex: han, k, keywords: stream_kw, theta: 0.6 })
+        .unwrap();
+    print_result(&graph, "Variant 2 — every member must contain >= 60% of those keywords:", &v2);
+}

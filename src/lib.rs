@@ -1,0 +1,65 @@
+//! # attributed-community-search
+//!
+//! A from-scratch Rust reproduction of **“Effective Community Search for Large
+//! Attributed Graphs”** (Fang, Cheng, Luo, Hu — PVLDB 9(12), 2016): the
+//! attributed community query (ACQ), the CL-tree index, the paper's query
+//! algorithms, its baselines and its full experimental evaluation.
+//!
+//! This crate is a thin façade: it re-exports the workspace crates under one
+//! namespace so that applications can depend on a single package.
+//!
+//! | Module | Contents |
+//! |--------|----------|
+//! | [`graph`] | attributed graph store, keyword interning, subsets, I/O |
+//! | [`kcore`] | core decomposition, k-ĉore extraction, core maintenance |
+//! | [`unionfind`] | union-find and the Anchored Union-Find |
+//! | [`fpm`] | Apriori and FP-Growth frequent-itemset mining |
+//! | [`cltree`] | the CL-tree index (basic/advanced construction, maintenance) |
+//! | [`acq`] | the ACQ problem, the `basic-g`/`basic-w`/`Inc-S`/`Inc-T`/`Dec` algorithms, variants, and [`AcqEngine`](acq::AcqEngine) |
+//! | [`baselines`] | Global, Local, CODICIL-style detection, star-pattern GPM |
+//! | [`metrics`] | CMF, CPJ, MF and structural cohesion measures |
+//! | [`datagen`] | synthetic dataset profiles, generator, workloads, case study |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use attributed_community_search::prelude::*;
+//!
+//! // The running example of the paper (Figure 3).
+//! let graph = paper_figure3_graph();
+//! let engine = AcqEngine::new(&graph);
+//! let q = graph.vertex_by_label("A").unwrap();
+//!
+//! // "Find the community of A in which everyone has degree >= 2 and shares
+//! //  as many of A's keywords as possible."
+//! let result = engine.query(&AcqQuery::new(q, 2)).unwrap();
+//! let ac = &result.communities[0];
+//! assert_eq!(ac.member_names(&graph), vec!["A", "C", "D"]);
+//! assert_eq!(ac.label_terms(&graph), vec!["x", "y"]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use acq_core as acq;
+pub use acq_baselines as baselines;
+pub use acq_cltree as cltree;
+pub use acq_datagen as datagen;
+pub use acq_fpm as fpm;
+pub use acq_graph as graph;
+pub use acq_kcore as kcore;
+pub use acq_metrics as metrics;
+pub use acq_unionfind as unionfind;
+
+/// The most commonly used items, importable with a single `use`.
+pub mod prelude {
+    pub use acq_cltree::{build_advanced, build_basic, ClTree};
+    pub use acq_core::{
+        AcqAlgorithm, AcqEngine, AcqQuery, AcqResult, AttributedCommunity, Variant1Query,
+        Variant2Query,
+    };
+    pub use acq_graph::{
+        paper_figure3_graph, AttributedGraph, GraphBuilder, KeywordId, KeywordSet, VertexId,
+        VertexSubset,
+    };
+    pub use acq_kcore::CoreDecomposition;
+}

@@ -1,0 +1,187 @@
+//! End-to-end integration tests spanning all workspace crates: dataset
+//! generation → index construction → queries → metrics, checked against the
+//! problem definition and against independent implementations.
+
+use attributed_community_search::baselines::{global_community, local_community};
+use attributed_community_search::cltree::{build_advanced, build_basic};
+use attributed_community_search::datagen;
+use attributed_community_search::kcore::CoreDecomposition;
+use attributed_community_search::metrics;
+use attributed_community_search::prelude::*;
+
+fn generated_graph() -> AttributedGraph {
+    datagen::generate(&datagen::tiny())
+}
+
+#[test]
+fn full_pipeline_on_generated_dataset() {
+    let graph = generated_graph();
+    let engine = AcqEngine::new(&graph);
+    let decomposition = engine.index().decomposition();
+    let queries = datagen::select_query_vertices(&graph, decomposition, 20, 4, 1);
+    assert!(!queries.is_empty(), "the tiny profile must support k=4 queries");
+
+    for &q in &queries {
+        let query = AcqQuery::new(q, 4);
+        let result = engine.query(&query).expect("valid query");
+        for community in &result.communities {
+            // Problem 1: connectivity, membership of q, minimum degree, shared label.
+            let subset =
+                VertexSubset::from_iter(graph.num_vertices(), community.vertices.iter().copied());
+            assert!(subset.contains(q));
+            assert!(subset.is_connected(&graph));
+            for &v in &community.vertices {
+                assert!(subset.degree_within(&graph, v) >= 4);
+                for &kw in &community.label {
+                    assert!(graph.keyword_set(v).contains(kw));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn all_algorithms_agree_on_generated_dataset() {
+    let graph = generated_graph();
+    let engine = AcqEngine::new(&graph);
+    let queries =
+        datagen::select_query_vertices(&graph, engine.index().decomposition(), 10, 4, 2);
+    for &q in &queries {
+        let query = AcqQuery::new(q, 4);
+        let reference = engine.query_with(&query, AcqAlgorithm::BasicG).unwrap().canonical();
+        for algorithm in AcqAlgorithm::ALL {
+            let result = engine.query_with(&query, algorithm).unwrap();
+            assert_eq!(result.canonical(), reference, "algorithm {}", algorithm.name());
+        }
+    }
+}
+
+#[test]
+fn both_index_builders_agree_on_generated_dataset() {
+    let graph = generated_graph();
+    let basic = build_basic(&graph, true);
+    let advanced = build_advanced(&graph, true);
+    basic.validate(&graph).unwrap();
+    advanced.validate(&graph).unwrap();
+    assert_eq!(basic.canonical_form(), advanced.canonical_form());
+}
+
+#[test]
+fn acq_is_contained_in_the_kcore_and_more_cohesive() {
+    let graph = generated_graph();
+    let engine = AcqEngine::new(&graph);
+    let queries =
+        datagen::select_query_vertices(&graph, engine.index().decomposition(), 15, 4, 3);
+    let mut acq_cmf = Vec::new();
+    let mut global_cmf = Vec::new();
+    for &q in &queries {
+        let result = engine.query(&AcqQuery::new(q, 4)).unwrap();
+        let Some(kcore) = global_community(&graph, q, 4) else { continue };
+        let wq: Vec<KeywordId> = graph.keyword_set(q).iter().collect();
+        for community in &result.communities {
+            // The AC is a subgraph of the k-ĉore containing q.
+            for &v in &community.vertices {
+                assert!(kcore.contains(v), "AC member outside the k-ĉore");
+            }
+        }
+        if result.label_size > 0 {
+            let acq_communities: Vec<Vec<VertexId>> =
+                result.communities.iter().map(|c| c.vertices.clone()).collect();
+            acq_cmf.push(metrics::cmf(&graph, &acq_communities, &wq));
+            global_cmf.push(metrics::cmf(&graph, &[kcore.sorted_members()], &wq));
+        }
+    }
+    assert!(!acq_cmf.is_empty(), "at least some queries must produce labelled ACs");
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    assert!(
+        mean(&acq_cmf) >= mean(&global_cmf),
+        "ACQ keyword cohesion {:.3} should not be below the plain k-core's {:.3}",
+        mean(&acq_cmf),
+        mean(&global_cmf)
+    );
+}
+
+#[test]
+fn local_and_global_baselines_agree_on_existence() {
+    let graph = generated_graph();
+    let decomposition = CoreDecomposition::compute(&graph);
+    let queries = datagen::select_query_vertices(&graph, &decomposition, 20, 1, 4);
+    for &q in &queries {
+        for k in 2..=5usize {
+            let g = global_community(&graph, q, k);
+            let l = local_community(&graph, q, k);
+            assert_eq!(g.is_some(), l.is_some(), "q={q:?} k={k}");
+            if let (Some(g), Some(l)) = (g, l) {
+                for v in l.iter() {
+                    assert!(g.contains(v), "Local must be contained in Global");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn index_survives_serialisation_and_maintenance_roundtrip() {
+    let graph = generated_graph();
+    let index = build_advanced(&graph, true);
+    // Serialise and restore.
+    let json = serde_json::to_string(&index).expect("serialisable");
+    let restored: ClTree = serde_json::from_str(&json).expect("deserialisable");
+    restored.validate(&graph).unwrap();
+
+    // Apply an edge update to the restored index and compare with a rebuild.
+    let u = VertexId(0);
+    let v = graph
+        .vertices()
+        .find(|&v| v != u && !graph.has_edge(u, v))
+        .expect("some non-adjacent pair exists");
+    let updated_graph = graph.with_edge_inserted(u, v).unwrap();
+    let maintained = attributed_community_search::cltree::maintenance::apply_edge_insertion(
+        &restored,
+        &updated_graph,
+        u,
+        v,
+    );
+    maintained.validate(&updated_graph).unwrap();
+    assert_eq!(
+        maintained.canonical_form(),
+        build_advanced(&updated_graph, true).canonical_form()
+    );
+}
+
+#[test]
+fn graph_io_roundtrip_preserves_query_results() {
+    let graph = generated_graph();
+    let mut edges = Vec::new();
+    let mut keywords = Vec::new();
+    attributed_community_search::graph::io::write_text(&graph, &mut edges, &mut keywords).unwrap();
+    let reloaded =
+        attributed_community_search::graph::io::read_text(edges.as_slice(), keywords.as_slice())
+            .unwrap();
+    assert_eq!(reloaded.num_vertices(), graph.num_vertices());
+    assert_eq!(reloaded.num_edges(), graph.num_edges());
+
+    // Query the same (relabelled) vertex in both graphs and compare answers by
+    // member label.
+    let engine_a = AcqEngine::new(&graph);
+    let engine_b = AcqEngine::new(&reloaded);
+    let q_a = datagen::select_query_vertices(&graph, engine_a.index().decomposition(), 1, 4, 5)
+        .into_iter()
+        .next()
+        .expect("workload non-empty");
+    let label = graph.label(q_a).unwrap();
+    let q_b = reloaded.vertex_by_label(label).unwrap();
+    let result_a = engine_a.query(&AcqQuery::new(q_a, 4)).unwrap();
+    let result_b = engine_b.query(&AcqQuery::new(q_b, 4)).unwrap();
+    assert_eq!(result_a.label_size, result_b.label_size);
+    let names = |graph: &AttributedGraph, r: &AcqResult| -> Vec<Vec<String>> {
+        let mut all: Vec<Vec<String>> =
+            r.communities.iter().map(|c| c.member_names(graph)).collect();
+        for names in &mut all {
+            names.sort();
+        }
+        all.sort();
+        all
+    };
+    assert_eq!(names(&graph, &result_a), names(&reloaded, &result_b));
+}

@@ -1,0 +1,127 @@
+//! Property-based integration tests on *generated* datasets (as opposed to the
+//! purely random graphs used by the per-crate property tests): algorithm
+//! equivalence, label maximality, and the monotonicity properties of the
+//! problem variants.
+
+use attributed_community_search::datagen;
+use attributed_community_search::prelude::*;
+use proptest::prelude::*;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One generated graph is shared by all cases (generation dominates runtime);
+/// proptest varies the query vertex, k and the keyword subset.
+fn shared_graph() -> &'static AttributedGraph {
+    use std::sync::OnceLock;
+    static GRAPH: OnceLock<AttributedGraph> = OnceLock::new();
+    GRAPH.get_or_init(|| datagen::generate(&datagen::tiny()))
+}
+
+fn shared_engine() -> &'static AcqEngine<'static> {
+    use std::sync::OnceLock;
+    static ENGINE: OnceLock<AcqEngine<'static>> = OnceLock::new();
+    ENGINE.get_or_init(|| AcqEngine::new(shared_graph()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// All seven algorithm variants return identical community sets for
+    /// arbitrary queries against the generated dataset.
+    #[test]
+    fn algorithms_agree_on_generated_graph(
+        vertex_pick in 0usize..1000,
+        k in 1usize..6,
+        keyword_subset_seed in 0u64..1000,
+    ) {
+        let graph = shared_graph();
+        let engine = shared_engine();
+        let q = VertexId::from_index(vertex_pick % graph.num_vertices());
+        // Random subset of W(q) as S (possibly empty -> behaves like label-less).
+        let wq: Vec<KeywordId> = graph.keyword_set(q).iter().collect();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(keyword_subset_seed);
+        let take = if wq.is_empty() { 0 } else { keyword_subset_seed as usize % (wq.len() + 1) };
+        let s: Vec<KeywordId> = wq.choose_multiple(&mut rng, take).copied().collect();
+        let query = if s.is_empty() {
+            AcqQuery::new(q, k)
+        } else {
+            AcqQuery::with_keywords(q, k, s)
+        };
+        let reference = engine.query_with(&query, AcqAlgorithm::BasicG).unwrap().canonical();
+        for algorithm in AcqAlgorithm::ALL {
+            let result = engine.query_with(&query, algorithm).unwrap();
+            prop_assert_eq!(result.canonical(), reference.clone(), "{}", algorithm.name());
+        }
+    }
+
+    /// Variant 2 monotonicity: raising θ never enlarges the community, and
+    /// θ = 1.0 coincides with Variant 1 on the same keyword set.
+    #[test]
+    fn variant2_is_monotone_in_theta(
+        vertex_pick in 0usize..1000,
+        k in 1usize..5,
+    ) {
+        let graph = shared_graph();
+        let engine = shared_engine();
+        let q = VertexId::from_index(vertex_pick % graph.num_vertices());
+        let keywords: Vec<KeywordId> = graph.keyword_set(q).iter().take(4).collect();
+        if keywords.is_empty() {
+            return Ok(());
+        }
+        let mut previous_size: Option<usize> = None;
+        for theta in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let result = engine
+                .query_variant2(&Variant2Query { vertex: q, k, keywords: keywords.clone(), theta })
+                .unwrap();
+            let size = result.communities.first().map(AttributedCommunity::len);
+            if let (Some(prev), Some(now)) = (previous_size, size) {
+                prop_assert!(now <= prev, "θ increased but the community grew: {prev} -> {now}");
+            }
+            if size.is_some() {
+                previous_size = size;
+            } else {
+                // Once the community disappears it must stay gone for larger θ.
+                previous_size = Some(0);
+            }
+        }
+        // θ = 1.0 equals Variant 1.
+        let v2 = engine
+            .query_variant2(&Variant2Query { vertex: q, k, keywords: keywords.clone(), theta: 1.0 })
+            .unwrap();
+        let v1 = engine
+            .query_variant1(&Variant1Query { vertex: q, k, keywords })
+            .unwrap();
+        prop_assert_eq!(
+            v2.communities.first().map(|c| c.vertices.clone()),
+            v1.communities.first().map(|c| c.vertices.clone())
+        );
+    }
+
+    /// The k-monotonicity of the AC: for the same query, increasing k can only
+    /// shrink (or eliminate) each returned community's vertex pool, because a
+    /// (k+1)-core is contained in a k-core. We check the weaker, well-defined
+    /// consequence: the size of the largest returned community is
+    /// non-increasing in k whenever the AC-label stays the same.
+    #[test]
+    fn community_size_shrinks_with_k_for_fixed_label(vertex_pick in 0usize..1000) {
+        let graph = shared_graph();
+        let engine = shared_engine();
+        let q = VertexId::from_index(vertex_pick % graph.num_vertices());
+        let mut previous: Option<(usize, Vec<KeywordId>)> = None;
+        for k in 1..=5usize {
+            let result = engine.query(&AcqQuery::new(q, k)).unwrap();
+            let Some(largest) = result.communities.iter().map(AttributedCommunity::len).max()
+            else {
+                break;
+            };
+            let label = result.communities[0].label.clone();
+            if let Some((prev_size, prev_label)) = &previous {
+                if *prev_label == label {
+                    prop_assert!(largest <= *prev_size,
+                        "k went up but the community grew: {prev_size} -> {largest}");
+                }
+            }
+            previous = Some((largest, label));
+        }
+    }
+}
