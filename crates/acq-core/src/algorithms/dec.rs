@@ -52,9 +52,7 @@ pub fn dec_with_miner(
         share_count.push((v, graph.keyword_set(v).intersection_size(&s)));
     }
 
-    let fallback = || {
-        Some(VertexSubset::from_iter(graph.num_vertices(), subtree.iter().copied()))
-    };
+    let fallback = || Some(VertexSubset::from_iter(graph.num_vertices(), subtree.iter().copied()));
 
     let h = candidates_by_size.len();
     if h == 0 {
@@ -67,11 +65,8 @@ pub fn dec_with_miner(
     let mut level = h;
     let mut last_level: Vec<(KeywordSetVec, VertexSubset)> = Vec::new();
     while level >= 1 {
-        let in_r_hat: Vec<VertexId> = share_count
-            .iter()
-            .filter(|&&(_, c)| c >= level)
-            .map(|&(v, _)| v)
-            .collect();
+        let in_r_hat: Vec<VertexId> =
+            share_count.iter().filter(|&&(_, c)| c >= level).map(|&(v, _)| v).collect();
         let mut found: Vec<(KeywordSetVec, VertexSubset)> = Vec::new();
         for candidate in &candidates_by_size[level - 1] {
             let pool = filter_by_keywords(graph, in_r_hat.iter().copied(), candidate);

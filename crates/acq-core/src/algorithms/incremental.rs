@@ -50,9 +50,7 @@ pub fn inc_s(
         let mut phi: Vec<(KeywordSetVec, VertexSubset)> = Vec::new();
         let mut phi_cores: Vec<(KeywordSetVec, u32)> = Vec::new();
         for (candidate, core_bound) in &psi {
-            let node = index
-                .locate_core(q, *core_bound)
-                .expect("core bound never exceeds core(q)");
+            let node = index.locate_core(q, *core_bound).expect("core bound never exceeds core(q)");
             let pool = keyword_pool(graph, index, node, candidate, use_inverted_lists);
             if let Some(community) = verify_candidate(graph, q, query.k, &pool, &mut stats) {
                 stats.qualified_sets += 1;
@@ -243,10 +241,26 @@ mod tests {
                 let query = AcqQuery::new(v, k);
                 let expected = basic_g(&g, &query).canonical();
                 assert_eq!(basic_w(&g, &query).canonical(), expected, "basic-w q={label} k={k}");
-                assert_eq!(inc_s(&g, &index, &query, true).canonical(), expected, "inc-s q={label} k={k}");
-                assert_eq!(inc_t(&g, &index, &query, true).canonical(), expected, "inc-t q={label} k={k}");
-                assert_eq!(inc_s(&g, &index, &query, false).canonical(), expected, "inc-s* q={label} k={k}");
-                assert_eq!(inc_t(&g, &index, &query, false).canonical(), expected, "inc-t* q={label} k={k}");
+                assert_eq!(
+                    inc_s(&g, &index, &query, true).canonical(),
+                    expected,
+                    "inc-s q={label} k={k}"
+                );
+                assert_eq!(
+                    inc_t(&g, &index, &query, true).canonical(),
+                    expected,
+                    "inc-t q={label} k={k}"
+                );
+                assert_eq!(
+                    inc_s(&g, &index, &query, false).canonical(),
+                    expected,
+                    "inc-s* q={label} k={k}"
+                );
+                assert_eq!(
+                    inc_t(&g, &index, &query, false).canonical(),
+                    expected,
+                    "inc-t* q={label} k={k}"
+                );
             }
         }
     }

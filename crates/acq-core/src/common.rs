@@ -15,8 +15,7 @@ pub type KeywordSetVec = Vec<KeywordId>;
 /// size-`c+1` candidate, and keeps the candidate only if **all** of its
 /// size-`c` subsets are qualified (Lemma 1, anti-monotonicity).
 pub fn generate_candidates(qualified: &[KeywordSetVec]) -> Vec<KeywordSetVec> {
-    let qualified_lookup: HashSet<&[KeywordId]> =
-        qualified.iter().map(Vec::as_slice).collect();
+    let qualified_lookup: HashSet<&[KeywordId]> = qualified.iter().map(Vec::as_slice).collect();
     let mut out: Vec<KeywordSetVec> = Vec::new();
     for (i, a) in qualified.iter().enumerate() {
         for b in &qualified[i + 1..] {
@@ -87,9 +86,7 @@ pub fn filter_by_keywords(
     sorted.dedup();
     VertexSubset::from_iter(
         graph.num_vertices(),
-        vertices
-            .into_iter()
-            .filter(|&v| graph.keyword_set(v).contains_all(&sorted)),
+        vertices.into_iter().filter(|&v| graph.keyword_set(v).contains_all(&sorted)),
     )
 }
 
@@ -99,9 +96,7 @@ pub fn subgraph_core_number(
     decomposition: &acq_kcore::CoreDecomposition,
     community: &VertexSubset,
 ) -> u32 {
-    decomposition
-        .subgraph_core_number(community.iter())
-        .expect("communities are never empty")
+    decomposition.subgraph_core_number(community.iter()).expect("communities are never empty")
 }
 
 #[cfg(test)]
@@ -134,11 +129,11 @@ mod tests {
         let g = paper_figure3_graph();
         let a = g.vertex_by_label("A").unwrap();
         let dict = g.dictionary();
-        let pool = filter_by_keywords(&g, g.vertices(), &[dict.get("x").unwrap(), dict.get("y").unwrap()]);
+        let pool =
+            filter_by_keywords(&g, g.vertices(), &[dict.get("x").unwrap(), dict.get("y").unwrap()]);
         let mut stats = QueryStats::default();
         let community = verify_candidate(&g, a, 2, &pool, &mut stats).unwrap();
-        let mut names: Vec<&str> =
-            community.iter().map(|v| g.label(v).unwrap()).collect();
+        let mut names: Vec<&str> = community.iter().map(|v| g.label(v).unwrap()).collect();
         names.sort_unstable();
         assert_eq!(names, vec!["A", "C", "D"]);
         assert_eq!(stats.candidates_verified, 1);

@@ -104,7 +104,11 @@ impl<'g> AcqEngine<'g> {
     }
 
     /// Runs the query with an explicitly chosen algorithm.
-    pub fn query_with(&self, query: &AcqQuery, algorithm: AcqAlgorithm) -> Result<AcqResult, QueryError> {
+    pub fn query_with(
+        &self,
+        query: &AcqQuery,
+        algorithm: AcqAlgorithm,
+    ) -> Result<AcqResult, QueryError> {
         query.validate(self.graph)?;
         Ok(match algorithm {
             AcqAlgorithm::BasicG => basic_g(self.graph, query),
@@ -186,9 +190,8 @@ mod tests {
         let engine = AcqEngine::new(&g);
         let a = g.vertex_by_label("A").unwrap();
         let x = g.dictionary().get("x").unwrap();
-        let r1 = engine
-            .query_variant1(&Variant1Query { vertex: a, k: 2, keywords: vec![x] })
-            .unwrap();
+        let r1 =
+            engine.query_variant1(&Variant1Query { vertex: a, k: 2, keywords: vec![x] }).unwrap();
         assert_eq!(r1.communities[0].len(), 4);
         let r2 = engine
             .query_variant2(&Variant2Query { vertex: a, k: 2, keywords: vec![x], theta: 1.0 })

@@ -41,7 +41,9 @@ pub use algorithms::dec::{dec, dec_with_miner};
 pub use algorithms::incremental::{inc_s, inc_t};
 pub use engine::{AcqAlgorithm, AcqEngine};
 pub use query::{AcqQuery, AcqResult, AttributedCommunity, QueryError, QueryStats};
-pub use variants::{basic_g_v1, basic_g_v2, basic_w_v1, basic_w_v2, sw, swt, Variant1Query, Variant2Query};
+pub use variants::{
+    basic_g_v1, basic_g_v2, basic_w_v1, basic_w_v2, sw, swt, Variant1Query, Variant2Query,
+};
 
 #[cfg(test)]
 mod proptests {

@@ -30,7 +30,12 @@ impl AcqQuery {
     /// Query whose keyword set is given as strings, resolved through the
     /// graph's dictionary. Unknown keywords are ignored (they cannot be shared
     /// by anybody).
-    pub fn with_keyword_terms(graph: &AttributedGraph, vertex: VertexId, k: usize, terms: &[&str]) -> Self {
+    pub fn with_keyword_terms(
+        graph: &AttributedGraph,
+        vertex: VertexId,
+        k: usize,
+        terms: &[&str],
+    ) -> Self {
         let keywords = terms.iter().filter_map(|t| graph.dictionary().get(t)).collect();
         Self { vertex, k, keywords: Some(keywords) }
     }
@@ -45,7 +50,8 @@ impl AcqQuery {
         match &self.keywords {
             None => wq.iter().collect(),
             Some(s) => {
-                let mut out: Vec<KeywordId> = s.iter().copied().filter(|&kw| wq.contains(kw)).collect();
+                let mut out: Vec<KeywordId> =
+                    s.iter().copied().filter(|&kw| wq.contains(kw)).collect();
                 out.sort_unstable();
                 out.dedup();
                 out
@@ -152,11 +158,8 @@ impl AcqResult {
     /// Communities sorted by label then vertices — a canonical form used to
     /// compare the output of different algorithms.
     pub fn canonical(&self) -> Vec<(Vec<KeywordId>, Vec<VertexId>)> {
-        let mut out: Vec<(Vec<KeywordId>, Vec<VertexId>)> = self
-            .communities
-            .iter()
-            .map(|c| (c.label.clone(), c.vertices.clone()))
-            .collect();
+        let mut out: Vec<(Vec<KeywordId>, Vec<VertexId>)> =
+            self.communities.iter().map(|c| (c.label.clone(), c.vertices.clone())).collect();
         out.sort();
         out.dedup();
         out
@@ -214,10 +217,7 @@ mod tests {
         assert!(AcqQuery::new(a, 2).validate(&g).is_ok());
         assert_eq!(AcqQuery::new(a, 0).validate(&g), Err(QueryError::InvalidK));
         let missing = VertexId(99);
-        assert_eq!(
-            AcqQuery::new(missing, 2).validate(&g),
-            Err(QueryError::UnknownVertex(missing))
-        );
+        assert_eq!(AcqQuery::new(missing, 2).validate(&g), Err(QueryError::UnknownVertex(missing)));
         assert!(QueryError::InvalidK.to_string().contains("at least 1"));
     }
 

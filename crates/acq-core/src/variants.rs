@@ -126,7 +126,12 @@ pub fn sw(graph: &AttributedGraph, index: &ClTree, query: &Variant1Query) -> Acq
 // Variant 2
 // ---------------------------------------------------------------------------
 
-fn matches_threshold(graph: &AttributedGraph, v: VertexId, s: &[KeywordId], required: usize) -> bool {
+fn matches_threshold(
+    graph: &AttributedGraph,
+    v: VertexId,
+    s: &[KeywordId],
+    required: usize,
+) -> bool {
     graph.keyword_set(v).intersection_size(s) >= required
 }
 
@@ -194,7 +199,11 @@ mod tests {
         // Example 7: q=A, k=2, S={x} -> community {A,B,C,D}.
         let g = paper_figure3_graph();
         let index = build_advanced(&g, true);
-        let query = Variant1Query { vertex: g.vertex_by_label("A").unwrap(), k: 2, keywords: kw(&g, &["x"]) };
+        let query = Variant1Query {
+            vertex: g.vertex_by_label("A").unwrap(),
+            k: 2,
+            keywords: kw(&g, &["x"]),
+        };
         for result in [basic_g_v1(&g, &query), basic_w_v1(&g, &query), sw(&g, &index, &query)] {
             assert_eq!(result.communities.len(), 1);
             assert_eq!(result.communities[0].member_names(&g), vec!["A", "B", "C", "D"]);
@@ -226,7 +235,11 @@ mod tests {
         let g = paper_figure3_graph();
         let index = build_advanced(&g, true);
         // No 2-core whose members all contain z.
-        let query = Variant1Query { vertex: g.vertex_by_label("D").unwrap(), k: 2, keywords: kw(&g, &["z"]) };
+        let query = Variant1Query {
+            vertex: g.vertex_by_label("D").unwrap(),
+            k: 2,
+            keywords: kw(&g, &["z"]),
+        };
         assert!(basic_g_v1(&g, &query).is_empty());
         assert!(basic_w_v1(&g, &query).is_empty());
         assert!(sw(&g, &index, &query).is_empty());
@@ -236,7 +249,11 @@ mod tests {
     fn variant1_with_k_above_core_is_empty() {
         let g = paper_figure3_graph();
         let index = build_advanced(&g, true);
-        let query = Variant1Query { vertex: g.vertex_by_label("A").unwrap(), k: 4, keywords: kw(&g, &["x"]) };
+        let query = Variant1Query {
+            vertex: g.vertex_by_label("A").unwrap(),
+            k: 4,
+            keywords: kw(&g, &["x"]),
+        };
         assert!(sw(&g, &index, &query).is_empty());
         assert!(basic_g_v1(&g, &query).is_empty());
     }

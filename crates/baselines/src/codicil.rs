@@ -205,7 +205,8 @@ mod tests {
         assert!(few.num_clusters() <= many.num_clusters());
         assert!(few.num_clusters() >= 2, "disconnected pieces may add singletons");
         // Asking for more clusters than vertices degenerates gracefully.
-        let extreme = Codicil::detect(&g, &CodicilConfig { num_clusters: 1000, ..Default::default() });
+        let extreme =
+            Codicil::detect(&g, &CodicilConfig { num_clusters: 1000, ..Default::default() });
         assert!(extreme.num_clusters() <= g.num_vertices());
     }
 

@@ -112,7 +112,8 @@ mod tests {
         for label in ["A", "C", "E"] {
             let q = g.vertex_by_label(label).unwrap();
             for k in 1..=3usize {
-                if let (Some(l), Some(gl)) = (local_community(&g, q, k), global_community(&g, q, k)) {
+                if let (Some(l), Some(gl)) = (local_community(&g, q, k), global_community(&g, q, k))
+                {
                     assert!(l.len() <= gl.len());
                 }
             }

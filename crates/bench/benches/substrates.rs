@@ -12,9 +12,7 @@ fn bench_core_decomposition(c: &mut Criterion) {
     let fx = dense_fixture();
     let mut group = c.benchmark_group("kcore");
     group.sample_size(10);
-    group.bench_function("decomposition", |b| {
-        b.iter(|| CoreDecomposition::compute(&fx.graph))
-    });
+    group.bench_function("decomposition", |b| b.iter(|| CoreDecomposition::compute(&fx.graph)));
     let decomp = CoreDecomposition::compute(&fx.graph);
     group.bench_function("connected_kcore_containing", |b| {
         b.iter(|| {
@@ -57,11 +55,7 @@ fn bench_fp_growth(c: &mut Criterion) {
     // Transactions mimicking the Dec candidate-generation input: the keyword
     // sets of a high-degree vertex's neighbours.
     let fx = default_fixture();
-    let hub = fx
-        .graph
-        .vertices()
-        .max_by_key(|&v| fx.graph.degree(v))
-        .expect("non-empty graph");
+    let hub = fx.graph.vertices().max_by_key(|&v| fx.graph.degree(v)).expect("non-empty graph");
     let transactions: Vec<Transaction> = fx
         .graph
         .neighbors(hub)

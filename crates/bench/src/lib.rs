@@ -14,7 +14,7 @@
 #![warn(missing_docs)]
 
 use acq_cltree::{build_advanced, ClTree};
-use acq_datagen::{DatasetProfile, generate, select_query_vertices};
+use acq_datagen::{generate, select_query_vertices, DatasetProfile};
 use acq_graph::{AttributedGraph, VertexId};
 
 /// A ready-to-query benchmark fixture: graph, index and a query workload.
@@ -31,7 +31,12 @@ pub struct BenchFixture {
 
 /// Builds a fixture from a dataset profile scaled by `scale`, with `queries`
 /// query vertices of core number at least `min_core`.
-pub fn fixture(profile: &DatasetProfile, scale: f64, queries: usize, min_core: u32) -> BenchFixture {
+pub fn fixture(
+    profile: &DatasetProfile,
+    scale: f64,
+    queries: usize,
+    min_core: u32,
+) -> BenchFixture {
     let graph = generate(&profile.scaled(scale));
     let index = build_advanced(&graph, true);
     let selected = select_query_vertices(&graph, index.decomposition(), queries, min_core, 99);

@@ -56,7 +56,11 @@ pub fn build_advanced_with_decomposition(
                 if cores[u.index()] > k {
                     let anchor = auf.anchor_of_element(u.index());
                     let child = vertex_node[anchor];
-                    debug_assert_ne!(child, usize::MAX, "anchor of a processed component is placed");
+                    debug_assert_ne!(
+                        child,
+                        usize::MAX,
+                        "anchor of a processed component is placed"
+                    );
                     pending_children.entry(v).or_default().push(child);
                 }
             }
@@ -111,8 +115,7 @@ pub fn build_advanced_with_decomposition(
     for &v in &root.vertices {
         vertex_node[v.index()] = root_id;
     }
-    let orphans: Vec<NodeId> =
-        (0..nodes.len()).filter(|&id| nodes[id].parent.is_none()).collect();
+    let orphans: Vec<NodeId> = (0..nodes.len()).filter(|&id| nodes[id].parent.is_none()).collect();
     for &id in &orphans {
         nodes[id].parent = Some(root_id);
     }

@@ -63,10 +63,8 @@ fn expand(
     if component.is_empty() || k > decomposition.kmax() {
         return;
     }
-    let owned: Vec<VertexId> = component
-        .iter()
-        .filter(|&v| decomposition.core_number(v) == k)
-        .collect();
+    let owned: Vec<VertexId> =
+        component.iter().filter(|&v| decomposition.core_number(v) == k).collect();
 
     let next_parent = if owned.is_empty() {
         parent

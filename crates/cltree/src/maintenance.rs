@@ -37,7 +37,12 @@ pub fn apply_keyword_removal(tree: &mut ClTree, vertex: VertexId, keyword: Keywo
 
 /// Updates the index after the edge `{u, v}` has been inserted into the graph
 /// (`graph` must already contain the edge). Returns the refreshed index.
-pub fn apply_edge_insertion(tree: &ClTree, graph: &AttributedGraph, u: VertexId, v: VertexId) -> ClTree {
+pub fn apply_edge_insertion(
+    tree: &ClTree,
+    graph: &AttributedGraph,
+    u: VertexId,
+    v: VertexId,
+) -> ClTree {
     let mut decomposition = tree.decomposition().clone();
     acq_kcore::maintenance::apply_edge_insertion(graph, &mut decomposition, u, v);
     build_advanced_with_decomposition(graph, decomposition, tree.has_inverted_lists())
@@ -45,7 +50,12 @@ pub fn apply_edge_insertion(tree: &ClTree, graph: &AttributedGraph, u: VertexId,
 
 /// Updates the index after the edge `{u, v}` has been removed from the graph
 /// (`graph` must no longer contain the edge). Returns the refreshed index.
-pub fn apply_edge_removal(tree: &ClTree, graph: &AttributedGraph, u: VertexId, v: VertexId) -> ClTree {
+pub fn apply_edge_removal(
+    tree: &ClTree,
+    graph: &AttributedGraph,
+    u: VertexId,
+    v: VertexId,
+) -> ClTree {
     let mut decomposition = tree.decomposition().clone();
     acq_kcore::maintenance::apply_edge_removal(graph, &mut decomposition, u, v);
     build_advanced_with_decomposition(graph, decomposition, tree.has_inverted_lists())

@@ -152,8 +152,6 @@ mod tests {
         }
         assert_eq!(node.vertices_with_all_keywords(&[KeywordId(1), KeywordId(2)]), v(&[1, 2]));
         assert_eq!(node.vertices_with_all_keywords(&[]), v(&[0, 1, 2, 3]));
-        assert!(node
-            .vertices_with_all_keywords(&[KeywordId(1), KeywordId(9)])
-            .is_empty());
+        assert!(node.vertices_with_all_keywords(&[KeywordId(1), KeywordId(9)]).is_empty());
     }
 }

@@ -164,7 +164,12 @@ impl ClTree {
 
     /// The k-ĉore containing `q` as a vertex subset, resolved entirely through
     /// the index (no peeling). `None` if `core(q) < k`.
-    pub fn kcore_containing(&self, q: VertexId, k: u32, num_vertices: usize) -> Option<VertexSubset> {
+    pub fn kcore_containing(
+        &self,
+        q: VertexId,
+        k: u32,
+        num_vertices: usize,
+    ) -> Option<VertexSubset> {
         let node = self.locate_core(q, k)?;
         Some(self.subtree_vertex_subset(node, num_vertices))
     }
@@ -179,7 +184,11 @@ impl ClTree {
     /// support the `*`-ablation variants should check
     /// [`has_inverted_lists`](Self::has_inverted_lists) and fall back to
     /// [`vertices_with_keywords_under_scan`](Self::vertices_with_keywords_under_scan).
-    pub fn vertices_with_keywords_under(&self, node: NodeId, keywords: &[KeywordId]) -> Vec<VertexId> {
+    pub fn vertices_with_keywords_under(
+        &self,
+        node: NodeId,
+        keywords: &[KeywordId],
+    ) -> Vec<VertexId> {
         assert!(
             self.with_inverted_lists,
             "index was built without inverted lists; use vertices_with_keywords_under_scan"
@@ -306,14 +315,18 @@ impl ClTree {
                 for (&kw, vs) in &node.inverted {
                     for &v in vs {
                         if !graph.keyword_set(v).contains(kw) {
-                            return Err(format!("node {id}: vertex {v} listed under keyword it lacks"));
+                            return Err(format!(
+                                "node {id}: vertex {v} listed under keyword it lacks"
+                            ));
                         }
                     }
                 }
                 for &v in &node.vertices {
                     for kw in graph.keyword_set(v).iter() {
                         if !node.vertices_with_keyword(kw).contains(&v) {
-                            return Err(format!("node {id}: vertex {v} missing from list of {kw:?}"));
+                            return Err(format!(
+                                "node {id}: vertex {v} missing from list of {kw:?}"
+                            ));
                         }
                     }
                 }
@@ -326,11 +339,8 @@ impl ClTree {
     /// + node overhead); used by the index-size experiment.
     pub fn memory_estimate_bytes(&self) -> usize {
         let vertex_entries: usize = self.nodes.iter().map(|n| n.vertices.len()).sum();
-        let inverted_entries: usize = self
-            .nodes
-            .iter()
-            .map(|n| n.inverted.values().map(Vec::len).sum::<usize>())
-            .sum();
+        let inverted_entries: usize =
+            self.nodes.iter().map(|n| n.inverted.values().map(Vec::len).sum::<usize>()).sum();
         vertex_entries * std::mem::size_of::<VertexId>()
             + inverted_entries * std::mem::size_of::<VertexId>()
             + self.nodes.len() * std::mem::size_of::<ClTreeNode>()

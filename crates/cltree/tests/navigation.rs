@@ -71,10 +71,7 @@ fn deep_chain_of_nested_cores_is_navigable() {
     let tail = g.vertex_by_label("p4").unwrap();
     assert_eq!(t.core_number(tail), 1);
     // The 1-ĉore containing the tail is the whole connected graph.
-    assert_eq!(
-        t.kcore_containing(tail, 1, g.num_vertices()).unwrap().len(),
-        g.num_vertices()
-    );
+    assert_eq!(t.kcore_containing(tail, 1, g.num_vertices()).unwrap().len(), g.num_vertices());
     // The 7-ĉore is only reachable from clique members.
     assert!(t.locate_core(tail, 7).is_none());
     let c7 = t.kcore_containing(clique[3], 7, g.num_vertices()).unwrap();

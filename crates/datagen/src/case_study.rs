@@ -55,15 +55,15 @@ pub fn case_study_graph() -> AttributedGraph {
     // perfectly clean (as in real DBLP top-20 keyword lists).
     const NOISE: &[&str] = &["use", "model", "approach", "method", "evaluation"];
 
-    let add_author = |b: &mut GraphBuilder, name: &str, theme: &[&str], extra: &[&str]| -> VertexId {
-        let mut kws: Vec<&str> = theme.to_vec();
-        kws.extend_from_slice(extra);
-        b.add_vertex(name, &kws)
-    };
+    let add_author =
+        |b: &mut GraphBuilder, name: &str, theme: &[&str], extra: &[&str]| -> VertexId {
+            let mut kws: Vec<&str> = theme.to_vec();
+            kws.extend_from_slice(extra);
+            b.add_vertex(name, &kws)
+        };
 
     // --- Central authors carry the union of their groups' themes. -----------
-    let jim_keywords: Vec<&str> =
-        [themes::DATABASE, themes::SDSS].concat();
+    let jim_keywords: Vec<&str> = [themes::DATABASE, themes::SDSS].concat();
     let jim = b.add_vertex(CaseStudyAuthor::JimGray.label(), &jim_keywords);
     let han_keywords: Vec<&str> =
         [themes::GRAPH_ANALYSIS, themes::PATTERN_MINING, themes::STREAM].concat();
@@ -71,10 +71,10 @@ pub fn case_study_graph() -> AttributedGraph {
 
     // --- Themed collaborator groups (near-cliques around the central author).
     let make_group = |b: &mut GraphBuilder,
-                          centre: VertexId,
-                          names: &[&str],
-                          theme: &[&str],
-                          extra_per_member: &[&str]| {
+                      centre: VertexId,
+                      names: &[&str],
+                      theme: &[&str],
+                      extra_per_member: &[&str]| {
         let ids: Vec<VertexId> =
             names.iter().map(|n| add_author(b, n, theme, extra_per_member)).collect();
         // Clique among the group and edges to the centre: every member ends up
@@ -91,14 +91,29 @@ pub fn case_study_graph() -> AttributedGraph {
     let db_group = make_group(
         &mut b,
         jim,
-        &["Michael Stonebraker", "Hector Garcia-Molina", "Stanley Zdonik", "Gerhard Weikum", "Bruce Lindsay", "Michael Brodie"],
+        &[
+            "Michael Stonebraker",
+            "Hector Garcia-Molina",
+            "Stanley Zdonik",
+            "Gerhard Weikum",
+            "Bruce Lindsay",
+            "Michael Brodie",
+        ],
         themes::DATABASE,
         &[NOISE[0]],
     );
     let sdss_group = make_group(
         &mut b,
         jim,
-        &["Alexander Szalay", "Peter Kunszt", "Christopher Stoughton", "Jordan Raddick", "Jan Vandenberg", "Ani Thakar", "Tanu Malik"],
+        &[
+            "Alexander Szalay",
+            "Peter Kunszt",
+            "Christopher Stoughton",
+            "Jordan Raddick",
+            "Jan Vandenberg",
+            "Ani Thakar",
+            "Tanu Malik",
+        ],
         themes::SDSS,
         &[NOISE[1]],
     );
@@ -119,7 +134,14 @@ pub fn case_study_graph() -> AttributedGraph {
     let stream_group = make_group(
         &mut b,
         han,
-        &["Charu Aggarwal", "Latifur Khan", "Mohammad Masud", "Jing Gao", "Nikunj Oza", "Clay Woolam"],
+        &[
+            "Charu Aggarwal",
+            "Latifur Khan",
+            "Mohammad Masud",
+            "Jing Gao",
+            "Nikunj Oza",
+            "Clay Woolam",
+        ],
         themes::STREAM,
         &[NOISE[4]],
     );
@@ -151,9 +173,8 @@ pub fn case_study_graph() -> AttributedGraph {
     }
     // Hook the background into the groups (two edges per group) and connect
     // the two central authors through shared co-authors.
-    for (i, group) in [&db_group, &sdss_group, &analysis_group, &pattern_group, &stream_group]
-        .iter()
-        .enumerate()
+    for (i, group) in
+        [&db_group, &sdss_group, &analysis_group, &pattern_group, &stream_group].iter().enumerate()
     {
         b.add_edge(group[0], background[i * 3 % 20]).unwrap();
         b.add_edge(group[1], background[(i * 3 + 1) % 20]).unwrap();

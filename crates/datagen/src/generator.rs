@@ -37,13 +37,7 @@ pub fn generate(profile: &DatasetProfile) -> AttributedGraph {
     // ~20 % of the vertices also belong to a secondary community, which is the
     // source of overlapping structure ("researchers with two fields").
     let secondary: Vec<Option<usize>> = (0..n)
-        .map(|_| {
-            if rng.gen_bool(0.2) {
-                Some(rng.gen_range(0..num_communities))
-            } else {
-                None
-            }
-        })
+        .map(|_| if rng.gen_bool(0.2) { Some(rng.gen_range(0..num_communities)) } else { None })
         .collect();
 
     let mut members: Vec<Vec<usize>> = vec![Vec::new(); num_communities];
@@ -60,9 +54,7 @@ pub fn generate(profile: &DatasetProfile) -> AttributedGraph {
     let vocabulary: Vec<String> = (0..profile.vocabulary_size).map(|i| format!("kw{i}")).collect();
     let topics: Vec<Vec<usize>> = (0..num_communities)
         .map(|_| {
-            (0..profile.topic_size)
-                .map(|_| rng.gen_range(0..profile.vocabulary_size))
-                .collect()
+            (0..profile.topic_size).map(|_| rng.gen_range(0..profile.vocabulary_size)).collect()
         })
         .collect();
     // Global background follows a Zipf-like distribution so that a few
@@ -116,7 +108,7 @@ pub fn generate(profile: &DatasetProfile) -> AttributedGraph {
         if community.len() < 8 || !rng.gen_bool(0.35) {
             continue;
         }
-        let nucleus_size = rng.gen_range(9..=14).min(community.len());
+        let nucleus_size = rng.gen_range(9usize..=14).min(community.len());
         for i in 0..nucleus_size {
             for j in (i + 1)..nucleus_size {
                 builder
@@ -131,11 +123,10 @@ pub fn generate(profile: &DatasetProfile) -> AttributedGraph {
     }
     // Compensate the per-vertex budget for the nucleus edges so the average
     // degree stays close to the profile target.
-    let base_budget =
-        (profile.target_avg_degree / 2.0 - nucleus_edges as f64 / n as f64).max(1.0);
+    let base_budget = (profile.target_avg_degree / 2.0 - nucleus_edges as f64 / n as f64).max(1.0);
     for v in 0..n {
         let hub_boost = if rng.gen_bool(0.06) { 4.0 } else { 1.0 };
-        let jitter = rng.gen_range(0.5..1.5);
+        let jitter: f64 = rng.gen_range(0.5..1.5);
         let budget = (base_budget * hub_boost * jitter).round() as usize;
         let own_communities: Vec<usize> = std::iter::once(primary[v]).chain(secondary[v]).collect();
         for _ in 0..budget.max(1) {

@@ -36,12 +36,20 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             args.get(i).cloned().ok_or_else(|| format!("missing value after {name}"))
         };
         match arg.as_str() {
-            "--scale" => config.scale = next_value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?,
-            "--queries" => {
-                config.queries = next_value("--queries")?.parse().map_err(|e| format!("--queries: {e}"))?
+            "--scale" => {
+                config.scale =
+                    next_value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?
             }
-            "--k" => config.default_k = next_value("--k")?.parse().map_err(|e| format!("--k: {e}"))?,
-            "--seed" => config.seed = next_value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--queries" => {
+                config.queries =
+                    next_value("--queries")?.parse().map_err(|e| format!("--queries: {e}"))?
+            }
+            "--k" => {
+                config.default_k = next_value("--k")?.parse().map_err(|e| format!("--k: {e}"))?
+            }
+            "--seed" => {
+                config.seed = next_value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+            }
             "--out" => out = Some(next_value("--out")?),
             "--help" | "-h" => return Err("help".into()),
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),

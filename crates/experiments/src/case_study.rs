@@ -5,7 +5,10 @@
 //! exactly as the paper queries Jim Gray and Jiawei Han.
 
 use crate::{ExperimentContext, ExperimentReport};
-use acq_baselines::{global_community, local_community, star_pattern_has_match, Codicil, CodicilConfig, StarPatternQuery};
+use acq_baselines::{
+    global_community, local_community, star_pattern_has_match, Codicil, CodicilConfig,
+    StarPatternQuery,
+};
 use acq_core::{dec, AcqQuery};
 use acq_datagen::{author_vertex, case_study_graph, CaseStudyAuthor};
 use acq_graph::{AttributedGraph, KeywordId, VertexId};
@@ -102,7 +105,9 @@ pub fn table4_distinct_keywords(_ctx: &ExperimentContext) -> Vec<ExperimentRepor
 pub fn table56_top_keywords(_ctx: &ExperimentContext) -> Vec<ExperimentReport> {
     let cs = build_case_study();
     let mut reports = Vec::new();
-    for (table, author) in [("table5", CaseStudyAuthor::JimGray), ("table6", CaseStudyAuthor::JiaweiHan)] {
+    for (table, author) in
+        [("table5", CaseStudyAuthor::JimGray), ("table6", CaseStudyAuthor::JiaweiHan)]
+    {
         let mut report = ExperimentReport::new(
             table,
             &format!("Top-6 keywords by member frequency ({})", author.label()),

@@ -142,10 +142,14 @@ pub fn fig9_vs_community_search(ctx: &ExperimentContext) -> Vec<ExperimentReport
         let acq_communities =
             |i: usize, _q: VertexId| -> Vec<Vec<VertexId>> { results[i].1.clone() };
         let global = |_i: usize, q: VertexId| -> Vec<Vec<VertexId>> {
-            global_community(&dataset.graph, q, k).map(|c| vec![c.sorted_members()]).unwrap_or_default()
+            global_community(&dataset.graph, q, k)
+                .map(|c| vec![c.sorted_members()])
+                .unwrap_or_default()
         };
         let local = |_i: usize, q: VertexId| -> Vec<Vec<VertexId>> {
-            local_community(&dataset.graph, q, k).map(|c| vec![c.sorted_members()]).unwrap_or_default()
+            local_community(&dataset.graph, q, k)
+                .map(|c| vec![c.sorted_members()])
+                .unwrap_or_default()
         };
         for (name, f) in [
             ("ACQ", &acq_communities as &dyn Fn(usize, VertexId) -> Vec<Vec<VertexId>>),

@@ -104,10 +104,8 @@ pub struct ExperimentContext {
 impl ExperimentContext {
     /// Generates all four paper profiles.
     pub fn new(config: ExperimentConfig) -> Self {
-        let datasets = acq_datagen::all_profiles()
-            .iter()
-            .map(|p| Dataset::generate(p, &config))
-            .collect();
+        let datasets =
+            acq_datagen::all_profiles().iter().map(|p| Dataset::generate(p, &config)).collect();
         Self { config, datasets }
     }
 
@@ -209,9 +207,9 @@ pub fn strip_keywords(graph: &AttributedGraph) -> AttributedGraph {
 /// All experiment identifiers, in the order the paper presents them.
 pub fn all_experiment_ids() -> Vec<&'static str> {
     vec![
-        "table3", "fig7", "fig8", "fig9", "fig11", "table4", "table56", "fig12", "table7",
-        "fig13", "fig14-cs", "fig14-k", "fig14-kw", "fig14-vx", "fig14-s", "fig15", "fig16",
-        "fig17-v1", "fig17-v2",
+        "table3", "fig7", "fig8", "fig9", "fig11", "table4", "table56", "fig12", "table7", "fig13",
+        "fig14-cs", "fig14-k", "fig14-kw", "fig14-vx", "fig14-s", "fig15", "fig16", "fig17-v1",
+        "fig17-v2",
     ]
 }
 

@@ -125,24 +125,20 @@ pub fn fig14_keyword_scalability(ctx: &ExperimentContext) -> Vec<ExperimentRepor
     let algorithms = [AcqAlgorithm::IncS, AcqAlgorithm::IncT, AcqAlgorithm::Dec];
     let k = ctx.config.default_k;
     for dataset in &ctx.datasets {
-        let mut per_algorithm: Vec<Vec<String>> = algorithms
-            .iter()
-            .map(|a| vec![dataset.name.clone(), a.name().to_string()])
-            .collect();
+        let mut per_algorithm: Vec<Vec<String>> =
+            algorithms.iter().map(|a| vec![dataset.name.clone(), a.name().to_string()]).collect();
         for percent in [20usize, 40, 60, 80, 100] {
             let graph = if percent == 100 {
                 dataset.graph.clone()
             } else {
                 sample_keywords(&dataset.graph, percent as f64 / 100.0, ctx.config.seed)
             };
-            let sampled = Dataset {
-                name: dataset.name.clone(),
-                index: build_advanced(&graph, true),
-                graph,
-            };
+            let sampled =
+                Dataset { name: dataset.name.clone(), index: build_advanced(&graph, true), graph };
             let queries = sampled.workload(&ctx.config, k as u32);
             for (i, &algorithm) in algorithms.iter().enumerate() {
-                per_algorithm[i].push(fmt(average_query_ms(&sampled, &queries, k, algorithm, None)));
+                per_algorithm[i]
+                    .push(fmt(average_query_ms(&sampled, &queries, k, algorithm, None)));
             }
         }
         for row in per_algorithm {
@@ -163,24 +159,20 @@ pub fn fig14_vertex_scalability(ctx: &ExperimentContext) -> Vec<ExperimentReport
     let algorithms = [AcqAlgorithm::IncS, AcqAlgorithm::IncT, AcqAlgorithm::Dec];
     let k = ctx.config.default_k;
     for dataset in &ctx.datasets {
-        let mut per_algorithm: Vec<Vec<String>> = algorithms
-            .iter()
-            .map(|a| vec![dataset.name.clone(), a.name().to_string()])
-            .collect();
+        let mut per_algorithm: Vec<Vec<String>> =
+            algorithms.iter().map(|a| vec![dataset.name.clone(), a.name().to_string()]).collect();
         for percent in [20usize, 40, 60, 80, 100] {
             let graph = if percent == 100 {
                 dataset.graph.clone()
             } else {
                 sample_vertices(&dataset.graph, percent as f64 / 100.0, ctx.config.seed)
             };
-            let sampled = Dataset {
-                name: dataset.name.clone(),
-                index: build_advanced(&graph, true),
-                graph,
-            };
+            let sampled =
+                Dataset { name: dataset.name.clone(), index: build_advanced(&graph, true), graph };
             let queries = sampled.workload(&ctx.config, k as u32);
             for (i, &algorithm) in algorithms.iter().enumerate() {
-                per_algorithm[i].push(fmt(average_query_ms(&sampled, &queries, k, algorithm, None)));
+                per_algorithm[i]
+                    .push(fmt(average_query_ms(&sampled, &queries, k, algorithm, None)));
             }
         }
         for row in per_algorithm {
@@ -238,12 +230,8 @@ pub fn fig15_inverted_lists(ctx: &ExperimentContext) -> Vec<ExperimentReport> {
         "Average query time (ms): Inc-S / Inc-T with and without inverted lists",
         &["dataset", "algorithm", "k=4", "k=5", "k=6", "k=7", "k=8"],
     );
-    let algorithms = [
-        AcqAlgorithm::IncS,
-        AcqAlgorithm::IncT,
-        AcqAlgorithm::IncSStar,
-        AcqAlgorithm::IncTStar,
-    ];
+    let algorithms =
+        [AcqAlgorithm::IncS, AcqAlgorithm::IncT, AcqAlgorithm::IncSStar, AcqAlgorithm::IncTStar];
     for dataset in &ctx.datasets {
         let queries = dataset.workload(&ctx.config, 8);
         if queries.is_empty() {

@@ -1,7 +1,9 @@
 //! Figure 17 — the two ACQ problem variants of Appendix G.
 
 use crate::{time_ms, ExperimentContext, ExperimentReport};
-use acq_core::variants::{basic_g_v1, basic_g_v2, basic_w_v1, basic_w_v2, sw, swt, Variant1Query, Variant2Query};
+use acq_core::variants::{
+    basic_g_v1, basic_g_v2, basic_w_v1, basic_w_v2, sw, swt, Variant1Query, Variant2Query,
+};
 use acq_graph::KeywordId;
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
@@ -32,8 +34,9 @@ pub fn fig17_variant1(ctx: &ExperimentContext) -> Vec<ExperimentReport> {
             for s_size in [1usize, 3, 5, 7, 9] {
                 let mut total = 0.0;
                 for &q in &queries {
-                    let mut rng =
-                        ChaCha8Rng::seed_from_u64(ctx.config.seed ^ (s_size as u64) ^ u64::from(q.0));
+                    let mut rng = ChaCha8Rng::seed_from_u64(
+                        ctx.config.seed ^ (s_size as u64) ^ u64::from(q.0),
+                    );
                     let wq: Vec<KeywordId> = dataset.graph.keyword_set(q).iter().collect();
                     let keywords: Vec<KeywordId> =
                         wq.choose_multiple(&mut rng, s_size).copied().collect();

@@ -22,11 +22,8 @@ pub fn apriori(transactions: &[Transaction], min_support: usize) -> Vec<Frequent
             *counts.entry(i).or_default() += 1;
         }
     }
-    let mut current: Vec<Itemset> = counts
-        .iter()
-        .filter(|(_, &c)| c >= min_support)
-        .map(|(&i, _)| vec![i])
-        .collect();
+    let mut current: Vec<Itemset> =
+        counts.iter().filter(|(_, &c)| c >= min_support).map(|(&i, _)| vec![i]).collect();
     current.sort();
     for set in &current {
         results.push(FrequentItemset::new(set.clone(), counts[&set[0]]));

@@ -51,15 +51,10 @@ impl FpTree {
         };
 
         for (items, weight) in weighted {
-            let mut frequent: Vec<Item> = items
-                .iter()
-                .copied()
-                .filter(|i| item_support.contains_key(i))
-                .collect();
+            let mut frequent: Vec<Item> =
+                items.iter().copied().filter(|i| item_support.contains_key(i)).collect();
             // Descending support, ascending item id for determinism.
-            frequent.sort_by(|a, b| {
-                item_support[b].cmp(&item_support[a]).then_with(|| a.cmp(b))
-            });
+            frequent.sort_by(|a, b| item_support[b].cmp(&item_support[a]).then_with(|| a.cmp(b)));
             frequent.dedup();
             tree.insert(&frequent, *weight);
         }
@@ -193,7 +188,17 @@ mod tests {
 
     #[test]
     fn mines_known_supports() {
-        let t = txs(&[&[1, 2, 5], &[2, 4], &[2, 3], &[1, 2, 4], &[1, 3], &[2, 3], &[1, 3], &[1, 2, 3, 5], &[1, 2, 3]]);
+        let t = txs(&[
+            &[1, 2, 5],
+            &[2, 4],
+            &[2, 3],
+            &[1, 2, 4],
+            &[1, 3],
+            &[2, 3],
+            &[1, 3],
+            &[1, 2, 3, 5],
+            &[1, 2, 3],
+        ]);
         let found = crate::normalize(fp_growth(&t, 2));
         assert!(found.contains(&(vec![2], 7)));
         assert!(found.contains(&(vec![1], 6)));

@@ -134,10 +134,7 @@ mod proptests {
 
     /// Brute-force support counting over all subsets present in the output.
     fn support_of(transactions: &[Transaction], items: &[u32]) -> usize {
-        transactions
-            .iter()
-            .filter(|t| items.iter().all(|i| t.items().contains(i)))
-            .count()
+        transactions.iter().filter(|t| items.iter().all(|i| t.items().contains(i))).count()
     }
 
     proptest! {

@@ -26,7 +26,9 @@ impl fmt::Display for GraphError {
         match self {
             GraphError::UnknownVertex(v) => write!(f, "unknown vertex {v}"),
             GraphError::SelfLoop(v) => write!(f, "self-loop on vertex {v} is not allowed"),
-            GraphError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
             GraphError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }

@@ -96,10 +96,7 @@ impl AttributedGraph {
 
     /// Finds the first vertex whose label equals `label`.
     pub fn vertex_by_label(&self, label: &str) -> Option<VertexId> {
-        self.labels
-            .iter()
-            .position(|l| l.as_deref() == Some(label))
-            .map(VertexId::from_index)
+        self.labels.iter().position(|l| l.as_deref() == Some(label)).map(VertexId::from_index)
     }
 
     /// The shared keyword dictionary.

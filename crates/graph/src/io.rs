@@ -21,13 +21,17 @@ use std::path::Path;
 /// Vertex tokens may be arbitrary strings (author names, user ids); they are
 /// mapped to dense [`VertexId`]s in order of first appearance across both
 /// files. Lines starting with `#` and blank lines are ignored.
-pub fn read_text<R1: Read, R2: Read>(edges: R1, keywords: R2) -> Result<AttributedGraph, GraphError> {
+pub fn read_text<R1: Read, R2: Read>(
+    edges: R1,
+    keywords: R2,
+) -> Result<AttributedGraph, GraphError> {
     let mut builder = GraphBuilder::new();
     let mut ids: HashMap<String, VertexId> = HashMap::new();
 
-    let vertex_id = |builder: &mut GraphBuilder, ids: &mut HashMap<String, VertexId>, token: &str| {
-        *ids.entry(token.to_owned()).or_insert_with(|| builder.add_vertex(token, &[]))
-    };
+    let vertex_id =
+        |builder: &mut GraphBuilder, ids: &mut HashMap<String, VertexId>, token: &str| {
+            *ids.entry(token.to_owned()).or_insert_with(|| builder.add_vertex(token, &[]))
+        };
 
     // Keyword file first so that labelled vertices keep their keywords even if
     // they never appear in the edge file.
@@ -92,7 +96,10 @@ pub fn read_text<R1: Read, R2: Read>(edges: R1, keywords: R2) -> Result<Attribut
 }
 
 /// Reads the text-pair format from two files on disk.
-pub fn read_text_files<P: AsRef<Path>>(edge_path: P, keyword_path: P) -> Result<AttributedGraph, GraphError> {
+pub fn read_text_files<P: AsRef<Path>>(
+    edge_path: P,
+    keyword_path: P,
+) -> Result<AttributedGraph, GraphError> {
     let edges = std::fs::File::open(edge_path)?;
     let keywords = std::fs::File::open(keyword_path)?;
     read_text(edges, keywords)
@@ -137,7 +144,8 @@ mod tests {
     use crate::graph::paper_figure3_graph;
 
     const EDGES: &str = "# toy co-author graph\nalice bob\nbob carol\ncarol alice\ncarol dave\n";
-    const KEYWORDS: &str = "alice\tart cook yoga\nbob\tresearch sports yoga\ncarol\tart research\ndave\tweb\n";
+    const KEYWORDS: &str =
+        "alice\tart cook yoga\nbob\tresearch sports yoga\ncarol\tart research\ndave\tweb\n";
 
     #[test]
     fn read_text_builds_expected_graph() {

@@ -67,10 +67,7 @@ impl KeywordDictionary {
 
     /// Iterates over `(id, term)` pairs in identifier order.
     pub fn iter(&self) -> impl Iterator<Item = (KeywordId, &str)> + '_ {
-        self.terms
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (KeywordId::from_index(i), t.as_str()))
+        self.terms.iter().enumerate().map(|(i, t)| (KeywordId::from_index(i), t.as_str()))
     }
 
     /// Rebuilds the string → id lookup table. Needed after deserialisation,

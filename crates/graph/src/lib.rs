@@ -37,7 +37,10 @@ pub mod statistics;
 pub mod subgraph;
 
 pub use error::GraphError;
-pub use graph::{graph_from_edges, paper_figure3_graph, sorted_ids, unlabeled_graph, AttributedGraph, GraphBuilder};
+pub use graph::{
+    graph_from_edges, paper_figure3_graph, sorted_ids, unlabeled_graph, AttributedGraph,
+    GraphBuilder,
+};
 pub use ids::{KeywordId, VertexId};
 pub use keywords::{KeywordDictionary, KeywordSet};
 pub use statistics::GraphStatistics;

@@ -121,11 +121,7 @@ impl VertexSubset {
 
     /// Number of edges of the induced subgraph `G[subset]`.
     pub fn induced_edge_count(&self, graph: &AttributedGraph) -> usize {
-        self.members
-            .iter()
-            .map(|&v| self.degree_within(graph, v))
-            .sum::<usize>()
-            / 2
+        self.members.iter().map(|&v| self.degree_within(graph, v)).sum::<usize>() / 2
     }
 
     /// The connected component of the induced subgraph that contains `start`,

@@ -28,7 +28,8 @@ impl CoreDecomposition {
         }
 
         // Degrees and the maximum degree.
-        let mut degree: Vec<usize> = (0..n).map(|i| graph.degree(VertexId::from_index(i))).collect();
+        let mut degree: Vec<usize> =
+            (0..n).map(|i| graph.degree(VertexId::from_index(i))).collect();
         let max_degree = degree.iter().copied().max().unwrap_or(0);
 
         // Bin sort vertices by degree: `bin[d]` is the index in `order` where
@@ -141,7 +142,10 @@ impl CoreDecomposition {
 
     /// The minimum core number among a set of vertices — the paper's
     /// *subgraph core number* (Definition 4). Returns `None` for an empty set.
-    pub fn subgraph_core_number<I: IntoIterator<Item = VertexId>>(&self, vertices: I) -> Option<u32> {
+    pub fn subgraph_core_number<I: IntoIterator<Item = VertexId>>(
+        &self,
+        vertices: I,
+    ) -> Option<u32> {
         vertices.into_iter().map(|v| self.core_number(v)).min()
     }
 

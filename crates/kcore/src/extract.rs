@@ -13,7 +13,11 @@ use std::collections::VecDeque;
 
 /// The k-core `H_k` of the whole graph as a vertex subset: exactly the
 /// vertices whose core number is at least `k`.
-pub fn kcore_subset(graph: &AttributedGraph, decomposition: &CoreDecomposition, k: u32) -> VertexSubset {
+pub fn kcore_subset(
+    graph: &AttributedGraph,
+    decomposition: &CoreDecomposition,
+    k: u32,
+) -> VertexSubset {
     VertexSubset::from_iter(graph.num_vertices(), decomposition.vertices_with_core_at_least(k))
 }
 
@@ -56,8 +60,7 @@ pub fn peel_to_kcore(graph: &AttributedGraph, subset: &VertexSubset, k: usize) -
         degree[v.index()] = subset.degree_within(graph, v);
     }
     let mut removed = vec![false; n];
-    let mut queue: VecDeque<VertexId> =
-        subset.iter().filter(|&v| degree[v.index()] < k).collect();
+    let mut queue: VecDeque<VertexId> = subset.iter().filter(|&v| degree[v.index()] < k).collect();
     for v in &queue {
         removed[v.index()] = true;
     }
@@ -114,7 +117,7 @@ pub fn may_contain_kcore(num_vertices: usize, num_edges: usize, k: usize) -> boo
 #[cfg(test)]
 mod tests {
     use super::*;
-    use acq_graph::{graph_from_edges, paper_figure3_graph, unlabeled_graph};
+    use acq_graph::{paper_figure3_graph, unlabeled_graph};
 
     fn labels(graph: &AttributedGraph, s: &VertexSubset) -> Vec<String> {
         let mut v: Vec<String> =

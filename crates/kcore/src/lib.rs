@@ -24,7 +24,10 @@ pub mod extract;
 pub mod maintenance;
 
 pub use decompose::CoreDecomposition;
-pub use extract::{connected_kcore_containing, kcore_subset, may_contain_kcore, peel_to_kcore, peel_to_kcore_containing};
+pub use extract::{
+    connected_kcore_containing, kcore_subset, may_contain_kcore, peel_to_kcore,
+    peel_to_kcore_containing,
+};
 
 #[cfg(test)]
 mod proptests {

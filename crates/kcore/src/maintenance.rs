@@ -49,11 +49,8 @@ pub fn apply_edge_insertion(
             .count();
     }
     let mut evicted = vec![false; n];
-    let mut queue: VecDeque<VertexId> = candidates
-        .iter()
-        .copied()
-        .filter(|&w| support[w.index()] <= c as usize)
-        .collect();
+    let mut queue: VecDeque<VertexId> =
+        candidates.iter().copied().filter(|&w| support[w.index()] <= c as usize).collect();
     for &w in &queue {
         evicted[w.index()] = true;
     }
@@ -107,18 +104,12 @@ pub fn apply_edge_removal(
     // themselves survive the cascade.
     let mut support = vec![0usize; n];
     for &w in &candidates {
-        support[w.index()] = graph
-            .neighbors(w)
-            .iter()
-            .filter(|&&x| decomposition.core_number(x) >= c)
-            .count();
+        support[w.index()] =
+            graph.neighbors(w).iter().filter(|&&x| decomposition.core_number(x) >= c).count();
     }
     let mut demoted = vec![false; n];
-    let mut queue: VecDeque<VertexId> = candidates
-        .iter()
-        .copied()
-        .filter(|&w| support[w.index()] < c as usize)
-        .collect();
+    let mut queue: VecDeque<VertexId> =
+        candidates.iter().copied().filter(|&w| support[w.index()] < c as usize).collect();
     for &w in &queue {
         demoted[w.index()] = true;
     }
@@ -178,7 +169,7 @@ fn subcore_candidates(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use acq_graph::{graph_from_edges, paper_figure3_graph, unlabeled_graph};
+    use acq_graph::{paper_figure3_graph, unlabeled_graph};
 
     fn assert_matches_recomputation(graph: &AttributedGraph, maintained: &CoreDecomposition) {
         let fresh = CoreDecomposition::compute(graph);

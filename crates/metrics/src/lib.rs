@@ -27,7 +27,11 @@ pub type Community = Vec<VertexId>;
 /// it, averaged over keywords and communities. Ranges over `[0, 1]`; higher is
 /// more cohesive. Returns 0.0 for degenerate inputs (no communities, empty
 /// communities, or an empty reference keyword set).
-pub fn cmf(graph: &AttributedGraph, communities: &[Community], reference_keywords: &[KeywordId]) -> f64 {
+pub fn cmf(
+    graph: &AttributedGraph,
+    communities: &[Community],
+    reference_keywords: &[KeywordId],
+) -> f64 {
     if communities.is_empty() || reference_keywords.is_empty() {
         return 0.0;
     }
@@ -98,7 +102,11 @@ pub fn cpj(graph: &AttributedGraph, communities: &[Community]) -> f64 {
 
 /// Member frequency of one keyword (Section 7.2.2): the fraction of members
 /// carrying `keyword`, averaged over the communities.
-pub fn member_frequency(graph: &AttributedGraph, communities: &[Community], keyword: KeywordId) -> f64 {
+pub fn member_frequency(
+    graph: &AttributedGraph,
+    communities: &[Community],
+    keyword: KeywordId,
+) -> f64 {
     if communities.is_empty() {
         return 0.0;
     }
@@ -108,7 +116,8 @@ pub fn member_frequency(graph: &AttributedGraph, communities: &[Community], keyw
         if community.is_empty() {
             continue;
         }
-        let carrying = community.iter().filter(|&&v| graph.keyword_set(v).contains(keyword)).count();
+        let carrying =
+            community.iter().filter(|&&v| graph.keyword_set(v).contains(keyword)).count();
         total += carrying as f64 / community.len() as f64;
         counted += 1;
     }
@@ -132,10 +141,8 @@ pub fn keywords_by_member_frequency(
             distinct.extend(graph.keyword_set(v).iter());
         }
     }
-    let mut ranked: Vec<(KeywordId, f64)> = distinct
-        .into_iter()
-        .map(|kw| (kw, member_frequency(graph, communities, kw)))
-        .collect();
+    let mut ranked: Vec<(KeywordId, f64)> =
+        distinct.into_iter().map(|kw| (kw, member_frequency(graph, communities, kw))).collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
     ranked
 }
@@ -244,7 +251,9 @@ mod tests {
         // The AC {A, C, D} shares x and y; the whole 2-ĉore {A,B,C,D,E} does not.
         let ac = by_labels(&g, &["A", "C", "D"]);
         let kcore = by_labels(&g, &["A", "B", "C", "D", "E"]);
-        assert!(cmf(&g, &[ac.clone()], &wq) > cmf(&g, &[kcore.clone()], &wq));
+        assert!(
+            cmf(&g, std::slice::from_ref(&ac), &wq) > cmf(&g, std::slice::from_ref(&kcore), &wq)
+        );
         assert!(cpj(&g, &[ac]) > cpj(&g, &[kcore]));
     }
 
@@ -254,8 +263,8 @@ mod tests {
         let x = g.dictionary().get("x").unwrap();
         let w = g.dictionary().get("w").unwrap();
         let community = by_labels(&g, &["A", "B", "C", "D"]);
-        assert!((member_frequency(&g, &[community.clone()], x) - 1.0).abs() < 1e-12);
-        assert!((member_frequency(&g, &[community.clone()], w) - 0.25).abs() < 1e-12);
+        assert!((member_frequency(&g, std::slice::from_ref(&community), x) - 1.0).abs() < 1e-12);
+        assert!((member_frequency(&g, std::slice::from_ref(&community), w) - 0.25).abs() < 1e-12);
         let ranked = keywords_by_member_frequency(&g, &[community]);
         assert_eq!(ranked[0].0, x, "x is carried by everyone");
         assert!(ranked.iter().any(|&(kw, _)| kw == w));
@@ -267,7 +276,7 @@ mod tests {
         let g = paper_figure3_graph();
         let community = by_labels(&g, &["A", "B", "C", "D"]);
         // Keywords: w, x, y, z? D has z -> {w, x, y, z}.
-        assert_eq!(distinct_keywords(&g, &[community.clone()]), 4);
+        assert_eq!(distinct_keywords(&g, std::slice::from_ref(&community)), 4);
         assert_eq!(average_size(&[community, by_labels(&g, &["H", "I"])]), 3.0);
         assert_eq!(average_size(&[]), 0.0);
         assert_eq!(distinct_keywords(&g, &[]), 0);
@@ -300,7 +309,7 @@ mod sampling_tests {
         // or without sampling.
         let g = paper_figure3_graph();
         let a = g.vertex_by_label("A").unwrap();
-        let big: Community = std::iter::repeat(a).take(CPJ_EXACT_LIMIT * 3).collect();
+        let big: Community = std::iter::repeat_n(a, CPJ_EXACT_LIMIT * 3).collect();
         let value = cpj(&g, &[big]);
         assert!((value - 1.0).abs() < 1e-9);
     }

@@ -63,7 +63,8 @@ impl AnchoredUnionFind {
         let anchor_a = self.anchor_of_element(a);
         let anchor_b = self.anchor_of_element(b);
         let winner = self.inner.union(a, b)?;
-        let best = if core_numbers[anchor_a] <= core_numbers[anchor_b] { anchor_a } else { anchor_b };
+        let best =
+            if core_numbers[anchor_a] <= core_numbers[anchor_b] { anchor_a } else { anchor_b };
         self.anchor[winner] = best;
         Some(winner)
     }

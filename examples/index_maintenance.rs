@@ -53,10 +53,8 @@ fn main() {
     }
 
     // --- 3. Edge removals. ----------------------------------------------------
-    let victim = graph
-        .vertices()
-        .find(|&v| graph.degree(v) > 2)
-        .expect("graph has well-connected vertices");
+    let victim =
+        graph.vertices().find(|&v| graph.degree(v) > 2).expect("graph has well-connected vertices");
     let neighbour = graph.neighbors(victim)[0];
     graph = graph.with_edge_removed(victim, neighbour).unwrap();
     index = maintenance::apply_edge_removal(&index, &graph, victim, neighbour);
@@ -71,7 +69,8 @@ fn main() {
     // --- 4. The maintained index answers queries identically. ----------------
     let engine_maintained = AcqEngine::with_index(&graph, index);
     let engine_fresh = AcqEngine::new(&graph);
-    let queries = datagen::select_query_vertices(&graph, engine_fresh.index().decomposition(), 10, 4, 3);
+    let queries =
+        datagen::select_query_vertices(&graph, engine_fresh.index().decomposition(), 10, 4, 3);
     let mut agreements = 0;
     for &q in &queries {
         let query = AcqQuery::new(q, 4);
@@ -81,8 +80,5 @@ fn main() {
             agreements += 1;
         }
     }
-    println!(
-        "\nmaintained vs freshly built index: {agreements}/{} queries agree",
-        queries.len()
-    );
+    println!("\nmaintained vs freshly built index: {agreements}/{} queries agree", queries.len());
 }

@@ -71,15 +71,10 @@ fn main() {
     // --- Variant queries (Appendix G). --------------------------------------
     let x = graph.dictionary().get("x").unwrap();
     let y = graph.dictionary().get("y").unwrap();
-    let v1 = engine
-        .query_variant1(&Variant1Query { vertex: q, k: 2, keywords: vec![x] })
-        .unwrap();
+    let v1 = engine.query_variant1(&Variant1Query { vertex: q, k: 2, keywords: vec![x] }).unwrap();
     println!("\nVariant 1 (S = {{x}} required): {:?}", v1.communities[0].member_names(&graph));
     let v2 = engine
         .query_variant2(&Variant2Query { vertex: q, k: 2, keywords: vec![x, y], theta: 0.5 })
         .unwrap();
-    println!(
-        "Variant 2 (>= 50% of {{x, y}}):  {:?}",
-        v2.communities[0].member_names(&graph)
-    );
+    println!("Variant 2 (>= 50% of {{x, y}}):  {:?}", v2.communities[0].member_names(&graph));
 }

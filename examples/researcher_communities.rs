@@ -23,11 +23,7 @@ fn print_result(graph: &AttributedGraph, heading: &str, result: &AcqResult) {
         return;
     }
     for community in &result.communities {
-        println!(
-            "  {} members, AC-label {:?}",
-            community.len(),
-            community.label_terms(graph)
-        );
+        println!("  {} members, AC-label {:?}", community.len(), community.label_terms(graph));
         println!("    {}", community.member_names(graph).join(", "));
     }
 }
@@ -44,20 +40,23 @@ fn main() {
 
     // Figure 2(a): the database-systems side of Jim's collaborations.
     let db_query = AcqQuery::with_keyword_terms(&graph, jim, k, themes::DATABASE);
-    print_result(&graph, "S = {transaction, data, management, system, research}:",
-        &engine.query(&db_query).unwrap());
+    print_result(
+        &graph,
+        "S = {transaction, data, management, system, research}:",
+        &engine.query(&db_query).unwrap(),
+    );
 
     // Figure 2(b): the Sloan Digital Sky Survey side.
     let sdss_query = AcqQuery::with_keyword_terms(&graph, jim, k, themes::SDSS);
-    print_result(&graph, "S = {sloan, digital, sky, survey, sdss}:",
-        &engine.query(&sdss_query).unwrap());
+    print_result(
+        &graph,
+        "S = {sloan, digital, sky, survey, sdss}:",
+        &engine.query(&sdss_query).unwrap(),
+    );
 
     // What a keyword-oblivious method returns instead: one big k-core.
     let kcore = global_community(&graph, jim, k).expect("Jim sits in a 4-core");
-    let distinct = metrics::distinct_keywords(
-        &graph,
-        &[kcore.sorted_members()],
-    );
+    let distinct = metrics::distinct_keywords(&graph, &[kcore.sorted_members()]);
     println!(
         "\nGlobal (structure only): {} members, {} distinct keywords — hard to interpret",
         kcore.len(),
@@ -70,24 +69,28 @@ fn main() {
 
     // Figure 10(a): graph-analysis collaborators.
     let analysis = AcqQuery::with_keyword_terms(&graph, han, k, themes::GRAPH_ANALYSIS);
-    print_result(&graph, "S = {analysis, mine, data, information, network}:",
-        &engine.query(&analysis).unwrap());
+    print_result(
+        &graph,
+        "S = {analysis, mine, data, information, network}:",
+        &engine.query(&analysis).unwrap(),
+    );
 
     // Figure 10(b): pattern-mining collaborators.
     let pattern = AcqQuery::with_keyword_terms(&graph, han, k, themes::PATTERN_MINING);
-    print_result(&graph, "S = {mine, data, pattern, database}:",
-        &engine.query(&pattern).unwrap());
+    print_result(&graph, "S = {mine, data, pattern, database}:", &engine.query(&pattern).unwrap());
 
     // ------------------------------------------------ Variants (Figure 18)
     println!("\n== Variants (Jiawei Han) ==");
-    let stream_kw: Vec<KeywordId> = themes::STREAM
-        .iter()
-        .filter_map(|t| graph.dictionary().get(t))
-        .collect();
+    let stream_kw: Vec<KeywordId> =
+        themes::STREAM.iter().filter_map(|t| graph.dictionary().get(t)).collect();
     let v1 = engine
         .query_variant1(&Variant1Query { vertex: han, k, keywords: stream_kw.clone() })
         .unwrap();
-    print_result(&graph, "Variant 1 — every member must contain {stream, classification, data, mine}:", &v1);
+    print_result(
+        &graph,
+        "Variant 1 — every member must contain {stream, classification, data, mine}:",
+        &v1,
+    );
 
     let v2 = engine
         .query_variant2(&Variant2Query { vertex: han, k, keywords: stream_kw, theta: 0.6 })

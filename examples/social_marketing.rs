@@ -30,10 +30,11 @@ fn main() {
     // Pick a member with a reasonably deep core number and at least 5 interests
     // — our "Mary", the gym customer.
     let decomposition = engine.index().decomposition();
-    let mary = datagen::select_query_vertices_with_keywords(&graph, decomposition, 1, k as u32, 5, 11)
-        .into_iter()
-        .next()
-        .expect("the generated network has well-connected members");
+    let mary =
+        datagen::select_query_vertices_with_keywords(&graph, decomposition, 1, k as u32, 5, 11)
+            .into_iter()
+            .next()
+            .expect("the generated network has well-connected members");
     let interests = graph.keyword_terms(mary);
     println!(
         "query member: {} (core number {}), interests: {:?}",
@@ -58,10 +59,8 @@ fn main() {
     // --- 1. Structure-only community search. -------------------------------
     let kcore = global_community(&graph, mary, k).expect("core number >= k");
     let members: Vec<VertexId> = kcore.sorted_members();
-    let carrying = members
-        .iter()
-        .filter(|&&v| graph.keyword_terms(v).contains(&target_interest))
-        .count();
+    let carrying =
+        members.iter().filter(|&&v| graph.keyword_terms(v).contains(&target_interest)).count();
     println!(
         "Global (k-core only): {:>5} members, {:>5} of them ({:.0}%) mention {target_interest:?}",
         members.len(),

@@ -40,9 +40,9 @@
 
 #![warn(missing_docs)]
 
-pub use acq_core as acq;
 pub use acq_baselines as baselines;
 pub use acq_cltree as cltree;
+pub use acq_core as acq;
 pub use acq_datagen as datagen;
 pub use acq_fpm as fpm;
 pub use acq_graph as graph;

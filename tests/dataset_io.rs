@@ -41,8 +41,10 @@ fn generated_dataset_roundtrips_through_disk_files() {
         .next()
         .expect("tiny profile supports k=4");
     let q_b = reloaded.vertex_by_label(graph.label(q_a).unwrap()).unwrap();
-    let mut names_a = engine_a.query(&AcqQuery::new(q_a, 4)).unwrap().communities[0].member_names(&graph);
-    let mut names_b = engine_b.query(&AcqQuery::new(q_b, 4)).unwrap().communities[0].member_names(&reloaded);
+    let mut names_a =
+        engine_a.query(&AcqQuery::new(q_a, 4)).unwrap().communities[0].member_names(&graph);
+    let mut names_b =
+        engine_b.query(&AcqQuery::new(q_b, 4)).unwrap().communities[0].member_names(&reloaded);
     names_a.sort();
     names_b.sort();
     assert_eq!(names_a, names_b);

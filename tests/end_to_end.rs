@@ -13,6 +13,34 @@ fn generated_graph() -> AttributedGraph {
     datagen::generate(&datagen::tiny())
 }
 
+/// The façade's quick-start path, as shown in the crate-level doctest: build
+/// the paper's Figure 3 graph through the prelude alone and run the default
+/// query. Pins the `prelude` re-exports (graph, engine, query, index types) as
+/// a plain integration test so an accidental re-export removal fails even when
+/// doctests are skipped.
+#[test]
+fn prelude_quick_start_smoke_test() {
+    let graph = paper_figure3_graph();
+    let engine = AcqEngine::new(&graph);
+    let q = graph.vertex_by_label("A").expect("Figure 3 has a vertex A");
+
+    let result = engine.query(&AcqQuery::new(q, 2)).expect("valid query");
+    let ac = &result.communities[0];
+    assert_eq!(ac.member_names(&graph), vec!["A", "C", "D"]);
+    assert_eq!(ac.label_terms(&graph), vec!["x", "y"]);
+
+    // Index types from the prelude: both builders produce the same CL-tree.
+    let basic: ClTree = build_basic(&graph, true);
+    let advanced: ClTree = build_advanced(&graph, true);
+    assert_eq!(basic.canonical_form(), advanced.canonical_form());
+
+    // Core decomposition and subsets from the prelude.
+    let decomposition = CoreDecomposition::compute(&graph);
+    assert!(decomposition.core_number(q) >= 2);
+    let full = VertexSubset::full(graph.num_vertices());
+    assert!(full.contains(q));
+}
+
 #[test]
 fn full_pipeline_on_generated_dataset() {
     let graph = generated_graph();
@@ -44,8 +72,7 @@ fn full_pipeline_on_generated_dataset() {
 fn all_algorithms_agree_on_generated_dataset() {
     let graph = generated_graph();
     let engine = AcqEngine::new(&graph);
-    let queries =
-        datagen::select_query_vertices(&graph, engine.index().decomposition(), 10, 4, 2);
+    let queries = datagen::select_query_vertices(&graph, engine.index().decomposition(), 10, 4, 2);
     for &q in &queries {
         let query = AcqQuery::new(q, 4);
         let reference = engine.query_with(&query, AcqAlgorithm::BasicG).unwrap().canonical();
@@ -70,8 +97,7 @@ fn both_index_builders_agree_on_generated_dataset() {
 fn acq_is_contained_in_the_kcore_and_more_cohesive() {
     let graph = generated_graph();
     let engine = AcqEngine::new(&graph);
-    let queries =
-        datagen::select_query_vertices(&graph, engine.index().decomposition(), 15, 4, 3);
+    let queries = datagen::select_query_vertices(&graph, engine.index().decomposition(), 15, 4, 3);
     let mut acq_cmf = Vec::new();
     let mut global_cmf = Vec::new();
     for &q in &queries {
@@ -143,10 +169,7 @@ fn index_survives_serialisation_and_maintenance_roundtrip() {
         v,
     );
     maintained.validate(&updated_graph).unwrap();
-    assert_eq!(
-        maintained.canonical_form(),
-        build_advanced(&updated_graph, true).canonical_form()
-    );
+    assert_eq!(maintained.canonical_form(), build_advanced(&updated_graph, true).canonical_form());
 }
 
 #[test]

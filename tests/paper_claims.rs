@@ -33,8 +33,7 @@ fn claim_acs_share_keywords_and_get_more_cohesive_with_longer_labels() {
     }
     let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
     // Compare the shortest and longest populated buckets.
-    let populated: Vec<usize> =
-        (1..=5).filter(|&l| !by_label_len[l].is_empty()).collect();
+    let populated: Vec<usize> = (1..=5).filter(|&l| !by_label_len[l].is_empty()).collect();
     if populated.len() >= 2 {
         let first = *populated.first().unwrap();
         let last = *populated.last().unwrap();
@@ -169,7 +168,8 @@ fn claim_gpm_star_queries_collapse_as_keyword_sets_grow() {
     use attributed_community_search::baselines::{star_pattern_has_match, StarPatternQuery};
     let graph = dataset();
     let decomposition = CoreDecomposition::compute(&graph);
-    let queries = datagen::select_query_vertices_with_keywords(&graph, &decomposition, 30, 4, 5, 17);
+    let queries =
+        datagen::select_query_vertices_with_keywords(&graph, &decomposition, 30, 4, 5, 17);
     let rate = |s_size: usize| -> f64 {
         let mut hits = 0usize;
         let mut total = 0usize;
@@ -178,8 +178,7 @@ fn claim_gpm_star_queries_collapse_as_keyword_sets_grow() {
             if wq.len() < s_size {
                 continue;
             }
-            let query =
-                StarPatternQuery { vertex: q, leaves: 6, keywords: wq[..s_size].to_vec() };
+            let query = StarPatternQuery { vertex: q, leaves: 6, keywords: wq[..s_size].to_vec() };
             if star_pattern_has_match(&graph, &query) {
                 hits += 1;
             }

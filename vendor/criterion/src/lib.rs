@@ -1,0 +1,157 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the macro/struct surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `black_box`) with a
+//! simple wall-clock measurement loop instead of upstream's statistical
+//! analysis: each benchmark runs a warm-up call plus `sample_size` timed
+//! iterations and prints the mean time per iteration.
+//!
+//! Benches using this crate must set `harness = false` in their manifest, as
+//! `criterion_main!` generates the `main` function.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier of a parameterised benchmark: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an identifier from a function name and a parameter display.
+    pub fn new<F: fmt::Display, P: fmt::Display>(function_name: F, parameter: P) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` once (recording its wall-clock time).
+    ///
+    /// The surrounding harness calls the benchmark body — and therefore this
+    /// method — `sample_size` times and reports the mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iterations += 1;
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group<N: fmt::Display>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.to_string(), sample_size: 10 }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<N, F>(&mut self, name: N, body: F) -> &mut Self
+    where
+        N: fmt::Display,
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&name.to_string(), 10, body);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<N, F>(&mut self, id: N, body: F) -> &mut Self
+    where
+        N: fmt::Display,
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, body);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut body: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, |b| body(b, input));
+        self
+    }
+
+    /// Finishes the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut body: F) {
+    // Warm-up pass, not counted.
+    let mut warmup = Bencher::default();
+    body(&mut warmup);
+
+    let mut bencher = Bencher::default();
+    for _ in 0..samples {
+        body(&mut bencher);
+    }
+    let mean = if bencher.iterations == 0 {
+        Duration::ZERO
+    } else {
+        bencher.elapsed / u32::try_from(bencher.iterations).unwrap_or(u32::MAX)
+    };
+    println!("bench: {label:<60} {mean:>12.3?}/iter ({} iters)", bencher.iterations);
+}
+
+/// Declares a function running the listed benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

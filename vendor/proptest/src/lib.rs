@@ -1,0 +1,128 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest 1.x surface this workspace uses:
+//! the [`strategy::Strategy`] trait with `prop_map`/`prop_flat_map`, range and
+//! tuple strategies, [`collection::vec`]/[`collection::hash_set`], the
+//! [`proptest!`] macro with an optional `#![proptest_config(..)]` header, and
+//! the `prop_assert!`/`prop_assert_eq!` macros.
+//!
+//! Differences from upstream: each property runs a fixed number of cases with
+//! inputs drawn from an RNG seeded from the test name (fully deterministic),
+//! and there is **no shrinking** — a failing case reports its assertion
+//! message only.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The items wildcard-imported by `use proptest::prelude::*` upstream.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Runs each property in the block for `ProptestConfig::cases` deterministic
+/// cases. See the crate docs for the supported syntax subset.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($config:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $( $arg:ident in $strategy:expr ),+ $(,)? ) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                for __case in 0..__config.cases {
+                    let mut __rng =
+                        $crate::test_runner::rng_for(stringify!($name), u64::from(__case));
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strategy), &mut __rng);
+                    )+
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(__e) = __outcome {
+                        ::std::panic!(
+                            "property `{}` failed on case {}: {}",
+                            stringify!($name),
+                            __case,
+                            __e
+                        );
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body, failing the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = ($left, $right);
+        $crate::prop_assert!(
+            __left == __right,
+            "assertion failed: `{:?}` != `{:?}`",
+            __left,
+            __right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__left, __right) = ($left, $right);
+        $crate::prop_assert!(
+            __left == __right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            __left,
+            __right,
+            ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body, failing the current case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = ($left, $right);
+        $crate::prop_assert!(
+            __left != __right,
+            "assertion failed: `{:?}` == `{:?}`",
+            __left,
+            __right
+        );
+    }};
+}

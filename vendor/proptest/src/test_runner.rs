@@ -1,0 +1,59 @@
+//! Test-runner plumbing: configuration, case errors, per-test RNGs.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt;
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; this stand-in halves that to keep the
+        // graph-building properties fast in CI while still covering a broad
+        // input spread.
+        ProptestConfig { cases: 128 }
+    }
+}
+
+/// Failure of a single property case (produced by `prop_assert!`).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: String) -> Self {
+        TestCaseError(message)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic RNG for one case of one property: seeded from the test name
+/// (FNV-1a) and the case index, so every test gets its own input stream and
+/// reruns are reproducible.
+pub fn rng_for(test_name: &str, case: u64) -> ChaCha8Rng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    ChaCha8Rng::seed_from_u64(hash ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}

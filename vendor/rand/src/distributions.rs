@@ -1,0 +1,79 @@
+//! Sampling distributions: the [`Distribution`] trait and [`WeightedIndex`].
+
+use crate::{unit_f64, RngCore};
+use std::borrow::Borrow;
+use std::fmt;
+
+/// A distribution that produces values of type `T`.
+pub trait Distribution<T> {
+    /// Samples one value from the distribution.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a [`WeightedIndex`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WeightedError {
+    /// The weight collection was empty.
+    NoItem,
+    /// A weight was negative or not finite.
+    InvalidWeight,
+    /// All weights were zero.
+    AllWeightsZero,
+}
+
+impl fmt::Display for WeightedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WeightedError::NoItem => write!(f, "no weights provided"),
+            WeightedError::InvalidWeight => write!(f, "a weight is invalid"),
+            WeightedError::AllWeightsZero => write!(f, "all weights are zero"),
+        }
+    }
+}
+
+impl std::error::Error for WeightedError {}
+
+/// Samples indices `0..n` with probability proportional to the given weights.
+#[derive(Debug, Clone)]
+pub struct WeightedIndex {
+    /// Cumulative weight sums; `cumulative.last()` is the total.
+    cumulative: Vec<f64>,
+}
+
+impl WeightedIndex {
+    /// Builds the distribution from an iterator of non-negative `f64` weights.
+    pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+    where
+        I: IntoIterator,
+        I::Item: Borrow<f64>,
+    {
+        let mut cumulative = Vec::new();
+        let mut total = 0.0f64;
+        for w in weights {
+            let w = *w.borrow();
+            if !w.is_finite() || w < 0.0 {
+                return Err(WeightedError::InvalidWeight);
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if cumulative.is_empty() {
+            return Err(WeightedError::NoItem);
+        }
+        if total <= 0.0 {
+            return Err(WeightedError::AllWeightsZero);
+        }
+        Ok(WeightedIndex { cumulative })
+    }
+}
+
+impl Distribution<usize> for WeightedIndex {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty by construction");
+        let target = unit_f64(rng) * total;
+        // First index whose cumulative weight exceeds the target.
+        match self.cumulative.binary_search_by(|c| c.partial_cmp(&target).expect("finite")) {
+            Ok(i) | Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Supports the shapes this workspace actually uses:
+//!
+//! * structs with named fields, honouring `#[serde(skip)]` on fields (skipped
+//!   on serialize, filled from `Default::default()` on deserialize);
+//! * `#[serde(transparent)]` newtype structs (one unnamed field), which also
+//!   get a `JsonKey` impl so they can be used as map keys;
+//! * generic parameters, enums and other serde attributes are **not**
+//!   supported and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    transparent: bool,
+    kind: Kind,
+}
+
+#[derive(Debug)]
+enum Kind {
+    /// Named fields as `(name, skipped)` pairs, in declaration order.
+    Named(Vec<(String, bool)>),
+    /// Tuple struct with this many fields.
+    Tuple(usize),
+}
+
+/// Splits leading attributes off a token cursor, returning whether any of
+/// them is `#[serde(<word>)]` for each word in `words`.
+fn take_attrs(tokens: &[TokenTree], pos: &mut usize, words: &[&str]) -> Vec<bool> {
+    let mut found = vec![false; words.len()];
+    while *pos + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[*pos] else { break };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[*pos + 1] else { break };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(head)) = inner.first() {
+            if head.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    for tt in args.stream() {
+                        if let TokenTree::Ident(word) = &tt {
+                            let word = word.to_string();
+                            match words.iter().position(|w| *w == word) {
+                                Some(i) => found[i] = true,
+                                None => {
+                                    panic!("serde stand-in: unsupported attribute #[serde({word})]")
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        *pos += 2;
+    }
+    found
+}
+
+fn parse(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    let transparent = take_attrs(&tokens, &mut pos, &["transparent"])[0];
+
+    // Skip visibility (`pub`, optionally `pub(...)`).
+    if matches!(&tokens[pos], TokenTree::Ident(i) if i.to_string() == "pub") {
+        pos += 1;
+        if matches!(&tokens[pos], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis) {
+            pos += 1;
+        }
+    }
+
+    match &tokens[pos] {
+        TokenTree::Ident(i) if i.to_string() == "struct" => pos += 1,
+        other => panic!("serde stand-in: only structs can be derived, found `{other}`"),
+    }
+
+    let name = match &tokens[pos] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => panic!("serde stand-in: expected struct name, found `{other}`"),
+    };
+    pos += 1;
+
+    if matches!(&tokens[pos], TokenTree::Punct(p) if p.as_char() == '<') {
+        panic!("serde stand-in: generic structs are not supported ({name})");
+    }
+
+    let kind = match &tokens[pos] {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+            Kind::Named(parse_named_fields(g.stream()))
+        }
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+            Kind::Tuple(count_tuple_fields(g.stream()))
+        }
+        other => panic!("serde stand-in: unsupported struct body `{other}`"),
+    };
+
+    Input { name, transparent, kind }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<(String, bool)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let skip = take_attrs(&tokens, &mut pos, &["skip"])[0];
+        if matches!(&tokens[pos], TokenTree::Ident(i) if i.to_string() == "pub") {
+            pos += 1;
+            if matches!(&tokens[pos], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                pos += 1;
+            }
+        }
+        let name = match &tokens[pos] {
+            TokenTree::Ident(i) => i.to_string(),
+            other => panic!("serde stand-in: expected field name, found `{other}`"),
+        };
+        pos += 1;
+        assert!(
+            matches!(&tokens[pos], TokenTree::Punct(p) if p.as_char() == ':'),
+            "serde stand-in: expected `:` after field `{name}`"
+        );
+        pos += 1;
+        // Skip the type: consume until a top-level comma. `<`/`>` are plain
+        // punctuation in token streams, so track angle-bracket depth.
+        let mut angle_depth = 0i32;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        fields.push((name, skip));
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0;
+    let mut angle_depth = 0i32;
+    let mut saw_tokens = false;
+    for tt in stream {
+        saw_tokens = true;
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    if saw_tokens {
+        count + 1
+    } else {
+        0
+    }
+}
+
+/// Derives `serde::Serialize` (and, for transparent newtypes, `serde::JsonKey`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    let name = &parsed.name;
+    let mut out = String::new();
+    match (&parsed.kind, parsed.transparent) {
+        (Kind::Tuple(1), true) => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ ::serde::Serialize::to_value(&self.0) }}\n\
+                 }}\n\
+                 impl ::serde::JsonKey for {name} {{\n\
+                     fn to_key(&self) -> ::std::string::String {{ ::serde::JsonKey::to_key(&self.0) }}\n\
+                     fn from_key(key: &str) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok(Self(::serde::JsonKey::from_key(key)?))\n\
+                     }}\n\
+                 }}\n"
+            ));
+        }
+        (Kind::Named(fields), false) => {
+            let mut body = String::new();
+            for (field, skip) in fields {
+                if *skip {
+                    continue;
+                }
+                body.push_str(&format!(
+                    "__fields.push((\"{field}\".to_string(), ::serde::Serialize::to_value(&self.{field})));\n"
+                ));
+            }
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                         {body}\
+                         ::serde::Value::Object(__fields)\n\
+                     }}\n\
+                 }}\n"
+            ));
+        }
+        _ => panic!("serde stand-in: unsupported shape for Serialize on {name}"),
+    }
+    out.parse().expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    let name = &parsed.name;
+    let mut out = String::new();
+    match (&parsed.kind, parsed.transparent) {
+        (Kind::Tuple(1), true) => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok(Self(::serde::Deserialize::from_value(value)?))\n\
+                     }}\n\
+                 }}\n"
+            ));
+        }
+        (Kind::Named(fields), false) => {
+            let mut body = String::new();
+            for (field, skip) in fields {
+                if *skip {
+                    body.push_str(&format!("{field}: ::std::default::Default::default(),\n"));
+                } else {
+                    body.push_str(&format!(
+                        "{field}: match value.get_field(\"{field}\") {{\n\
+                             ::std::option::Option::Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+                             ::std::option::Option::None => return ::std::result::Result::Err(\n\
+                                 ::serde::Error::custom(\"missing field `{field}` in {name}\")),\n\
+                         }},\n"
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok(Self {{ {body} }})\n\
+                     }}\n\
+                 }}\n"
+            ));
+        }
+        _ => panic!("serde stand-in: unsupported shape for Deserialize on {name}"),
+    }
+    out.parse().expect("generated Deserialize impl must parse")
+}
