@@ -14,6 +14,7 @@
 
 use crate::algorithms::basic::assemble;
 use crate::common::{filter_by_keywords, verify_candidate, KeywordSetVec};
+use crate::exec::IndexCache;
 use crate::query::{AcqQuery, AcqResult, QueryStats};
 use acq_cltree::ClTree;
 use acq_fpm::{mine_frequent_itemsets, MiningAlgorithm, Transaction};
@@ -31,6 +32,21 @@ pub fn dec_with_miner(
     query: &AcqQuery,
     miner: MiningAlgorithm,
 ) -> AcqResult {
+    dec_cached(graph, index, query, miner, &IndexCache::disabled())
+}
+
+/// `Dec` against a shared [`IndexCache`]: core extraction goes through the
+/// cache, so repeated queries against the same ĉore skip the tree walk. The
+/// cached values are exactly what the uncached path computes, making this
+/// byte-identical to [`dec_with_miner`] — it is the entry point the batch
+/// engine uses.
+pub(crate) fn dec_cached(
+    graph: &AttributedGraph,
+    index: &ClTree,
+    query: &AcqQuery,
+    miner: MiningAlgorithm,
+    cache: &IndexCache,
+) -> AcqResult {
     let mut stats = QueryStats::default();
     let q = query.vertex;
     let k = query.k;
@@ -46,9 +62,9 @@ pub fn dec_with_miner(
 
     // ---- R_i: vertices of the k-ĉore sharing exactly i keywords of S with q
     //      (lines 3-4). ----
-    let subtree = index.subtree_vertices(root_k);
+    let subtree = cache.subtree_vertices(index, root_k, k as u32);
     let mut share_count: Vec<(VertexId, usize)> = Vec::with_capacity(subtree.len());
-    for &v in &subtree {
+    for &v in subtree.iter() {
         share_count.push((v, graph.keyword_set(v).intersection_size(&s)));
     }
 

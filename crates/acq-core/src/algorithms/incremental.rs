@@ -17,9 +17,10 @@
 
 use crate::algorithms::basic::assemble;
 use crate::common::{generate_candidates, verify_candidate, KeywordSetVec};
+use crate::exec::IndexCache;
 use crate::query::{AcqQuery, AcqResult, QueryStats};
 use acq_cltree::ClTree;
-use acq_graph::{AttributedGraph, VertexId, VertexSubset};
+use acq_graph::{AttributedGraph, VertexSubset};
 
 /// `Inc-S` — incremental, space-efficient. Set `use_inverted_lists` to `false`
 /// for the paper's `Inc-S*` ablation (keyword filtering by scanning the
@@ -29,6 +30,18 @@ pub fn inc_s(
     index: &ClTree,
     query: &AcqQuery,
     use_inverted_lists: bool,
+) -> AcqResult {
+    inc_s_cached(graph, index, query, use_inverted_lists, &IndexCache::disabled())
+}
+
+/// `Inc-S` against a shared [`IndexCache`] (the batch-engine entry point);
+/// byte-identical to [`inc_s`], keyword pools are served from the cache.
+pub(crate) fn inc_s_cached(
+    graph: &AttributedGraph,
+    index: &ClTree,
+    query: &AcqQuery,
+    use_inverted_lists: bool,
+    cache: &IndexCache,
 ) -> AcqResult {
     let mut stats = QueryStats::default();
     let q = query.vertex;
@@ -51,7 +64,7 @@ pub fn inc_s(
         let mut phi_cores: Vec<(KeywordSetVec, u32)> = Vec::new();
         for (candidate, core_bound) in &psi {
             let node = index.locate_core(q, *core_bound).expect("core bound never exceeds core(q)");
-            let pool = keyword_pool(graph, index, node, candidate, use_inverted_lists);
+            let pool = cache.keyword_pool(graph, index, node, k, candidate, use_inverted_lists);
             if let Some(community) = verify_candidate(graph, q, query.k, &pool, &mut stats) {
                 stats.qualified_sets += 1;
                 let community_core = index
@@ -99,15 +112,30 @@ pub fn inc_t(
     query: &AcqQuery,
     use_inverted_lists: bool,
 ) -> AcqResult {
+    inc_t_cached(graph, index, query, use_inverted_lists, &IndexCache::disabled())
+}
+
+/// `Inc-T` against a shared [`IndexCache`] (the batch-engine entry point);
+/// byte-identical to [`inc_t`], core extraction and the level-1 keyword pools
+/// are served from the cache.
+pub(crate) fn inc_t_cached(
+    graph: &AttributedGraph,
+    index: &ClTree,
+    query: &AcqQuery,
+    use_inverted_lists: bool,
+    cache: &IndexCache,
+) -> AcqResult {
     let mut stats = QueryStats::default();
     let q = query.vertex;
     let k = query.k as u32;
     let s = query.effective_keywords(graph);
 
-    let Some(kcore) = index.kcore_containing(q, k, graph.num_vertices()) else {
+    if index.core_number(q) < k {
         return AcqResult::empty(stats);
-    };
-    let root_k = index.locate_core(q, k).expect("kcore exists");
+    }
+    let root_k = index.locate_core(q, k).expect("core(q) >= k");
+    let kcore_vertices = cache.subtree_vertices(index, root_k, k);
+    let kcore = VertexSubset::from_iter(graph.num_vertices(), kcore_vertices.iter().copied());
 
     // Level 1: each single keyword is verified inside the k-ĉore, using the
     // inverted lists (or a scan for the * variant).
@@ -115,7 +143,7 @@ pub fn inc_t(
     let mut current: Vec<(KeywordSetVec, VertexSubset)> = Vec::new();
     for &kw in &s {
         let candidate = vec![kw];
-        let pool = keyword_pool(graph, index, root_k, &candidate, use_inverted_lists);
+        let pool = cache.keyword_pool(graph, index, root_k, k, &candidate, use_inverted_lists);
         if let Some(community) = verify_candidate(graph, q, query.k, &pool, &mut stats) {
             stats.qualified_sets += 1;
             current.push((candidate, community));
@@ -155,24 +183,6 @@ pub fn inc_t(
 
     let fallback = if last_level.is_empty() { Some(kcore) } else { None };
     assemble(graph, last_level, fallback, stats)
-}
-
-/// Builds the pool of subtree vertices containing every keyword of
-/// `candidate`, either through the inverted lists (keyword-checking) or by
-/// scanning the subtree's keyword sets (the `*` variants).
-fn keyword_pool(
-    graph: &AttributedGraph,
-    index: &ClTree,
-    node: acq_cltree::NodeId,
-    candidate: &[acq_graph::KeywordId],
-    use_inverted_lists: bool,
-) -> VertexSubset {
-    let vertices: Vec<VertexId> = if use_inverted_lists && index.has_inverted_lists() {
-        index.vertices_with_keywords_under(node, candidate)
-    } else {
-        index.vertices_with_keywords_under_scan(graph, node, candidate)
-    };
-    VertexSubset::from_iter(graph.num_vertices(), vertices)
 }
 
 /// Whether `small ⊆ large`, both sorted ascending.

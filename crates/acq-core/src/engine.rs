@@ -104,6 +104,24 @@ impl<'g> AcqEngine<'g> {
     }
 
     /// Runs the query with an explicitly chosen algorithm.
+    ///
+    /// All algorithms return the same communities (a property-based test
+    /// enforces it), so the choice only affects running time — `Dec` is the
+    /// paper's fastest. On the Figure 3 quick-start graph:
+    ///
+    /// ```
+    /// use acq_graph::paper_figure3_graph;
+    /// use acq_core::{AcqAlgorithm, AcqEngine, AcqQuery};
+    ///
+    /// let graph = paper_figure3_graph();
+    /// let engine = AcqEngine::new(&graph);
+    /// let q = graph.vertex_by_label("A").unwrap();
+    ///
+    /// let via_inc_t = engine.query_with(&AcqQuery::new(q, 2), AcqAlgorithm::IncT).unwrap();
+    /// let via_dec = engine.query_with(&AcqQuery::new(q, 2), AcqAlgorithm::Dec).unwrap();
+    /// assert_eq!(via_inc_t.communities[0].member_names(&graph), vec!["A", "C", "D"]);
+    /// assert_eq!(via_inc_t.canonical(), via_dec.canonical());
+    /// ```
     pub fn query_with(
         &self,
         query: &AcqQuery,

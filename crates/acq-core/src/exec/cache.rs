@@ -1,0 +1,311 @@
+//! The shared per-index result cache used by batch execution.
+//!
+//! Every CL-tree query algorithm spends its time in two pure primitives:
+//!
+//! * **core extraction** — materialising the vertex set of the subtree that
+//!   [`locate_core`](acq_cltree::ClTree::locate_core) returned (the k-ĉore
+//!   containing the query vertex);
+//! * **candidate-subtree lookup** — collecting the subtree vertices that
+//!   carry a candidate keyword set (the paper's *keyword-checking*).
+//!
+//! Both depend only on the immutable index, the degree bound `k` and the
+//! keyword set, so their results can be shared across every query of a batch
+//! (and across batches) through a bounded LRU. Because the cached values are
+//! *exactly* the vectors/subsets the uncached code path would have produced —
+//! same contents, same order — caching is invisible to query results: the
+//! batch engine's output is byte-identical to the sequential engine's.
+
+use crate::exec::lru::LruCache;
+use acq_cltree::{ClTree, NodeId};
+use acq_graph::{AttributedGraph, KeywordId, VertexId, VertexSubset};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Cache key: which CL-tree subtree, which degree bound, which keyword set.
+///
+/// `node` must be part of the key — two query vertices with the same `(k, S)`
+/// can live in different ĉores — while `kind` keeps core-extraction and
+/// keyword-pool entries apart even when they agree on every other field
+/// (a keyword pool can legitimately have an empty keyword set). `inverted`
+/// records whether a pool was produced through the inverted lists or by the
+/// `*`-ablation subtree scan, so the two code paths never serve each other's
+/// entries (their vertex orders may differ).
+///
+/// `k` never changes the computed value (the subtree of a node is fixed), so
+/// keying on it trades some cross-`k` reuse for the `(k, keyword-set)` shape
+/// the serving layer reasons about; collapsing compressed levels into one
+/// entry is tracked as a cache-policy item in `ROADMAP.md`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Which kind of result the entry holds.
+    pub kind: CacheKind,
+    /// Root of the subtree the result was computed from.
+    pub node: NodeId,
+    /// The query's minimum-degree bound `k`.
+    pub k: u32,
+    /// Sorted candidate keyword set; empty for core extraction.
+    pub keywords: Vec<KeywordId>,
+    /// Whether inverted lists were used to compute the entry (always `false`
+    /// for core extraction).
+    pub inverted: bool,
+}
+
+/// The kind of result a cache entry holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheKind {
+    /// A subtree vertex list (core extraction).
+    Core,
+    /// A keyword-filtered vertex pool (candidate subtree).
+    Pool,
+}
+
+/// A cached value: either a subtree vertex list (core extraction) or a
+/// keyword-filtered vertex pool (candidate subtree), both behind `Arc` so a
+/// hit is a pointer copy.
+#[derive(Debug, Clone)]
+enum CacheValue {
+    Vertices(Arc<Vec<VertexId>>),
+    Pool(Arc<VertexSubset>),
+}
+
+/// Point-in-time counters describing how a cache has been used.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute their result.
+    pub misses: u64,
+    /// Entries displaced by the LRU bound.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the cache (0.0 when unused).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A bounded, thread-safe cache for core-extraction and candidate-subtree
+/// results, shared by every worker of a [`BatchEngine`](crate::exec::BatchEngine).
+///
+/// The disabled cache ([`IndexCache::disabled`]) computes everything directly
+/// and stores nothing; it is what the one-shot [`AcqEngine`](crate::AcqEngine)
+/// entry points use, so sequential queries pay no synchronisation cost.
+#[derive(Debug)]
+pub struct IndexCache {
+    /// `None` = caching disabled (compute directly, store nothing).
+    inner: Option<Mutex<LruCache<CacheKey, CacheValue>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl IndexCache {
+    /// A cache bounded to `capacity` entries. A capacity of 0 behaves like
+    /// [`IndexCache::disabled`].
+    pub fn with_capacity(capacity: usize) -> Self {
+        let inner = if capacity == 0 { None } else { Some(Mutex::new(LruCache::new(capacity))) };
+        Self {
+            inner,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The no-op cache: every lookup computes directly and nothing is stored.
+    pub const fn disabled() -> Self {
+        Self {
+            inner: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether this cache actually stores entries.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// A snapshot of the hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of live entries (0 when disabled).
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            Some(m) => m.lock().expect("cache mutex poisoned").len(),
+            None => 0,
+        }
+    }
+
+    /// Whether the cache currently holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// **Core extraction**: the vertex list of the subtree rooted at `node`
+    /// (the k-ĉore a query located), cached under `(node, k, ∅)`.
+    ///
+    /// The returned vector is exactly
+    /// [`ClTree::subtree_vertices`]`(node)` — same contents, same order — so
+    /// callers behave identically on hits and misses.
+    pub fn subtree_vertices(&self, index: &ClTree, node: NodeId, k: u32) -> Arc<Vec<VertexId>> {
+        let key =
+            CacheKey { kind: CacheKind::Core, node, k, keywords: Vec::new(), inverted: false };
+        if let Some(CacheValue::Vertices(v)) = self.lookup(&key) {
+            return v;
+        }
+        let computed = Arc::new(index.subtree_vertices(node));
+        self.store(key, CacheValue::Vertices(Arc::clone(&computed)));
+        computed
+    }
+
+    /// **Candidate subtree** (keyword-checking): the pool of subtree vertices
+    /// carrying every keyword of `keywords`, cached under
+    /// `(node, k, keywords)`.
+    ///
+    /// `use_inverted_lists` selects the paper's inverted-list intersection or
+    /// the `*`-ablation subtree scan, exactly like the uncached
+    /// implementations in [`crate::algorithms`].
+    pub fn keyword_pool(
+        &self,
+        graph: &AttributedGraph,
+        index: &ClTree,
+        node: NodeId,
+        k: u32,
+        keywords: &[KeywordId],
+        use_inverted_lists: bool,
+    ) -> Arc<VertexSubset> {
+        let inverted = use_inverted_lists && index.has_inverted_lists();
+        let key =
+            CacheKey { kind: CacheKind::Pool, node, k, keywords: keywords.to_vec(), inverted };
+        if let Some(CacheValue::Pool(p)) = self.lookup(&key) {
+            return p;
+        }
+        let vertices = if inverted {
+            index.vertices_with_keywords_under(node, keywords)
+        } else {
+            index.vertices_with_keywords_under_scan(graph, node, keywords)
+        };
+        let pool = Arc::new(VertexSubset::from_iter(graph.num_vertices(), vertices));
+        self.store(key, CacheValue::Pool(Arc::clone(&pool)));
+        pool
+    }
+
+    fn lookup(&self, key: &CacheKey) -> Option<CacheValue> {
+        let inner = self.inner.as_ref()?;
+        let found = inner.lock().expect("cache mutex poisoned").get(key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    fn store(&self, key: CacheKey, value: CacheValue) {
+        if let Some(inner) = &self.inner {
+            if inner.lock().expect("cache mutex poisoned").insert(key, value).is_some() {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acq_cltree::build_advanced;
+    use acq_graph::paper_figure3_graph;
+
+    #[test]
+    fn cached_subtree_equals_direct_navigation() {
+        let g = paper_figure3_graph();
+        let index = build_advanced(&g, true);
+        let cache = IndexCache::with_capacity(16);
+        let a = g.vertex_by_label("A").unwrap();
+        let node = index.locate_core(a, 2).unwrap();
+        let first = cache.subtree_vertices(&index, node, 2);
+        assert_eq!(*first, index.subtree_vertices(node), "identical contents and order");
+        let second = cache.subtree_vertices(&index, node, 2);
+        assert!(Arc::ptr_eq(&first, &second), "second lookup is a cache hit");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!(stats.hit_rate() > 0.49 && stats.hit_rate() < 0.51);
+    }
+
+    #[test]
+    fn cached_pool_matches_both_lookup_paths() {
+        let g = paper_figure3_graph();
+        let index = build_advanced(&g, true);
+        let cache = IndexCache::with_capacity(16);
+        let x = g.dictionary().get("x").unwrap();
+        let root = index.root();
+        let via_lists = cache.keyword_pool(&g, &index, root, 1, &[x], true);
+        let via_scan = cache.keyword_pool(&g, &index, root, 1, &[x], false);
+        assert_eq!(via_lists.sorted_members(), via_scan.sorted_members());
+        assert_eq!(cache.len(), 2, "the two code paths cache separately");
+    }
+
+    #[test]
+    fn disabled_cache_computes_but_never_stores() {
+        let g = paper_figure3_graph();
+        let index = build_advanced(&g, true);
+        let cache = IndexCache::disabled();
+        assert!(!cache.is_enabled());
+        let node = index.root();
+        let first = cache.subtree_vertices(&index, node, 1);
+        let second = cache.subtree_vertices(&index, node, 1);
+        assert_eq!(*first, *second);
+        assert!(!Arc::ptr_eq(&first, &second), "nothing was cached");
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn empty_keyword_pool_does_not_collide_with_core_entry() {
+        // A keyword pool with an empty keyword set shares node/k/keywords
+        // with the core-extraction entry; the `kind` discriminant must keep
+        // them apart (regression: they used to overwrite each other, and the
+        // cross-kind lookup was miscounted as a hit).
+        let g = paper_figure3_graph();
+        let index = build_advanced(&g, false); // no inverted lists
+        let cache = IndexCache::with_capacity(16);
+        let node = index.root();
+        let core = cache.subtree_vertices(&index, node, 1);
+        let pool = cache.keyword_pool(&g, &index, node, 1, &[], false);
+        assert_eq!(cache.len(), 2, "core and empty-keyword pool are distinct entries");
+        assert_eq!(cache.stats().hits, 0, "kinds never serve each other");
+        // Both stay retrievable as genuine hits.
+        assert!(Arc::ptr_eq(&core, &cache.subtree_vertices(&index, node, 1)));
+        assert!(Arc::ptr_eq(&pool, &cache.keyword_pool(&g, &index, node, 1, &[], false)));
+        assert_eq!(cache.stats().hits, 2);
+    }
+
+    #[test]
+    fn lru_bound_evicts_under_pressure() {
+        let g = paper_figure3_graph();
+        let index = build_advanced(&g, true);
+        let cache = IndexCache::with_capacity(2);
+        // Three distinct keys through a capacity-2 cache must evict.
+        for k in 1..=3u32 {
+            let a = g.vertex_by_label("A").unwrap();
+            let node = index.locate_core(a, k).unwrap();
+            cache.subtree_vertices(&index, node, k);
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+    }
+}

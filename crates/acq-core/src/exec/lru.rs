@@ -1,0 +1,234 @@
+//! A small bounded least-recently-used map.
+//!
+//! The build environment is offline, so instead of pulling in the `lru` crate
+//! this module implements the classic hash-map + intrusive doubly-linked-list
+//! design in ~150 lines: `get` and `insert` are `O(1)` expected, and the list
+//! links are slab indices rather than pointers, which keeps the code free of
+//! `unsafe`.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A slot in the recency list. `prev` points towards the most recently used
+/// end, `next` towards the least recently used end. The value is `None` only
+/// for slots parked on the free list (it is moved out during eviction).
+#[derive(Debug)]
+struct Slot<K, V> {
+    key: K,
+    value: Option<V>,
+    prev: Option<usize>,
+    next: Option<usize>,
+}
+
+/// A bounded LRU cache: inserting beyond `capacity` evicts the least recently
+/// used entry, and every `get` / `insert` marks its entry as most recent.
+///
+/// A capacity of 0 is the degenerate always-empty cache: nothing is ever
+/// stored (used to represent "caching disabled" without a second code path).
+///
+/// ```
+/// use acq_core::exec::LruCache;
+///
+/// let mut cache = LruCache::new(2);
+/// cache.insert("a", 1);
+/// cache.insert("b", 2);
+/// assert_eq!(cache.get(&"a"), Some(&1)); // refreshes "a"
+/// cache.insert("c", 3);                  // evicts "b", the LRU entry
+/// assert_eq!(cache.get(&"b"), None);
+/// assert_eq!(cache.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    slots: Vec<Slot<K, V>>,
+    free: Vec<usize>,
+    /// Most recently used slot.
+    head: Option<usize>,
+    /// Least recently used slot.
+    tail: Option<usize>,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::with_capacity(capacity.min(1024)),
+            slots: Vec::with_capacity(capacity.min(1024)),
+            free: Vec::new(),
+            head: None,
+            tail: None,
+            capacity,
+        }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up `key`, marking the entry as most recently used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let slot = *self.map.get(key)?;
+        self.move_to_front(slot);
+        self.slots[slot].value.as_ref()
+    }
+
+    /// Whether `key` is present, *without* touching recency (useful in tests).
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Inserts `key → value` as the most recently used entry. Returns the
+    /// evicted least-recently-used pair when the insertion overflowed the
+    /// capacity, `None` otherwise (including the capacity-0 cache, which
+    /// stores nothing and evicts nothing).
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if self.capacity == 0 {
+            return None;
+        }
+        if let Some(&slot) = self.map.get(&key) {
+            self.slots[slot].value = Some(value);
+            self.move_to_front(slot);
+            return None;
+        }
+        let evicted = if self.map.len() == self.capacity { self.evict_lru() } else { None };
+        let slot = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] =
+                    Slot { key: key.clone(), value: Some(value), prev: None, next: None };
+                i
+            }
+            None => {
+                self.slots.push(Slot {
+                    key: key.clone(),
+                    value: Some(value),
+                    prev: None,
+                    next: None,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, slot);
+        self.attach_front(slot);
+        evicted
+    }
+
+    /// Unlinks the least recently used slot and returns its entry.
+    fn evict_lru(&mut self) -> Option<(K, V)> {
+        let tail = self.tail?;
+        self.detach(tail);
+        self.free.push(tail);
+        let key = self.slots[tail].key.clone();
+        self.map.remove(&key);
+        let value = self.slots[tail].value.take().expect("live slots always hold a value");
+        Some((key, value))
+    }
+
+    fn move_to_front(&mut self, slot: usize) {
+        if self.head == Some(slot) {
+            return;
+        }
+        self.detach(slot);
+        self.attach_front(slot);
+    }
+
+    fn detach(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        match prev {
+            Some(p) => self.slots[p].next = next,
+            None => self.head = next,
+        }
+        match next {
+            Some(n) => self.slots[n].prev = prev,
+            None => self.tail = prev,
+        }
+        self.slots[slot].prev = None;
+        self.slots[slot].next = None;
+    }
+
+    fn attach_front(&mut self, slot: usize) {
+        self.slots[slot].prev = None;
+        self.slots[slot].next = self.head;
+        if let Some(h) = self.head {
+            self.slots[h].prev = Some(slot);
+        }
+        self.head = Some(slot);
+        if self.tail.is_none() {
+            self.tail = Some(slot);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let mut cache = LruCache::new(3);
+        assert!(cache.is_empty());
+        for (k, v) in [(1, "one"), (2, "two"), (3, "three")] {
+            assert!(cache.insert(k, v).is_none(), "no eviction below capacity");
+        }
+        // Touch 1 so that 2 becomes the LRU entry.
+        assert_eq!(cache.get(&1), Some(&"one"));
+        assert_eq!(cache.insert(4, "four"), Some((2, "two")));
+        assert!(!cache.contains(&2));
+        assert!(cache.contains(&1) && cache.contains(&3) && cache.contains(&4));
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.capacity(), 3);
+    }
+
+    #[test]
+    fn reinsert_updates_value_and_recency_without_eviction() {
+        let mut cache = LruCache::new(2);
+        cache.insert("a", 1);
+        cache.insert("b", 2);
+        assert!(cache.insert("a", 10).is_none(), "overwrite is not an eviction");
+        assert_eq!(cache.get(&"a"), Some(&10));
+        // "b" is now LRU.
+        assert_eq!(cache.insert("c", 3), Some(("b", 2)));
+    }
+
+    #[test]
+    fn eviction_order_follows_access_order() {
+        let mut cache = LruCache::new(2);
+        cache.insert(1, ());
+        cache.insert(2, ());
+        cache.get(&1);
+        cache.get(&2);
+        cache.get(&1);
+        assert_eq!(cache.insert(3, ()), Some((2, ())), "2 was least recently touched");
+        assert_eq!(cache.insert(4, ()), Some((1, ())));
+        assert_eq!(cache.insert(5, ()), Some((3, ())));
+    }
+
+    #[test]
+    fn capacity_zero_stores_nothing() {
+        let mut cache = LruCache::new(0);
+        assert!(cache.insert("a", 1).is_none());
+        assert_eq!(cache.get(&"a"), None);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn single_slot_cache_churns_correctly() {
+        let mut cache = LruCache::new(1);
+        assert!(cache.insert(1, "a").is_none());
+        assert_eq!(cache.insert(2, "b"), Some((1, "a")));
+        assert_eq!(cache.insert(3, "c"), Some((2, "b")));
+        assert_eq!(cache.get(&3), Some(&"c"));
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,80 @@
+//! A minimal scoped worker pool for fanning a batch out over OS threads.
+//!
+//! The build environment is offline (no `rayon`), so this is the classic
+//! atomic-counter work queue over [`std::thread::scope`]: workers repeatedly
+//! claim the next unprocessed index, and every result is written into the
+//! slot matching its input index — so the output order is always the input
+//! order, no matter how the items are scheduled across threads.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every item and returns the results **in input order**.
+///
+/// With `threads <= 1` (or fewer than two items) this degenerates to a plain
+/// sequential map on the calling thread — no threads are spawned, which is
+/// what makes single-threaded batch runs exactly equivalent to a query loop.
+/// Worker panics propagate to the caller when the scope joins.
+pub(crate) fn map_ordered<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads.max(1).min(n);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = f(i, &items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every index was claimed by exactly one worker")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order_across_thread_counts() {
+        let items: Vec<usize> = (0..97).collect();
+        let expected: Vec<usize> = items.iter().map(|x| x * 3).collect();
+        for threads in [0, 1, 2, 3, 8, 200] {
+            let out = map_ordered(&items, threads, |_, &x| x * 3);
+            assert_eq!(out, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn index_argument_matches_position() {
+        let items = ["a", "b", "c", "d"];
+        let out = map_ordered(&items, 4, |i, &s| format!("{i}:{s}"));
+        assert_eq!(out, vec!["0:a", "1:b", "2:c", "3:d"]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u8> = map_ordered::<u8, u8, _>(&[], 4, |_, &x| x);
+        assert!(out.is_empty());
+    }
+}

@@ -28,11 +28,12 @@
 //! assert_eq!(same.canonical(), ac.canonical());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod algorithms;
 pub mod common;
 mod engine;
+pub mod exec;
 mod query;
 pub mod variants;
 
@@ -40,6 +41,7 @@ pub use algorithms::basic::{basic_g, basic_w};
 pub use algorithms::dec::{dec, dec_with_miner};
 pub use algorithms::incremental::{inc_s, inc_t};
 pub use engine::{AcqAlgorithm, AcqEngine};
+pub use exec::{BatchEngine, QueryBatch};
 pub use query::{AcqQuery, AcqResult, AttributedCommunity, QueryError, QueryStats};
 pub use variants::{
     basic_g_v1, basic_g_v2, basic_w_v1, basic_w_v2, sw, swt, Variant1Query, Variant2Query,

@@ -19,7 +19,7 @@
 //! * [`gpm`] — star-pattern graph-pattern-matching queries (`Star-a`), used by
 //!   the paper's Table 7 to show that GPM is a poor fit for community search.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod codicil;
 pub mod global;

@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_query_algorithms(c: &mut Criterion) {
     let fx = default_fixture();
-    let engine = AcqEngine::with_index(&fx.graph, fx.index.clone());
+    let engine = AcqEngine::with_index(&fx.graph, fx.index.as_ref().clone());
     let mut group = c.benchmark_group("query_algorithms");
     group.sample_size(10);
     for algorithm in AcqAlgorithm::ALL {
@@ -26,7 +26,7 @@ fn bench_query_algorithms(c: &mut Criterion) {
 
 fn bench_effect_of_k(c: &mut Criterion) {
     let fx = default_fixture();
-    let engine = AcqEngine::with_index(&fx.graph, fx.index.clone());
+    let engine = AcqEngine::with_index(&fx.graph, fx.index.as_ref().clone());
     let mut group = c.benchmark_group("dec_effect_of_k");
     group.sample_size(10);
     for k in [4usize, 6, 8] {

@@ -11,22 +11,35 @@
 //! full `cargo bench` run finishes in minutes; the experiment binary
 //! (`acq-experiments`) is the place for paper-scale sweeps.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use acq_cltree::{build_advanced, ClTree};
+use acq_core::exec::BatchEngine;
 use acq_datagen::{generate, select_query_vertices, DatasetProfile};
 use acq_graph::{AttributedGraph, VertexId};
+use std::sync::Arc;
 
 /// A ready-to-query benchmark fixture: graph, index and a query workload.
+/// Graph and index are `Arc`-shared so the batch benchmarks can hand them to
+/// a [`BatchEngine`] without copying.
 pub struct BenchFixture {
     /// Profile name.
     pub name: String,
     /// The generated graph.
-    pub graph: AttributedGraph,
+    pub graph: Arc<AttributedGraph>,
     /// The CL-tree (advanced build, inverted lists).
-    pub index: ClTree,
+    pub index: Arc<ClTree>,
     /// Query vertices with core number ≥ 6.
     pub queries: Vec<VertexId>,
+}
+
+impl BenchFixture {
+    /// A batch engine over this fixture's shared graph and index, with
+    /// `threads` workers (0 = one per core).
+    pub fn batch_engine(&self, threads: usize) -> BatchEngine {
+        BatchEngine::with_index(Arc::clone(&self.graph), Arc::clone(&self.index))
+            .with_threads(threads)
+    }
 }
 
 /// Builds a fixture from a dataset profile scaled by `scale`, with `queries`
@@ -40,7 +53,12 @@ pub fn fixture(
     let graph = generate(&profile.scaled(scale));
     let index = build_advanced(&graph, true);
     let selected = select_query_vertices(&graph, index.decomposition(), queries, min_core, 99);
-    BenchFixture { name: profile.name.clone(), graph, index, queries: selected }
+    BenchFixture {
+        name: profile.name.clone(),
+        graph: Arc::new(graph),
+        index: Arc::new(index),
+        queries: selected,
+    }
 }
 
 /// The default benchmark fixture: the DBLP-like profile at a small scale.

@@ -30,7 +30,7 @@
 //! assert_eq!(core.len(), 5);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod build_advanced;
 mod build_basic;
@@ -41,7 +41,7 @@ mod tree;
 pub use build_advanced::{build_advanced, build_advanced_with_decomposition};
 pub use build_basic::{build_basic, build_basic_with_decomposition};
 pub use node::{ClTreeNode, NodeId};
-pub use tree::ClTree;
+pub use tree::{ClTree, SubtreeVertices};
 
 #[cfg(test)]
 mod proptests {

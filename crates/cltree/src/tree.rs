@@ -87,6 +87,16 @@ impl ClTree {
         self.vertex_node[v.index()]
     }
 
+    /// The children of a node (empty for leaves).
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.nodes[id].children
+    }
+
+    /// The parent of a node (`None` for the root).
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id].parent
+    }
+
     /// All node ids in parent-before-child (pre-)order.
     pub fn preorder(&self) -> Vec<NodeId> {
         let mut out = Vec::with_capacity(self.nodes.len());
@@ -148,12 +158,26 @@ impl ClTree {
     /// set of the ĉore that `node` represents.
     pub fn subtree_vertices(&self, node: NodeId) -> Vec<VertexId> {
         let mut out = Vec::new();
-        let mut stack = vec![node];
-        while let Some(n) = stack.pop() {
-            out.extend_from_slice(&self.nodes[n].vertices);
-            stack.extend(self.nodes[n].children.iter().copied());
-        }
+        self.subtree_vertices_into(node, &mut out);
         out
+    }
+
+    /// Lazily iterates over the vertices of the subtree rooted at `node`, in
+    /// the same order [`subtree_vertices`](Self::subtree_vertices) produces.
+    ///
+    /// The iterator only borrows the tree, so any number of reader threads can
+    /// walk (different or identical) subtrees concurrently without allocating
+    /// intermediate vertex vectors — the navigation primitive the batch
+    /// execution layer in `acq-core` is built on.
+    pub fn subtree_vertex_iter(&self, node: NodeId) -> SubtreeVertices<'_> {
+        SubtreeVertices { tree: self, stack: vec![node], current: [].iter() }
+    }
+
+    /// Appends the subtree's vertices to `out` (same order as
+    /// [`subtree_vertices`](Self::subtree_vertices)), letting hot loops reuse
+    /// one allocation across many navigation calls.
+    pub fn subtree_vertices_into(&self, node: NodeId, out: &mut Vec<VertexId>) {
+        out.extend(self.subtree_vertex_iter(node));
     }
 
     /// The subtree vertex set as a [`VertexSubset`] over a graph with
@@ -374,6 +398,31 @@ impl ClTree {
     }
 }
 
+/// Lazy depth-first iterator over the vertices of a CL-tree subtree, created
+/// by [`ClTree::subtree_vertex_iter`]. Borrows the tree immutably, so it is
+/// safe to run many of these concurrently from reader threads.
+#[derive(Debug, Clone)]
+pub struct SubtreeVertices<'a> {
+    tree: &'a ClTree,
+    stack: Vec<NodeId>,
+    current: std::slice::Iter<'a, VertexId>,
+}
+
+impl Iterator for SubtreeVertices<'_> {
+    type Item = VertexId;
+
+    fn next(&mut self) -> Option<VertexId> {
+        loop {
+            if let Some(&v) = self.current.next() {
+                return Some(v);
+            }
+            let n = self.stack.pop()?;
+            self.stack.extend(self.tree.nodes[n].children.iter().copied());
+            self.current = self.tree.nodes[n].vertices.iter();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -489,5 +538,50 @@ mod tests {
         let t2: ClTree = serde_json::from_str(&json).unwrap();
         assert_eq!(t2.canonical_form(), t.canonical_form());
         t2.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn subtree_iterator_matches_materialised_list() {
+        let g = paper_figure3_graph();
+        let t = build_advanced(&g, true);
+        for node in t.preorder() {
+            let eager = t.subtree_vertices(node);
+            let lazy: Vec<VertexId> = t.subtree_vertex_iter(node).collect();
+            assert_eq!(lazy, eager, "node {node}");
+            let mut reused = vec![VertexId(99)];
+            t.subtree_vertices_into(node, &mut reused);
+            assert_eq!(&reused[1..], eager.as_slice(), "into-variant appends");
+        }
+    }
+
+    #[test]
+    fn parent_child_accessors_are_consistent() {
+        let g = paper_figure3_graph();
+        let t = build_advanced(&g, true);
+        assert_eq!(t.parent(t.root()), None);
+        for node in t.preorder() {
+            for &child in t.children(node) {
+                assert_eq!(t.parent(child), Some(node));
+            }
+        }
+    }
+
+    #[test]
+    fn tree_is_send_and_sync_for_concurrent_readers() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ClTree>();
+
+        // Concurrent navigation from scoped reader threads.
+        let g = paper_figure3_graph();
+        let t = build_advanced(&g, true);
+        let expected = t.subtree_vertices(t.root());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let walked: Vec<VertexId> = t.subtree_vertex_iter(t.root()).collect();
+                    assert_eq!(walked, expected);
+                });
+            }
+        });
     }
 }

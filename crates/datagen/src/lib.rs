@@ -16,7 +16,7 @@
 //! * [`case_study`] — the hand-crafted DBLP-style co-authorship graph used by
 //!   the case-study experiments and examples.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod case_study;
 pub mod generator;

@@ -21,9 +21,13 @@ pub fn fig13_index_construction(ctx: &ExperimentContext) -> Vec<ExperimentReport
     for dataset in &ctx.datasets {
         for percent in [20usize, 40, 60, 80, 100] {
             let graph = if percent == 100 {
-                dataset.graph.clone()
+                std::sync::Arc::clone(&dataset.graph)
             } else {
-                sample_vertices(&dataset.graph, percent as f64 / 100.0, ctx.config.seed)
+                std::sync::Arc::new(sample_vertices(
+                    &dataset.graph,
+                    percent as f64 / 100.0,
+                    ctx.config.seed,
+                ))
             };
             let (_, basic) = time_ms(|| build_basic(&graph, true));
             let (_, basic_minus) = time_ms(|| build_basic(&graph, false));

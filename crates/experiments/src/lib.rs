@@ -13,7 +13,7 @@
 //! graph size — are the reproduction target. See DESIGN.md for the
 //! per-experiment index.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod case_study;
 pub mod effectiveness;
@@ -23,9 +23,11 @@ pub mod table3;
 pub mod variants;
 
 use acq_cltree::{build_advanced, ClTree};
+use acq_core::exec::BatchEngine;
 use acq_datagen::DatasetProfile;
 use acq_graph::{AttributedGraph, GraphBuilder, VertexId};
 use acq_kcore::CoreDecomposition;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Configuration shared by every experiment run.
@@ -40,29 +42,35 @@ pub struct ExperimentConfig {
     pub default_k: usize,
     /// Seed for query selection and keyword sampling.
     pub seed: u64,
+    /// Worker threads for the batch query path (0 = one per available core).
+    /// The query-efficiency figures report batch wall-clock divided by the
+    /// workload size, so per-query numbers stay comparable across settings.
+    pub threads: usize,
 }
 
 impl Default for ExperimentConfig {
     fn default() -> Self {
-        Self { scale: 1.0, queries: 50, default_k: 6, seed: 2016 }
+        Self { scale: 1.0, queries: 50, default_k: 6, seed: 2016, threads: 0 }
     }
 }
 
 impl ExperimentConfig {
     /// A deliberately tiny configuration used by the crate's own tests.
     pub fn smoke_test() -> Self {
-        Self { scale: 0.08, queries: 6, default_k: 4, seed: 7 }
+        Self { scale: 0.08, queries: 6, default_k: 4, seed: 7, threads: 2 }
     }
 }
 
-/// One generated dataset plus its index, ready for querying.
+/// One generated dataset plus its index, ready for querying. Graph and index
+/// are `Arc`-shared so that batch engines (and their worker threads) can use
+/// them without copying.
 pub struct Dataset {
     /// Profile name ("Flickr", "DBLP", …).
     pub name: String,
     /// The generated attributed graph.
-    pub graph: AttributedGraph,
+    pub graph: Arc<AttributedGraph>,
     /// The CL-tree index (advanced build, inverted lists on).
-    pub index: ClTree,
+    pub index: Arc<ClTree>,
 }
 
 impl Dataset {
@@ -71,7 +79,14 @@ impl Dataset {
         let scaled = profile.scaled(config.scale);
         let graph = acq_datagen::generate(&scaled);
         let index = build_advanced(&graph, true);
-        Dataset { name: profile.name.clone(), graph, index }
+        Dataset { name: profile.name.clone(), graph: Arc::new(graph), index: Arc::new(index) }
+    }
+
+    /// A batch engine sharing this dataset's graph and index, configured from
+    /// the experiment config's thread count.
+    pub fn batch_engine(&self, config: &ExperimentConfig) -> BatchEngine {
+        BatchEngine::with_index(Arc::clone(&self.graph), Arc::clone(&self.index))
+            .with_threads(config.threads)
     }
 
     /// The core decomposition (owned by the index).

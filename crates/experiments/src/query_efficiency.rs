@@ -1,17 +1,26 @@
 //! Query-efficiency experiments (Section 7.3): Figures 14, 15 and 16.
 
-use crate::{strip_keywords, time_ms, Dataset, ExperimentContext, ExperimentReport};
+use crate::{
+    strip_keywords, time_ms, Dataset, ExperimentConfig, ExperimentContext, ExperimentReport,
+};
 use acq_baselines::{global_community, local_community};
 use acq_cltree::build_advanced;
-use acq_core::{AcqAlgorithm, AcqEngine, AcqQuery};
+use acq_core::exec::QueryBatch;
+use acq_core::{AcqAlgorithm, AcqQuery};
 use acq_datagen::{sample_keywords, sample_vertices};
 use acq_graph::{KeywordId, VertexId};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
 
-/// Average query time (ms) of one ACQ algorithm over a workload.
+/// Average query time (ms) of one ACQ algorithm over a workload, measured
+/// through the batch execution path: the whole workload is submitted as one
+/// [`QueryBatch`] (sharing index, decomposition and the LRU cache across the
+/// configured worker pool) and the batch wall-clock is divided by the
+/// workload size.
 fn average_query_ms(
     dataset: &Dataset,
+    config: &ExperimentConfig,
     queries: &[VertexId],
     k: usize,
     algorithm: AcqAlgorithm,
@@ -20,17 +29,22 @@ fn average_query_ms(
     if queries.is_empty() {
         return f64::NAN;
     }
-    let engine = AcqEngine::with_index(&dataset.graph, dataset.index.clone());
-    let mut total = 0.0;
-    for &q in queries {
-        let query = match keywords {
-            Some(f) => AcqQuery::with_keywords(q, k, f(q)),
-            None => AcqQuery::new(q, k),
-        };
-        let (_, ms) = time_ms(|| engine.query_with(&query, algorithm).expect("valid query"));
-        total += ms;
+    let engine = dataset.batch_engine(config);
+    let batch: QueryBatch = queries
+        .iter()
+        .map(|&q| {
+            let query = match keywords {
+                Some(f) => AcqQuery::with_keywords(q, k, f(q)),
+                None => AcqQuery::new(q, k),
+            };
+            (query, algorithm)
+        })
+        .collect();
+    let (results, ms) = time_ms(|| engine.run(&batch));
+    for result in results {
+        result.expect("valid query");
     }
-    total / queries.len() as f64
+    ms / queries.len() as f64
 }
 
 fn fmt(ms: f64) -> String {
@@ -43,7 +57,12 @@ fn fmt(ms: f64) -> String {
 
 /// Figure 14(a–d) — the best ACQ algorithm (`Dec`) against the
 /// community-search baselines Global and Local, as `k` goes from 4 to 8.
+///
+/// The baselines are timed as a sequential per-query loop, so the `Dec` arm
+/// runs its batch on **one** worker (still sharing the index cache) to keep
+/// the per-query latency comparison machine-independent and fair.
 pub fn fig14_vs_community_search(ctx: &ExperimentContext) -> Vec<ExperimentReport> {
+    let sequential = ExperimentConfig { threads: 1, ..ctx.config.clone() };
     let mut report = ExperimentReport::new(
         "fig14-cs",
         "Average query time (ms): Dec vs Global vs Local, varying k",
@@ -74,7 +93,9 @@ pub fn fig14_vs_community_search(ctx: &ExperimentContext) -> Vec<ExperimentRepor
                         });
                         t / queries.len() as f64
                     }
-                    _ => average_query_ms(dataset, &queries, k, AcqAlgorithm::Dec, None),
+                    _ => {
+                        average_query_ms(dataset, &sequential, &queries, k, AcqAlgorithm::Dec, None)
+                    }
                 };
                 row.push(fmt(ms));
             }
@@ -106,7 +127,7 @@ pub fn fig14_effect_of_k(ctx: &ExperimentContext) -> Vec<ExperimentReport> {
         for algorithm in algorithms {
             let mut row = vec![dataset.name.clone(), algorithm.name().to_string()];
             for k in 4..=8usize {
-                row.push(fmt(average_query_ms(dataset, &queries, k, algorithm, None)));
+                row.push(fmt(average_query_ms(dataset, &ctx.config, &queries, k, algorithm, None)));
             }
             report.push_row(row);
         }
@@ -129,16 +150,22 @@ pub fn fig14_keyword_scalability(ctx: &ExperimentContext) -> Vec<ExperimentRepor
             algorithms.iter().map(|a| vec![dataset.name.clone(), a.name().to_string()]).collect();
         for percent in [20usize, 40, 60, 80, 100] {
             let graph = if percent == 100 {
-                dataset.graph.clone()
+                Arc::clone(&dataset.graph)
             } else {
-                sample_keywords(&dataset.graph, percent as f64 / 100.0, ctx.config.seed)
+                Arc::new(sample_keywords(&dataset.graph, percent as f64 / 100.0, ctx.config.seed))
             };
-            let sampled =
-                Dataset { name: dataset.name.clone(), index: build_advanced(&graph, true), graph };
+            let index = Arc::new(build_advanced(&graph, true));
+            let sampled = Dataset { name: dataset.name.clone(), index, graph };
             let queries = sampled.workload(&ctx.config, k as u32);
             for (i, &algorithm) in algorithms.iter().enumerate() {
-                per_algorithm[i]
-                    .push(fmt(average_query_ms(&sampled, &queries, k, algorithm, None)));
+                per_algorithm[i].push(fmt(average_query_ms(
+                    &sampled,
+                    &ctx.config,
+                    &queries,
+                    k,
+                    algorithm,
+                    None,
+                )));
             }
         }
         for row in per_algorithm {
@@ -163,16 +190,22 @@ pub fn fig14_vertex_scalability(ctx: &ExperimentContext) -> Vec<ExperimentReport
             algorithms.iter().map(|a| vec![dataset.name.clone(), a.name().to_string()]).collect();
         for percent in [20usize, 40, 60, 80, 100] {
             let graph = if percent == 100 {
-                dataset.graph.clone()
+                Arc::clone(&dataset.graph)
             } else {
-                sample_vertices(&dataset.graph, percent as f64 / 100.0, ctx.config.seed)
+                Arc::new(sample_vertices(&dataset.graph, percent as f64 / 100.0, ctx.config.seed))
             };
-            let sampled =
-                Dataset { name: dataset.name.clone(), index: build_advanced(&graph, true), graph };
+            let index = Arc::new(build_advanced(&graph, true));
+            let sampled = Dataset { name: dataset.name.clone(), index, graph };
             let queries = sampled.workload(&ctx.config, k as u32);
             for (i, &algorithm) in algorithms.iter().enumerate() {
-                per_algorithm[i]
-                    .push(fmt(average_query_ms(&sampled, &queries, k, algorithm, None)));
+                per_algorithm[i].push(fmt(average_query_ms(
+                    &sampled,
+                    &ctx.config,
+                    &queries,
+                    k,
+                    algorithm,
+                    None,
+                )));
             }
         }
         for row in per_algorithm {
@@ -214,7 +247,14 @@ pub fn fig14_effect_of_s(ctx: &ExperimentContext) -> Vec<ExperimentReport> {
                     let wq: Vec<KeywordId> = graph.keyword_set(q).iter().collect();
                     wq.choose_multiple(&mut rng, s_size).copied().collect()
                 };
-                row.push(fmt(average_query_ms(dataset, &queries, k, algorithm, Some(&pick))));
+                row.push(fmt(average_query_ms(
+                    dataset,
+                    &ctx.config,
+                    &queries,
+                    k,
+                    algorithm,
+                    Some(&pick),
+                )));
             }
             report.push_row(row);
         }
@@ -240,7 +280,7 @@ pub fn fig15_inverted_lists(ctx: &ExperimentContext) -> Vec<ExperimentReport> {
         for algorithm in algorithms {
             let mut row = vec![dataset.name.clone(), algorithm.name().to_string()];
             for k in 4..=8usize {
-                row.push(fmt(average_query_ms(dataset, &queries, k, algorithm, None)));
+                row.push(fmt(average_query_ms(dataset, &ctx.config, &queries, k, algorithm, None)));
             }
             report.push_row(row);
         }
@@ -250,17 +290,21 @@ pub fn fig15_inverted_lists(ctx: &ExperimentContext) -> Vec<ExperimentReport> {
 
 /// Figure 16 — non-attributed graphs: keywords are stripped, and `Dec`
 /// (which degenerates to a CL-tree core lookup) is compared against `Local`.
+///
+/// Like Figure 14(a–d), the `Dec` arm runs its batch on one worker so the
+/// comparison against the sequential `Local` loop stays fair.
 pub fn fig16_non_attributed(ctx: &ExperimentContext) -> Vec<ExperimentReport> {
+    let sequential = ExperimentConfig { threads: 1, ..ctx.config.clone() };
     let mut report = ExperimentReport::new(
         "fig16",
         "Average query time (ms) on non-attributed graphs: Dec vs Local, varying k",
         &["dataset", "method", "k=4", "k=5", "k=6", "k=7", "k=8"],
     );
     for dataset in &ctx.datasets {
-        let bare_graph = strip_keywords(&dataset.graph);
+        let bare_graph = Arc::new(strip_keywords(&dataset.graph));
         let bare = Dataset {
             name: dataset.name.clone(),
-            index: build_advanced(&bare_graph, true),
+            index: Arc::new(build_advanced(&bare_graph, true)),
             graph: bare_graph,
         };
         let queries = bare.workload_ignore_keywords(&ctx.config, 8);
@@ -279,7 +323,7 @@ pub fn fig16_non_attributed(ctx: &ExperimentContext) -> Vec<ExperimentReport> {
                         });
                         t / queries.len() as f64
                     }
-                    _ => average_query_ms(&bare, &queries, k, AcqAlgorithm::Dec, None),
+                    _ => average_query_ms(&bare, &sequential, &queries, k, AcqAlgorithm::Dec, None),
                 };
                 row.push(fmt(ms));
             }

@@ -14,7 +14,7 @@
 //! Items are plain `u32`s so the crate stays independent of the graph crate;
 //! callers map `KeywordId`s in and out.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod apriori;
 mod fpgrowth;

@@ -25,7 +25,7 @@
 //! assert_eq!(comp.len(), 7);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod components;
 pub mod error;

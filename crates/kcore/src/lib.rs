@@ -15,19 +15,24 @@
 //!   algorithm);
 //! * [`maintenance`] — incremental core-number maintenance under single edge
 //!   insertions and removals (the technique of Li et al. referenced by the
-//!   paper's index-maintenance discussion).
+//!   paper's index-maintenance discussion);
+//! * [`SharedDecomposition`] — an `Arc`-backed handle that lets batch and
+//!   serving workloads share one decomposition across threads without copying
+//!   it per query.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod decompose;
 pub mod extract;
 pub mod maintenance;
+pub mod shared;
 
 pub use decompose::CoreDecomposition;
 pub use extract::{
     connected_kcore_containing, kcore_subset, may_contain_kcore, peel_to_kcore,
     peel_to_kcore_containing,
 };
+pub use shared::SharedDecomposition;
 
 #[cfg(test)]
 mod proptests {

@@ -1,0 +1,121 @@
+//! A cheaply cloneable, thread-safe handle to a [`CoreDecomposition`].
+//!
+//! Batch and serving workloads (see `acq-core`'s `exec` module) run many
+//! queries against the *same* graph. The decomposition is immutable once
+//! computed, so instead of cloning the `O(n)` core-number arrays per consumer
+//! it is wrapped once in an [`Arc`] and shared: every clone of a
+//! [`SharedDecomposition`] is a pointer copy, and `&SharedDecomposition` can
+//! be handed to any number of concurrent reader threads.
+
+use crate::decompose::CoreDecomposition;
+use acq_graph::AttributedGraph;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable [`CoreDecomposition`] behind an [`Arc`]: clone it freely and
+/// share it across threads without copying the per-vertex arrays.
+///
+/// Dereferences to [`CoreDecomposition`], so every read accessor
+/// (`core_number`, `kmax`, `peel_order`, …) is available directly:
+///
+/// ```
+/// use acq_graph::paper_figure3_graph;
+/// use acq_kcore::SharedDecomposition;
+///
+/// let graph = paper_figure3_graph();
+/// let shared = SharedDecomposition::compute(&graph);
+/// let handle = shared.clone(); // pointer copy, not an array copy
+/// std::thread::scope(|scope| {
+///     scope.spawn(|| assert_eq!(handle.kmax(), 3));
+/// });
+/// assert_eq!(shared.kmax(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedDecomposition {
+    inner: Arc<CoreDecomposition>,
+}
+
+impl SharedDecomposition {
+    /// Wraps an already-computed decomposition.
+    pub fn new(decomposition: CoreDecomposition) -> Self {
+        Self { inner: Arc::new(decomposition) }
+    }
+
+    /// Computes the decomposition of `graph` and wraps it in one step.
+    pub fn compute(graph: &AttributedGraph) -> Self {
+        Self::new(CoreDecomposition::compute(graph))
+    }
+
+    /// Borrows the underlying decomposition (equivalent to `Deref`).
+    pub fn get(&self) -> &CoreDecomposition {
+        &self.inner
+    }
+
+    /// The number of handles (including this one) sharing the decomposition.
+    pub fn handle_count(&self) -> usize {
+        Arc::strong_count(&self.inner)
+    }
+}
+
+impl Deref for SharedDecomposition {
+    type Target = CoreDecomposition;
+
+    fn deref(&self) -> &CoreDecomposition {
+        &self.inner
+    }
+}
+
+impl From<CoreDecomposition> for SharedDecomposition {
+    fn from(decomposition: CoreDecomposition) -> Self {
+        Self::new(decomposition)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acq_graph::paper_figure3_graph;
+
+    #[test]
+    fn shared_handle_is_a_pointer_copy() {
+        let g = paper_figure3_graph();
+        let shared = SharedDecomposition::compute(&g);
+        let other = shared.clone();
+        assert_eq!(shared.handle_count(), 2);
+        assert!(std::ptr::eq(shared.get(), other.get()), "clones alias one decomposition");
+        drop(other);
+        assert_eq!(shared.handle_count(), 1);
+    }
+
+    #[test]
+    fn deref_exposes_decomposition_accessors() {
+        let g = paper_figure3_graph();
+        let shared: SharedDecomposition = CoreDecomposition::compute(&g).into();
+        let a = g.vertex_by_label("A").unwrap();
+        assert_eq!(shared.core_number(a), 3);
+        assert_eq!(shared.kmax(), 3);
+        assert_eq!(shared.len(), g.num_vertices());
+    }
+
+    #[test]
+    fn shared_across_scoped_threads() {
+        let g = paper_figure3_graph();
+        let shared = SharedDecomposition::compute(&g);
+        let expected = shared.core_numbers().to_vec();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let handle = shared.clone();
+                let expected = expected.clone();
+                scope.spawn(move || {
+                    assert_eq!(handle.core_numbers(), expected.as_slice());
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedDecomposition>();
+    }
+}

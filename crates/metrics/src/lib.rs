@@ -14,7 +14,7 @@
 //!   degree ≥ k, community size) and distinct-keyword counts, used for
 //!   Figure 8(c,d), Figure 12 and Table 4.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use acq_graph::{AttributedGraph, KeywordId, VertexId};
 use std::collections::HashSet;

@@ -13,7 +13,7 @@
 //! component, the CL-tree node that must become a child of the node currently
 //! being created.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod anchored;
 mod union_find;

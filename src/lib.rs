@@ -15,7 +15,7 @@
 //! | [`unionfind`] | union-find and the Anchored Union-Find |
 //! | [`fpm`] | Apriori and FP-Growth frequent-itemset mining |
 //! | [`cltree`] | the CL-tree index (basic/advanced construction, maintenance) |
-//! | [`acq`] | the ACQ problem, the `basic-g`/`basic-w`/`Inc-S`/`Inc-T`/`Dec` algorithms, variants, and [`AcqEngine`](acq::AcqEngine) |
+//! | [`acq`] | the ACQ problem, the `basic-g`/`basic-w`/`Inc-S`/`Inc-T`/`Dec` algorithms, variants, [`AcqEngine`](acq::AcqEngine) and the batch layer ([`BatchEngine`](acq::exec::BatchEngine)) |
 //! | [`baselines`] | Global, Local, CODICIL-style detection, star-pattern GPM |
 //! | [`metrics`] | CMF, CPJ, MF and structural cohesion measures |
 //! | [`datagen`] | synthetic dataset profiles, generator, workloads, case study |
@@ -37,8 +37,28 @@
 //! assert_eq!(ac.member_names(&graph), vec!["A", "C", "D"]);
 //! assert_eq!(ac.label_terms(&graph), vec!["x", "y"]);
 //! ```
+//!
+//! For many queries against one graph, use the batch engine instead — it
+//! shares the index, its core decomposition and an LRU cache across a worker
+//! pool (see `ARCHITECTURE.md` for where this layer sits):
+//!
+//! ```
+//! use attributed_community_search::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let graph = Arc::new(paper_figure3_graph());
+//! let engine = BatchEngine::new(Arc::clone(&graph));
+//! let batch: QueryBatch = graph
+//!     .vertices()
+//!     .filter(|&v| engine.decomposition().core_number(v) >= 2)
+//!     .map(|v| AcqQuery::new(v, 2))
+//!     .collect();
+//! let results = engine.run(&batch); // answers arrive in input order
+//! assert_eq!(results.len(), batch.len());
+//! assert!(results.iter().all(|r| r.is_ok()));
+//! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use acq_baselines as baselines;
 pub use acq_cltree as cltree;
@@ -53,6 +73,7 @@ pub use acq_unionfind as unionfind;
 /// The most commonly used items, importable with a single `use`.
 pub mod prelude {
     pub use acq_cltree::{build_advanced, build_basic, ClTree};
+    pub use acq_core::exec::{BatchEngine, CacheStats, QueryBatch};
     pub use acq_core::{
         AcqAlgorithm, AcqEngine, AcqQuery, AcqResult, AttributedCommunity, Variant1Query,
         Variant2Query,
@@ -61,5 +82,5 @@ pub mod prelude {
         paper_figure3_graph, AttributedGraph, GraphBuilder, KeywordId, KeywordSet, VertexId,
         VertexSubset,
     };
-    pub use acq_kcore::CoreDecomposition;
+    pub use acq_kcore::{CoreDecomposition, SharedDecomposition};
 }

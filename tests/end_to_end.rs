@@ -208,3 +208,40 @@ fn graph_io_roundtrip_preserves_query_results() {
     };
     assert_eq!(names(&graph, &result_a), names(&reloaded, &result_b));
 }
+
+/// The batch path through the prelude: a generated dataset is queried once
+/// through the sequential engine and once as a multi-threaded batch, and the
+/// answers must be identical (including the work counters). Also pins the
+/// prelude re-exports of `BatchEngine`, `QueryBatch`, `CacheStats` and
+/// `SharedDecomposition`.
+#[test]
+fn batch_engine_matches_sequential_engine_end_to_end() {
+    use std::sync::Arc;
+
+    let graph = Arc::new(generated_graph());
+    let engine = BatchEngine::new(Arc::clone(&graph)).with_threads(4);
+    let sequential = AcqEngine::with_index(&graph, engine.index().as_ref().clone());
+
+    // The decomposition handle is shared, not recomputed.
+    let decomposition: &SharedDecomposition = engine.decomposition();
+    let queries: Vec<AcqQuery> = graph
+        .vertices()
+        .filter(|&v| decomposition.core_number(v) >= 3)
+        .take(12)
+        .map(|v| AcqQuery::new(v, 3))
+        .collect();
+    assert!(!queries.is_empty(), "generated graph has a 3-core");
+
+    let batch: QueryBatch = queries.iter().cloned().collect();
+    let results = engine.run(&batch);
+    for (query, result) in queries.iter().zip(&results) {
+        assert_eq!(result, &sequential.query(query), "batch must equal sequential");
+    }
+
+    // Running the same batch again is answered (partly) from the cache and
+    // still returns identical results.
+    let again = engine.run(&batch);
+    assert_eq!(results, again);
+    let stats: CacheStats = engine.cache_stats();
+    assert!(stats.hits > 0, "repeated batch must hit the shared cache: {stats:?}");
+}
