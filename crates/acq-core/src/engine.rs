@@ -1,16 +1,21 @@
-//! A convenience façade bundling a graph, its CL-tree index and all query
-//! algorithms behind one entry point.
+//! The algorithm selector and the deprecated borrowed-engine shim.
+//!
+//! [`AcqAlgorithm`] is the knob every executor shares. [`AcqEngine`] is the
+//! crate's original per-variant-method entry point, kept for one release as a
+//! thin `#[deprecated]` shim over the unified [`Request`]/[`Executor`]
+//! surface — new code should use [`Engine`](crate::Engine) (owning,
+//! swappable) or [`BatchEngine`](crate::exec::BatchEngine) instead.
 
-use crate::algorithms::basic::{basic_g, basic_w};
-use crate::algorithms::dec::dec;
-use crate::algorithms::incremental::{inc_s, inc_t};
+use crate::exec::IndexCache;
 use crate::query::{AcqQuery, AcqResult, QueryError};
-use crate::variants::{self, Variant1Query, Variant2Query};
+use crate::request::{execute_on, Request};
+use crate::variants::{Variant1Query, Variant2Query};
 use acq_cltree::{build_advanced, ClTree};
 use acq_graph::AttributedGraph;
+use serde::{Deserialize, Serialize};
 
 /// Which ACQ algorithm to run. The index-free baselines ignore the CL-tree.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum AcqAlgorithm {
     /// Index-free: structure first, keywords second (Algorithm 5).
     BasicG,
@@ -56,25 +61,24 @@ impl AcqAlgorithm {
     }
 }
 
-/// The query engine: owns the CL-tree index and borrows the graph.
+/// The original borrowed query engine, kept as a migration shim.
 ///
-/// ```
-/// use acq_graph::paper_figure3_graph;
-/// use acq_core::{AcqEngine, AcqQuery};
-///
-/// let graph = paper_figure3_graph();
-/// let engine = AcqEngine::new(&graph);
-/// let q = graph.vertex_by_label("A").unwrap();
-/// let result = engine.query(&AcqQuery::new(q, 2)).unwrap();
-/// assert_eq!(result.communities[0].member_names(&graph), vec!["A", "C", "D"]);
-/// assert_eq!(result.communities[0].label_terms(&graph), vec!["x", "y"]);
-/// ```
+/// Every method folds its input into a [`Request`](crate::Request) and runs
+/// it through the same validation and dispatch as the unified executors, so
+/// answers stay byte-identical to [`Engine`](crate::Engine) with a disabled
+/// cache. See the `MIGRATION` section of the repository README for the
+/// old-call → builder mapping.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the owning `acq_core::Engine` (or any `Executor`) with the `Request` builder"
+)]
 #[derive(Debug)]
 pub struct AcqEngine<'g> {
     graph: &'g AttributedGraph,
     index: ClTree,
 }
 
+#[allow(deprecated)]
 impl<'g> AcqEngine<'g> {
     /// Builds the engine with a freshly constructed CL-tree (`advanced`
     /// builder, inverted lists enabled).
@@ -104,70 +108,39 @@ impl<'g> AcqEngine<'g> {
     }
 
     /// Runs the query with an explicitly chosen algorithm.
-    ///
-    /// All algorithms return the same communities (a property-based test
-    /// enforces it), so the choice only affects running time — `Dec` is the
-    /// paper's fastest. On the Figure 3 quick-start graph:
-    ///
-    /// ```
-    /// use acq_graph::paper_figure3_graph;
-    /// use acq_core::{AcqAlgorithm, AcqEngine, AcqQuery};
-    ///
-    /// let graph = paper_figure3_graph();
-    /// let engine = AcqEngine::new(&graph);
-    /// let q = graph.vertex_by_label("A").unwrap();
-    ///
-    /// let via_inc_t = engine.query_with(&AcqQuery::new(q, 2), AcqAlgorithm::IncT).unwrap();
-    /// let via_dec = engine.query_with(&AcqQuery::new(q, 2), AcqAlgorithm::Dec).unwrap();
-    /// assert_eq!(via_inc_t.communities[0].member_names(&graph), vec!["A", "C", "D"]);
-    /// assert_eq!(via_inc_t.canonical(), via_dec.canonical());
-    /// ```
     pub fn query_with(
         &self,
         query: &AcqQuery,
         algorithm: AcqAlgorithm,
     ) -> Result<AcqResult, QueryError> {
-        query.validate(self.graph)?;
-        Ok(match algorithm {
-            AcqAlgorithm::BasicG => basic_g(self.graph, query),
-            AcqAlgorithm::BasicW => basic_w(self.graph, query),
-            AcqAlgorithm::IncS => inc_s(self.graph, &self.index, query, true),
-            AcqAlgorithm::IncSStar => inc_s(self.graph, &self.index, query, false),
-            AcqAlgorithm::IncT => inc_t(self.graph, &self.index, query, true),
-            AcqAlgorithm::IncTStar => inc_t(self.graph, &self.index, query, false),
-            AcqAlgorithm::Dec => dec(self.graph, &self.index, query),
-        })
+        self.run(&Request::from_acq(query, algorithm))
     }
 
     /// Runs a Variant 1 query (exact required keyword set) with the
     /// index-based `SW` algorithm.
     pub fn query_variant1(&self, query: &Variant1Query) -> Result<AcqResult, QueryError> {
-        if !self.graph.contains_vertex(query.vertex) {
-            return Err(QueryError::UnknownVertex(query.vertex));
-        }
-        if query.k == 0 {
-            return Err(QueryError::InvalidK);
-        }
-        Ok(variants::sw(self.graph, &self.index, query))
+        self.run(&Request::from_variant1(query))
     }
 
     /// Runs a Variant 2 query (threshold keyword constraint) with the
     /// index-based `SWT` algorithm.
     pub fn query_variant2(&self, query: &Variant2Query) -> Result<AcqResult, QueryError> {
-        if !self.graph.contains_vertex(query.vertex) {
-            return Err(QueryError::UnknownVertex(query.vertex));
-        }
-        if query.k == 0 {
-            return Err(QueryError::InvalidK);
-        }
-        Ok(variants::swt(self.graph, &self.index, query))
+        self.run(&Request::from_variant2(query))
+    }
+
+    /// The shared dispatch: same validation, same algorithms as every
+    /// [`Executor`](crate::Executor), with caching disabled.
+    fn run(&self, request: &Request) -> Result<AcqResult, QueryError> {
+        execute_on(self.graph, &self.index, &IndexCache::disabled(), 0, request)
+            .map(|response| response.result)
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
-    use acq_graph::{paper_figure3_graph, VertexId};
+    use acq_graph::{paper_figure3_graph, KeywordId, VertexId};
 
     #[test]
     fn engine_runs_every_algorithm_consistently() {
@@ -192,6 +165,10 @@ mod tests {
         assert!(engine.query_variant1(&v1).is_err());
         let v2 = Variant2Query { vertex: VertexId(0), k: 0, keywords: vec![], theta: 0.5 };
         assert!(engine.query_variant2(&v2).is_err());
+        // The shim now shares the executors' validation: unknown keyword ids
+        // are rejected instead of passing silently.
+        let bogus = Variant1Query { vertex: VertexId(0), k: 2, keywords: vec![KeywordId(9999)] };
+        assert_eq!(engine.query_variant1(&bogus), Err(QueryError::UnknownKeyword(KeywordId(9999))));
     }
 
     #[test]

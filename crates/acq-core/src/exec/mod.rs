@@ -20,19 +20,16 @@
 
 mod cache;
 mod lru;
-mod pool;
+pub(crate) mod pool;
 
 pub use cache::{CacheKey, CacheKind, CacheStats, IndexCache};
 pub use lru::LruCache;
 
-use crate::algorithms::basic::{basic_g, basic_w};
-use crate::algorithms::dec::dec_cached;
-use crate::algorithms::incremental::{inc_s_cached, inc_t_cached};
 use crate::engine::AcqAlgorithm;
 use crate::query::{AcqQuery, AcqResult, QueryError};
-use crate::variants::{sw_cached, swt_cached, Variant1Query, Variant2Query};
+use crate::request::{execute_on, Executor, Request, Response};
+use crate::variants::{Variant1Query, Variant2Query};
 use acq_cltree::{build_advanced, ClTree};
-use acq_fpm::MiningAlgorithm;
 use acq_graph::AttributedGraph;
 use acq_kcore::SharedDecomposition;
 use std::sync::Arc;
@@ -45,11 +42,16 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
 /// should answer it. Build one with [`push`](Self::push) /
 /// [`push_with`](Self::push_with) or collect it from an iterator of
 /// [`AcqQuery`]s (which assigns the default algorithm, `Dec`).
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `Vec<Request>` with the `Request` builder and hand it to `Executor::execute_batch`"
+)]
 #[derive(Debug, Clone, Default)]
 pub struct QueryBatch {
     items: Vec<(AcqQuery, AcqAlgorithm)>,
 }
 
+#[allow(deprecated)]
 impl QueryBatch {
     /// An empty batch.
     pub fn new() -> Self {
@@ -88,12 +90,14 @@ impl QueryBatch {
     }
 }
 
+#[allow(deprecated)]
 impl FromIterator<AcqQuery> for QueryBatch {
     fn from_iter<I: IntoIterator<Item = AcqQuery>>(iter: I) -> Self {
         Self { items: iter.into_iter().map(|q| (q, AcqAlgorithm::default())).collect() }
     }
 }
 
+#[allow(deprecated)]
 impl FromIterator<(AcqQuery, AcqAlgorithm)> for QueryBatch {
     fn from_iter<I: IntoIterator<Item = (AcqQuery, AcqAlgorithm)>>(iter: I) -> Self {
         Self { items: iter.into_iter().collect() }
@@ -108,11 +112,12 @@ impl FromIterator<(AcqQuery, AcqAlgorithm)> for QueryBatch {
 /// `BatchEngine` is `'static`, `Send` and `Sync` — it can be stored in a
 /// server, cloned-by-`Arc` and queried from many sessions at once.
 ///
-/// The paper's Figure 3 quick-start, batched:
+/// The paper's Figure 3 quick-start, batched through the unified
+/// [`Executor`] door:
 ///
 /// ```
-/// use acq_core::exec::{BatchEngine, QueryBatch};
-/// use acq_core::AcqQuery;
+/// use acq_core::exec::BatchEngine;
+/// use acq_core::{Executor, Request};
 /// use acq_graph::paper_figure3_graph;
 /// use std::sync::Arc;
 ///
@@ -121,14 +126,13 @@ impl FromIterator<(AcqQuery, AcqAlgorithm)> for QueryBatch {
 ///
 /// // "For A and for B: find the community in which everyone has degree >= 2
 /// //  and shares as many of the query vertex's keywords as possible."
-/// let mut batch = QueryBatch::new();
-/// for label in ["A", "B"] {
-///     let q = graph.vertex_by_label(label).unwrap();
-///     batch.push(AcqQuery::new(q, 2));
-/// }
+/// let requests: Vec<Request> = ["A", "B"]
+///     .iter()
+///     .map(|label| Request::community(graph.vertex_by_label(label).unwrap()).k(2))
+///     .collect();
 ///
-/// let results = engine.run(&batch); // input order, regardless of threads
-/// let ac = &results[0].as_ref().unwrap().communities[0];
+/// let results = engine.execute_batch(&requests); // input order, regardless of threads
+/// let ac = &results[0].as_ref().unwrap().communities()[0];
 /// assert_eq!(ac.member_names(&graph), vec!["A", "C", "D"]);
 /// assert_eq!(ac.label_terms(&graph), vec!["x", "y"]);
 /// ```
@@ -205,80 +209,80 @@ impl BatchEngine {
         self.cache.stats()
     }
 
-    /// The effective worker count for a batch of `batch_len` items.
-    fn effective_threads(&self, batch_len: usize) -> usize {
-        let configured = if self.threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-        } else {
-            self.threads
-        };
-        configured.min(batch_len.max(1))
-    }
-
     /// Runs every query of the batch and returns the answers **in input
-    /// order**. Each answer is exactly what
-    /// [`AcqEngine::query_with`](crate::AcqEngine::query_with) would have
-    /// returned for the same query and algorithm.
+    /// order** — a thin shim over [`Executor::execute_batch`].
+    #[allow(deprecated)]
+    #[deprecated(
+        since = "0.2.0",
+        note = "build `Request`s with the builder and call `Executor::execute_batch`"
+    )]
     pub fn run(&self, batch: &QueryBatch) -> Vec<Result<AcqResult, QueryError>> {
-        pool::map_ordered(&batch.items, self.effective_threads(batch.len()), |_, (query, alg)| {
-            self.run_one(query, *alg)
-        })
+        let requests: Vec<Request> =
+            batch.items.iter().map(|(query, alg)| Request::from_acq(query, *alg)).collect();
+        strip_meta(self.execute_batch(&requests))
     }
 
     /// Convenience wrapper: runs a slice of queries with the default
     /// algorithm (`Dec`), preserving order.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build `Request`s with the builder and call `Executor::execute_batch`"
+    )]
     pub fn run_queries(&self, queries: &[AcqQuery]) -> Vec<Result<AcqResult, QueryError>> {
-        pool::map_ordered(queries, self.effective_threads(queries.len()), |_, query| {
-            self.run_one(query, AcqAlgorithm::default())
-        })
+        let requests: Vec<Request> =
+            queries.iter().map(|q| Request::from_acq(q, AcqAlgorithm::default())).collect();
+        strip_meta(self.execute_batch(&requests))
     }
 
     /// Runs a batch of Variant 1 queries (exact required keyword set, the
     /// `SW` algorithm), preserving order.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Request::community(v).k(..).exact_keywords(..)` with `Executor::execute_batch`"
+    )]
     pub fn run_variant1(&self, queries: &[Variant1Query]) -> Vec<Result<AcqResult, QueryError>> {
-        pool::map_ordered(queries, self.effective_threads(queries.len()), |_, query| {
-            if !self.graph.contains_vertex(query.vertex) {
-                return Err(QueryError::UnknownVertex(query.vertex));
-            }
-            if query.k == 0 {
-                return Err(QueryError::InvalidK);
-            }
-            Ok(sw_cached(&self.graph, &self.index, query, &self.cache))
-        })
+        let requests: Vec<Request> = queries.iter().map(Request::from_variant1).collect();
+        strip_meta(self.execute_batch(&requests))
     }
 
     /// Runs a batch of Variant 2 queries (threshold keyword constraint, the
     /// `SWT` algorithm), preserving order.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Request::community(v).k(..).keywords(..).threshold(..)` with `Executor::execute_batch`"
+    )]
     pub fn run_variant2(&self, queries: &[Variant2Query]) -> Vec<Result<AcqResult, QueryError>> {
-        pool::map_ordered(queries, self.effective_threads(queries.len()), |_, query| {
-            if !self.graph.contains_vertex(query.vertex) {
-                return Err(QueryError::UnknownVertex(query.vertex));
-            }
-            if query.k == 0 {
-                return Err(QueryError::InvalidK);
-            }
-            Ok(swt_cached(&self.graph, &self.index, query, &self.cache))
-        })
+        let requests: Vec<Request> = queries.iter().map(Request::from_variant2).collect();
+        strip_meta(self.execute_batch(&requests))
+    }
+}
+
+/// Reduces unified responses to the bare results the deprecated entry points
+/// used to return.
+fn strip_meta(responses: Vec<Result<Response, QueryError>>) -> Vec<Result<AcqResult, QueryError>> {
+    responses.into_iter().map(|r| r.map(|response| response.result)).collect()
+}
+
+impl Executor for BatchEngine {
+    fn execute(&self, request: &Request) -> Result<Response, QueryError> {
+        execute_on(&self.graph, &self.index, &self.cache, 0, request)
     }
 
-    /// One query through the cached algorithm implementations — the batched
-    /// mirror of [`AcqEngine::query_with`](crate::AcqEngine::query_with).
-    fn run_one(&self, query: &AcqQuery, algorithm: AcqAlgorithm) -> Result<AcqResult, QueryError> {
-        query.validate(&self.graph)?;
-        let (graph, index, cache) = (self.graph.as_ref(), self.index.as_ref(), &self.cache);
-        Ok(match algorithm {
-            AcqAlgorithm::BasicG => basic_g(graph, query),
-            AcqAlgorithm::BasicW => basic_w(graph, query),
-            AcqAlgorithm::IncS => inc_s_cached(graph, index, query, true, cache),
-            AcqAlgorithm::IncSStar => inc_s_cached(graph, index, query, false, cache),
-            AcqAlgorithm::IncT => inc_t_cached(graph, index, query, true, cache),
-            AcqAlgorithm::IncTStar => inc_t_cached(graph, index, query, false, cache),
-            AcqAlgorithm::Dec => dec_cached(graph, index, query, MiningAlgorithm::FpGrowth, cache),
+    /// Fans the requests out over the engine's worker pool, answering **in
+    /// input order**.
+    fn execute_batch(&self, requests: &[Request]) -> Vec<Result<Response, QueryError>> {
+        let workers = pool::effective_threads(self.threads, requests.len());
+        pool::map_ordered(requests, workers, |_, request| {
+            execute_on(&self.graph, &self.index, &self.cache, 0, request)
         })
     }
 }
 
+/// Shim tests: the deprecated `QueryBatch`/`run*` entry points must keep
+/// returning byte-identical answers to the deprecated sequential `AcqEngine`
+/// until both are removed together.
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::AcqEngine;
@@ -400,7 +404,12 @@ mod tests {
     }
 }
 
+/// Shim proptests: random-graph equivalence of the deprecated batch entry
+/// points against the deprecated sequential engine. The *new* API's
+/// cross-executor equivalence proptest lives in
+/// `tests/property_equivalence.rs`.
 #[cfg(test)]
+#[allow(deprecated)]
 mod proptests {
     use super::*;
     use crate::AcqEngine;

@@ -9,6 +9,18 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// Resolves a configured worker count for a batch of `batch_len` items:
+/// `0` means one worker per available core, and no more workers than items
+/// are ever used.
+pub(crate) fn effective_threads(configured: usize, batch_len: usize) -> usize {
+    let configured = if configured == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        configured
+    };
+    configured.min(batch_len.max(1))
+}
+
 /// Applies `f` to every item and returns the results **in input order**.
 ///
 /// With `threads <= 1` (or fewer than two items) this degenerates to a plain

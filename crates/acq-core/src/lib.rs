@@ -3,8 +3,10 @@
 //! The attributed community query (ACQ) of *Effective Community Search for
 //! Large Attributed Graphs* (Fang et al., PVLDB 2016): problem definition,
 //! the five query algorithms of the paper (`basic-g`, `basic-w`, `Inc-S`,
-//! `Inc-T`, `Dec`), the two problem variants of Appendix G, and a convenience
-//! [`AcqEngine`] bundling everything behind a single entry point.
+//! `Inc-T`, `Dec`), the two problem variants of Appendix G, and one unified
+//! query surface — build a [`Request`], hand it to any [`Executor`]
+//! (the owning [`Engine`] or the batched [`BatchEngine`]), read the
+//! [`Response`].
 //!
 //! Given a graph `G`, a query vertex `q`, a degree bound `k` and a keyword set
 //! `S ⊆ W(q)`, an **attributed community** is a connected subgraph containing
@@ -13,18 +15,21 @@
 //!
 //! ```
 //! use acq_graph::paper_figure3_graph;
-//! use acq_core::{AcqEngine, AcqQuery, AcqAlgorithm};
+//! use acq_core::{AcqAlgorithm, Engine, Executor, Request};
+//! use std::sync::Arc;
 //!
-//! let graph = paper_figure3_graph();
-//! let engine = AcqEngine::new(&graph);
+//! let graph = Arc::new(paper_figure3_graph());
+//! let engine = Engine::new(Arc::clone(&graph));
 //! let q = graph.vertex_by_label("A").unwrap();
 //!
 //! // Default algorithm (Dec) with the default keyword set S = W(q).
-//! let ac = engine.query(&AcqQuery::new(q, 2)).unwrap();
-//! assert_eq!(ac.communities[0].label_terms(&graph), vec!["x", "y"]);
+//! let ac = engine.execute(&Request::community(q).k(2)).unwrap();
+//! assert_eq!(ac.communities()[0].label_terms(&graph), vec!["x", "y"]);
 //!
 //! // Any of the paper's algorithms returns the same communities.
-//! let same = engine.query_with(&AcqQuery::new(q, 2), AcqAlgorithm::IncT).unwrap();
+//! let same = engine
+//!     .execute(&Request::community(q).k(2).algorithm(AcqAlgorithm::IncT))
+//!     .unwrap();
 //! assert_eq!(same.canonical(), ac.canonical());
 //! ```
 
@@ -34,15 +39,23 @@ pub mod algorithms;
 pub mod common;
 mod engine;
 pub mod exec;
+mod owned;
 mod query;
+mod request;
 pub mod variants;
 
 pub use algorithms::basic::{basic_g, basic_w};
 pub use algorithms::dec::{dec, dec_with_miner};
 pub use algorithms::incremental::{inc_s, inc_t};
-pub use engine::{AcqAlgorithm, AcqEngine};
-pub use exec::{BatchEngine, QueryBatch};
+pub use engine::AcqAlgorithm;
+#[allow(deprecated)]
+pub use engine::AcqEngine;
+pub use exec::BatchEngine;
+#[allow(deprecated)]
+pub use exec::QueryBatch;
+pub use owned::{Engine, EngineBuilder};
 pub use query::{AcqQuery, AcqResult, AttributedCommunity, QueryError, QueryStats};
+pub use request::{ExecutionMeta, Executor, QuerySpec, Request, Response};
 pub use variants::{
     basic_g_v1, basic_g_v2, basic_w_v1, basic_w_v2, sw, swt, Variant1Query, Variant2Query,
 };
@@ -53,6 +66,7 @@ mod proptests {
     use acq_cltree::build_advanced;
     use acq_graph::{GraphBuilder, VertexId};
     use proptest::prelude::*;
+    use std::sync::Arc;
 
     /// Random attributed graphs with a small keyword universe so that keyword
     /// sharing actually happens.
@@ -85,12 +99,15 @@ mod proptests {
         #[test]
         fn all_algorithms_agree(g in arb_graph(), q_raw in 0u32..22, k in 1usize..4) {
             let q = VertexId(q_raw % g.num_vertices() as u32);
-            let engine = AcqEngine::new(&g);
-            let query = AcqQuery::new(q, k);
-            let reference = engine.query_with(&query, AcqAlgorithm::BasicG).unwrap().canonical();
+            let engine = Engine::new(Arc::new(g));
+            let request = Request::community(q).k(k);
+            let reference = engine
+                .execute(&request.clone().algorithm(AcqAlgorithm::BasicG))
+                .unwrap()
+                .canonical();
             for algorithm in AcqAlgorithm::ALL {
-                let result = engine.query_with(&query, algorithm).unwrap();
-                prop_assert_eq!(result.canonical(), reference.clone(), "{}", algorithm.name());
+                let response = engine.execute(&request.clone().algorithm(algorithm)).unwrap();
+                prop_assert_eq!(response.canonical(), reference.clone(), "{}", algorithm.name());
             }
         }
 
@@ -100,9 +117,9 @@ mod proptests {
         #[test]
         fn results_satisfy_problem_definition(g in arb_graph(), q_raw in 0u32..22, k in 1usize..4) {
             let q = VertexId(q_raw % g.num_vertices() as u32);
-            let engine = AcqEngine::new(&g);
+            let engine = Engine::new(Arc::new(g.clone()));
             let query = AcqQuery::new(q, k);
-            let result = engine.query(&query).unwrap();
+            let result = engine.execute(&Request::community(q).k(k)).unwrap().result;
             let s = query.effective_keywords(&g);
             for community in &result.communities {
                 // Contains q.
@@ -135,9 +152,9 @@ mod proptests {
         #[test]
         fn label_is_maximal(g in arb_graph(), q_raw in 0u32..22, k in 1usize..3) {
             let q = VertexId(q_raw % g.num_vertices() as u32);
-            let engine = AcqEngine::new(&g);
+            let engine = Engine::new(Arc::new(g.clone()));
             let query = AcqQuery::new(q, k);
-            let result = engine.query(&query).unwrap();
+            let result = engine.execute(&Request::community(q).k(k)).unwrap().result;
             if result.is_empty() {
                 return Ok(());
             }
@@ -153,8 +170,11 @@ mod proptests {
                     let mut bigger = community.label.clone();
                     bigger.push(extra);
                     bigger.sort_unstable();
-                    let probe = AcqQuery::with_keywords(q, k, bigger.clone());
-                    let probe_result = engine.query_with(&probe, AcqAlgorithm::BasicW).unwrap();
+                    let probe = Request::community(q)
+                        .k(k)
+                        .keywords(bigger.iter().copied())
+                        .algorithm(AcqAlgorithm::BasicW);
+                    let probe_result = engine.execute(&probe).unwrap().result;
                     prop_assert!(
                         probe_result.label_size <= best,
                         "label {:?} of size {} beats reported maximum {}",

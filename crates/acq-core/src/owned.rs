@@ -1,0 +1,318 @@
+//! The owning query engine: `Arc`-shared graph, a generation-swappable
+//! CL-tree index, and the unified [`Request`]/[`Response`] surface.
+//!
+//! Unlike the borrowed [`AcqEngine`](crate::AcqEngine) shim, an [`Engine`] is
+//! `'static + Send + Sync`: it can be stored in a server, cloned-by-`Arc` and
+//! queried from many sessions at once. Unlike
+//! [`BatchEngine`](crate::exec::BatchEngine), its index lives behind a
+//! **generation handle**: [`Engine::swap_index`] atomically publishes a
+//! freshly built index (plus a fresh cache — cache keys are tree-node ids, so
+//! they never outlive their tree) while in-flight queries finish on the old
+//! one. That handle is the load-bearing step toward live dynamic-graph
+//! maintenance: build the maintained index off to the side, swap, and serving
+//! never stops.
+
+use crate::exec::{pool, CacheStats, IndexCache, DEFAULT_CACHE_CAPACITY};
+use crate::query::QueryError;
+use crate::request::{execute_on, Executor, Request, Response};
+use acq_cltree::{build_advanced, ClTree};
+use acq_graph::AttributedGraph;
+use std::sync::{Arc, RwLock};
+
+/// One published index generation: the tree, the cache scoped to it, and the
+/// generation number stamped into every [`Response`] served from it.
+#[derive(Debug)]
+struct IndexGeneration {
+    index: Arc<ClTree>,
+    cache: IndexCache,
+    number: u64,
+}
+
+/// The owning ACQ engine: one graph, one swappable index, every query kind
+/// through one [`Executor`] door.
+///
+/// ```
+/// use acq_core::{Engine, Executor, Request};
+/// use acq_graph::paper_figure3_graph;
+/// use std::sync::Arc;
+///
+/// let graph = Arc::new(paper_figure3_graph());
+/// let engine = Engine::builder(Arc::clone(&graph)).cache_capacity(256).threads(2).build();
+/// let q = graph.vertex_by_label("A").unwrap();
+///
+/// let response = engine.execute(&Request::community(q).k(2)).unwrap();
+/// let ac = &response.communities()[0];
+/// assert_eq!(ac.member_names(&graph), vec!["A", "C", "D"]);
+/// assert_eq!(ac.label_terms(&graph), vec!["x", "y"]);
+/// assert_eq!(response.meta.algorithm, "Dec");
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    graph: Arc<AttributedGraph>,
+    current: RwLock<Arc<IndexGeneration>>,
+    cache_capacity: usize,
+    threads: usize,
+}
+
+/// Configures and builds an [`Engine`].
+#[derive(Debug)]
+pub struct EngineBuilder {
+    graph: Arc<AttributedGraph>,
+    index: Option<Arc<ClTree>>,
+    cache_capacity: usize,
+    threads: usize,
+}
+
+impl EngineBuilder {
+    /// Uses an existing shared index instead of building one (e.g. one that
+    /// was incrementally maintained or deserialised from disk).
+    #[must_use]
+    pub fn index(mut self, index: Arc<ClTree>) -> Self {
+        self.index = Some(index);
+        self
+    }
+
+    /// Bounds the per-generation index cache to `capacity` entries
+    /// (0 disables caching). Defaults to [`DEFAULT_CACHE_CAPACITY`].
+    #[must_use]
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Sets the worker count for [`Executor::execute_batch`]. `0` (the
+    /// default) means one worker per available core; `1` forces sequential
+    /// execution on the calling thread.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Builds the engine, constructing the CL-tree (`advanced` builder,
+    /// inverted lists enabled) if no index was supplied.
+    pub fn build(self) -> Engine {
+        let index = self.index.unwrap_or_else(|| Arc::new(build_advanced(&self.graph, true)));
+        let generation = IndexGeneration {
+            index,
+            cache: IndexCache::with_capacity(self.cache_capacity),
+            number: 1,
+        };
+        Engine {
+            graph: self.graph,
+            current: RwLock::new(Arc::new(generation)),
+            cache_capacity: self.cache_capacity,
+            threads: self.threads,
+        }
+    }
+}
+
+impl Engine {
+    /// Starts configuring an engine for `graph`.
+    pub fn builder(graph: Arc<AttributedGraph>) -> EngineBuilder {
+        EngineBuilder { graph, index: None, cache_capacity: DEFAULT_CACHE_CAPACITY, threads: 0 }
+    }
+
+    /// An engine with all defaults: freshly built index, default cache
+    /// capacity, one batch worker per core.
+    pub fn new(graph: Arc<AttributedGraph>) -> Self {
+        Self::builder(graph).build()
+    }
+
+    /// The shared graph.
+    pub fn graph(&self) -> &Arc<AttributedGraph> {
+        &self.graph
+    }
+
+    /// A snapshot of the currently published index. Queries already running
+    /// keep the snapshot they started with even if a swap happens next.
+    pub fn index(&self) -> Arc<ClTree> {
+        Arc::clone(&self.snapshot().index)
+    }
+
+    /// The generation number of the currently published index (starts at 1,
+    /// incremented by every [`swap_index`](Self::swap_index)).
+    pub fn generation(&self) -> u64 {
+        self.snapshot().number
+    }
+
+    /// Counters of the current generation's index cache. A swap installs a
+    /// fresh cache, so these reset to zero on every new generation.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.snapshot().cache.stats()
+    }
+
+    /// Atomically publishes `index` as the new current generation and
+    /// returns its generation number.
+    ///
+    /// In-flight queries are **not** interrupted: each query snapshots the
+    /// generation handle when it starts and finishes on that snapshot, while
+    /// new queries pick up the new index. The lock is held only for the
+    /// pointer swap — never across a query — so publishing does not block
+    /// concurrent [`execute`](Executor::execute) calls for more than a
+    /// pointer copy. The new generation gets a fresh (empty) cache, since
+    /// cache entries are keyed by tree-node ids that are private to a tree.
+    pub fn swap_index(&self, index: Arc<ClTree>) -> u64 {
+        let mut current = self.current.write().expect("engine index lock poisoned");
+        let number = current.number + 1;
+        *current = Arc::new(IndexGeneration {
+            index,
+            cache: IndexCache::with_capacity(self.cache_capacity),
+            number,
+        });
+        number
+    }
+
+    /// Rebuilds the index from the engine's graph and publishes it — a
+    /// convenience wrapper over [`swap_index`](Self::swap_index). Returns
+    /// the new generation number.
+    pub fn rebuild_index(&self) -> u64 {
+        self.swap_index(Arc::new(build_advanced(&self.graph, true)))
+    }
+
+    fn snapshot(&self) -> Arc<IndexGeneration> {
+        Arc::clone(&self.current.read().expect("engine index lock poisoned"))
+    }
+}
+
+impl Executor for Engine {
+    fn execute(&self, request: &Request) -> Result<Response, QueryError> {
+        let generation = self.snapshot();
+        execute_on(&self.graph, &generation.index, &generation.cache, generation.number, request)
+    }
+
+    /// Fans the batch out over the configured worker pool, answering **in
+    /// input order**. The whole batch runs against one index snapshot, so a
+    /// concurrent [`swap_index`](Engine::swap_index) never splits a batch
+    /// across generations.
+    fn execute_batch(&self, requests: &[Request]) -> Vec<Result<Response, QueryError>> {
+        let generation = self.snapshot();
+        let workers = pool::effective_threads(self.threads, requests.len());
+        pool::map_ordered(requests, workers, |_, request| {
+            execute_on(
+                &self.graph,
+                &generation.index,
+                &generation.cache,
+                generation.number,
+                request,
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::AcqAlgorithm;
+    use acq_graph::{paper_figure3_graph, VertexId};
+
+    fn figure3_engine() -> (Arc<AttributedGraph>, Engine) {
+        let graph = Arc::new(paper_figure3_graph());
+        let engine = Engine::new(Arc::clone(&graph));
+        (graph, engine)
+    }
+
+    #[test]
+    fn executes_every_spec_kind() {
+        let (graph, engine) = figure3_engine();
+        let a = graph.vertex_by_label("A").unwrap();
+        let x = graph.dictionary().get("x").unwrap();
+        let y = graph.dictionary().get("y").unwrap();
+
+        let acq = engine.execute(&Request::community(a).k(2)).unwrap();
+        assert_eq!(acq.communities()[0].member_names(&graph), vec!["A", "C", "D"]);
+        assert_eq!(acq.meta.algorithm, "Dec");
+        assert_eq!(acq.meta.generation, 1);
+
+        let v1 = engine.execute(&Request::community(a).k(2).exact_keywords([x])).unwrap();
+        assert_eq!(v1.communities()[0].member_names(&graph), vec!["A", "B", "C", "D"]);
+        assert_eq!(v1.meta.algorithm, "SW");
+
+        let v2 =
+            engine.execute(&Request::community(a).k(2).keywords([x, y]).threshold(0.5)).unwrap();
+        assert_eq!(v2.communities()[0].member_names(&graph), vec!["A", "B", "C", "D", "E"]);
+        assert_eq!(v2.meta.algorithm, "SWT");
+    }
+
+    #[test]
+    fn all_algorithms_agree_through_the_unified_door() {
+        let (graph, engine) = figure3_engine();
+        let a = graph.vertex_by_label("A").unwrap();
+        let reference = engine
+            .execute(&Request::community(a).k(2).algorithm(AcqAlgorithm::BasicG))
+            .unwrap()
+            .canonical();
+        for algorithm in AcqAlgorithm::ALL {
+            let response =
+                engine.execute(&Request::community(a).k(2).algorithm(algorithm)).unwrap();
+            assert_eq!(response.canonical(), reference, "{}", algorithm.name());
+            assert_eq!(response.meta.algorithm, algorithm.name());
+        }
+    }
+
+    #[test]
+    fn execute_batch_preserves_input_order_and_matches_execute() {
+        let (graph, engine) = figure3_engine();
+        let requests: Vec<Request> = ["A", "B", "C", "D", "E", "F", "G", "H", "I", "J"]
+            .iter()
+            .flat_map(|label| {
+                let v = graph.vertex_by_label(label).unwrap();
+                AcqAlgorithm::ALL.iter().map(move |&alg| Request::community(v).k(2).algorithm(alg))
+            })
+            .collect();
+        for threads in [1usize, 4] {
+            let pooled = Engine::builder(Arc::clone(&graph)).threads(threads).build();
+            let results = pooled.execute_batch(&requests);
+            assert_eq!(results.len(), requests.len());
+            for (request, result) in requests.iter().zip(&results) {
+                let expected = engine.execute(request).map(|r| r.result);
+                let got = result.clone().map(|r| r.result);
+                assert_eq!(got, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_requests_error_without_poisoning_the_batch() {
+        let (graph, engine) = figure3_engine();
+        let a = graph.vertex_by_label("A").unwrap();
+        let requests = vec![
+            Request::community(a).k(2),
+            Request::community(VertexId(999)).k(2),
+            Request::community(a).k(0),
+        ];
+        let results = engine.execute_batch(&requests);
+        assert!(results[0].is_ok());
+        assert_eq!(results[1], Err(QueryError::UnknownVertex(VertexId(999))));
+        assert_eq!(results[2], Err(QueryError::InvalidK));
+    }
+
+    #[test]
+    fn swap_index_bumps_the_generation_and_resets_the_cache() {
+        let (graph, engine) = figure3_engine();
+        let a = graph.vertex_by_label("A").unwrap();
+        let request = Request::community(a).k(2);
+
+        let before = engine.execute(&request).unwrap();
+        assert_eq!(before.meta.generation, 1);
+        engine.execute(&request).unwrap();
+        assert!(engine.cache_stats().hits > 0, "repeat query hits the generation cache");
+
+        let generation = engine.rebuild_index();
+        assert_eq!(generation, 2);
+        assert_eq!(engine.generation(), 2);
+        assert_eq!(engine.cache_stats(), CacheStats::default(), "fresh cache per generation");
+
+        let after = engine.execute(&request).unwrap();
+        assert_eq!(after.meta.generation, 2);
+        assert_eq!(after.result, before.result, "same graph, same answer across generations");
+    }
+
+    #[test]
+    fn engine_is_send_sync_and_static() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<Engine>();
+        assert_send_sync::<Request>();
+        assert_send_sync::<Response>();
+    }
+}

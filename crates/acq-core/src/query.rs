@@ -1,6 +1,7 @@
 //! Query descriptions, results and errors for the ACQ problem.
 
 use acq_graph::{AttributedGraph, KeywordId, VertexId};
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An attributed community query (Problem 1 of the paper).
@@ -73,7 +74,7 @@ impl AcqQuery {
 
 /// One attributed community: a vertex set plus the AC-label shared by all of
 /// its members.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AttributedCommunity {
     /// The AC-label `L(Gq, S)`: keywords of `S` shared by every member,
     /// sorted ascending. Empty when the query fell back to the plain k-ĉore.
@@ -119,7 +120,7 @@ impl AttributedCommunity {
 
 /// Counters describing how much work a query did; used by the efficiency
 /// experiments and by tests asserting that pruning actually prunes.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct QueryStats {
     /// Candidate keyword sets whose community existence was checked.
     pub candidates_verified: usize,
@@ -131,7 +132,7 @@ pub struct QueryStats {
 
 /// The answer to an ACQ: all attributed communities whose AC-label has the
 /// maximum size, plus work counters.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AcqResult {
     /// The communities, one per maximal qualified keyword set. When no
     /// keyword is shared at all this contains the plain k-ĉore with an empty
@@ -166,13 +167,17 @@ impl AcqResult {
     }
 }
 
-/// Errors raised by the query algorithms.
+/// Errors raised by request validation and the query algorithms.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum QueryError {
     /// The query vertex does not exist in the graph.
     UnknownVertex(VertexId),
     /// `k` must be at least 1 (a 0-core carries no structural constraint).
     InvalidK,
+    /// An explicitly supplied keyword id is not in the graph's dictionary.
+    UnknownKeyword(KeywordId),
+    /// A Variant 2 threshold must lie in `[0, 1]`.
+    InvalidTheta,
 }
 
 impl fmt::Display for QueryError {
@@ -180,6 +185,10 @@ impl fmt::Display for QueryError {
         match self {
             QueryError::UnknownVertex(v) => write!(f, "query vertex {v} is not in the graph"),
             QueryError::InvalidK => write!(f, "the minimum degree k must be at least 1"),
+            QueryError::UnknownKeyword(kw) => {
+                write!(f, "keyword id {kw:?} is not in the graph's dictionary")
+            }
+            QueryError::InvalidTheta => write!(f, "the threshold θ must lie in [0, 1]"),
         }
     }
 }

@@ -3,8 +3,7 @@
 
 use acq_baselines::{global_community, local_community};
 use acq_bench::default_fixture;
-use acq_core::variants::{sw, swt, Variant1Query, Variant2Query};
-use acq_core::{dec, AcqQuery};
+use acq_core::{Executor, Request};
 use acq_graph::KeywordId;
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -27,9 +26,10 @@ fn bench_vs_community_search(c: &mut Criterion) {
         })
     });
     group.bench_function("Dec", |b| {
+        let engine = fx.engine(1);
         b.iter(|| {
             for &q in &fx.queries {
-                std::hint::black_box(dec(&fx.graph, &fx.index, &AcqQuery::new(q, 6)));
+                std::hint::black_box(engine.execute(&Request::community(q).k(6)).expect("valid"));
             }
         })
     });
@@ -38,22 +38,23 @@ fn bench_vs_community_search(c: &mut Criterion) {
 
 fn bench_variants(c: &mut Criterion) {
     let fx = default_fixture();
+    let engine = fx.engine(1);
     let mut group = c.benchmark_group("variants");
     group.sample_size(10);
     let keywords_of = |q| -> Vec<KeywordId> { fx.graph.keyword_set(q).iter().take(3).collect() };
     group.bench_function("SW (variant 1)", |b| {
         b.iter(|| {
             for &q in &fx.queries {
-                let query = Variant1Query { vertex: q, k: 6, keywords: keywords_of(q) };
-                std::hint::black_box(sw(&fx.graph, &fx.index, &query));
+                let request = Request::community(q).k(6).exact_keywords(keywords_of(q));
+                std::hint::black_box(engine.execute(&request).expect("valid"));
             }
         })
     });
     group.bench_function("SWT (variant 2, theta=0.6)", |b| {
         b.iter(|| {
             for &q in &fx.queries {
-                let query = Variant2Query { vertex: q, k: 6, keywords: keywords_of(q), theta: 0.6 };
-                std::hint::black_box(swt(&fx.graph, &fx.index, &query));
+                let request = Request::community(q).k(6).keywords(keywords_of(q)).threshold(0.6);
+                std::hint::black_box(engine.execute(&request).expect("valid"));
             }
         })
     });

@@ -1,22 +1,23 @@
 //! Figures 14(e–h) and 15 micro-benchmark: the five ACQ query algorithms plus
-//! the two no-inverted-list ablations, at the paper's default k = 6.
+//! the two no-inverted-list ablations, at the paper's default k = 6, driven
+//! through the unified `Request`/`Executor` surface.
 
 use acq_bench::default_fixture;
-use acq_core::{AcqAlgorithm, AcqEngine, AcqQuery};
+use acq_core::{AcqAlgorithm, Executor, Request};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_query_algorithms(c: &mut Criterion) {
     let fx = default_fixture();
-    let engine = AcqEngine::with_index(&fx.graph, fx.index.as_ref().clone());
+    let engine = fx.engine(1);
     let mut group = c.benchmark_group("query_algorithms");
     group.sample_size(10);
     for algorithm in AcqAlgorithm::ALL {
         group.bench_function(algorithm.name(), |b| {
             b.iter(|| {
                 for &q in &fx.queries {
-                    let query = AcqQuery::new(q, 6);
-                    let result = engine.query_with(&query, algorithm).expect("valid query");
-                    std::hint::black_box(result);
+                    let request = Request::community(q).k(6).algorithm(algorithm);
+                    let response = engine.execute(&request).expect("valid request");
+                    std::hint::black_box(response);
                 }
             })
         });
@@ -26,17 +27,16 @@ fn bench_query_algorithms(c: &mut Criterion) {
 
 fn bench_effect_of_k(c: &mut Criterion) {
     let fx = default_fixture();
-    let engine = AcqEngine::with_index(&fx.graph, fx.index.as_ref().clone());
+    let engine = fx.engine(1);
     let mut group = c.benchmark_group("dec_effect_of_k");
     group.sample_size(10);
     for k in [4usize, 6, 8] {
         group.bench_function(format!("k={k}"), |b| {
             b.iter(|| {
                 for &q in &fx.queries {
-                    let result = engine
-                        .query_with(&AcqQuery::new(q, k), AcqAlgorithm::Dec)
-                        .expect("valid query");
-                    std::hint::black_box(result);
+                    let response =
+                        engine.execute(&Request::community(q).k(k)).expect("valid request");
+                    std::hint::black_box(response);
                 }
             })
         });

@@ -15,13 +15,14 @@
 
 use acq_cltree::{build_advanced, ClTree};
 use acq_core::exec::BatchEngine;
+use acq_core::Engine;
 use acq_datagen::{generate, select_query_vertices, DatasetProfile};
 use acq_graph::{AttributedGraph, VertexId};
 use std::sync::Arc;
 
 /// A ready-to-query benchmark fixture: graph, index and a query workload.
-/// Graph and index are `Arc`-shared so the batch benchmarks can hand them to
-/// a [`BatchEngine`] without copying.
+/// Graph and index are `Arc`-shared so the benchmarks can hand them to any
+/// [`Executor`](acq_core::Executor) without copying.
 pub struct BenchFixture {
     /// Profile name.
     pub name: String,
@@ -39,6 +40,17 @@ impl BenchFixture {
     pub fn batch_engine(&self, threads: usize) -> BatchEngine {
         BatchEngine::with_index(Arc::clone(&self.graph), Arc::clone(&self.index))
             .with_threads(threads)
+    }
+
+    /// An owning [`Engine`] over this fixture's shared graph and index, with
+    /// `threads` batch workers (0 = one per core) and caching disabled — the
+    /// sequential-reference configuration of the executor benchmarks.
+    pub fn engine(&self, threads: usize) -> Engine {
+        Engine::builder(Arc::clone(&self.graph))
+            .index(Arc::clone(&self.index))
+            .cache_capacity(0)
+            .threads(threads)
+            .build()
     }
 }
 

@@ -24,6 +24,7 @@ pub mod variants;
 
 use acq_cltree::{build_advanced, ClTree};
 use acq_core::exec::BatchEngine;
+use acq_core::Engine;
 use acq_datagen::DatasetProfile;
 use acq_graph::{AttributedGraph, GraphBuilder, VertexId};
 use acq_kcore::CoreDecomposition;
@@ -87,6 +88,17 @@ impl Dataset {
     pub fn batch_engine(&self, config: &ExperimentConfig) -> BatchEngine {
         BatchEngine::with_index(Arc::clone(&self.graph), Arc::clone(&self.index))
             .with_threads(config.threads)
+    }
+
+    /// An owning cache-less [`Engine`] sharing this dataset's graph and
+    /// index — the executor used when an experiment times *single* queries,
+    /// so per-query latencies are not flattered by a warm cache.
+    pub fn engine(&self) -> Engine {
+        Engine::builder(Arc::clone(&self.graph))
+            .index(Arc::clone(&self.index))
+            .cache_capacity(0)
+            .threads(1)
+            .build()
     }
 
     /// The core decomposition (owned by the index).

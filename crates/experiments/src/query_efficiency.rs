@@ -5,8 +5,7 @@ use crate::{
 };
 use acq_baselines::{global_community, local_community};
 use acq_cltree::build_advanced;
-use acq_core::exec::QueryBatch;
-use acq_core::{AcqAlgorithm, AcqQuery};
+use acq_core::{AcqAlgorithm, Executor, Request};
 use acq_datagen::{sample_keywords, sample_vertices};
 use acq_graph::{KeywordId, VertexId};
 use rand::prelude::*;
@@ -15,9 +14,9 @@ use std::sync::Arc;
 
 /// Average query time (ms) of one ACQ algorithm over a workload, measured
 /// through the batch execution path: the whole workload is submitted as one
-/// [`QueryBatch`] (sharing index, decomposition and the LRU cache across the
-/// configured worker pool) and the batch wall-clock is divided by the
-/// workload size.
+/// [`Request`] slice to [`Executor::execute_batch`] (sharing index,
+/// decomposition and the LRU cache across the configured worker pool) and
+/// the batch wall-clock is divided by the workload size.
 fn average_query_ms(
     dataset: &Dataset,
     config: &ExperimentConfig,
@@ -30,19 +29,19 @@ fn average_query_ms(
         return f64::NAN;
     }
     let engine = dataset.batch_engine(config);
-    let batch: QueryBatch = queries
+    let requests: Vec<Request> = queries
         .iter()
         .map(|&q| {
-            let query = match keywords {
-                Some(f) => AcqQuery::with_keywords(q, k, f(q)),
-                None => AcqQuery::new(q, k),
-            };
-            (query, algorithm)
+            let request = Request::community(q).k(k).algorithm(algorithm);
+            match keywords {
+                Some(f) => request.keywords(f(q)),
+                None => request,
+            }
         })
         .collect();
-    let (results, ms) = time_ms(|| engine.run(&batch));
+    let (results, ms) = time_ms(|| engine.execute_batch(&requests));
     for result in results {
-        result.expect("valid query");
+        result.expect("valid request");
     }
     ms / queries.len() as f64
 }

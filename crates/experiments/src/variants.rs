@@ -2,8 +2,9 @@
 
 use crate::{time_ms, ExperimentContext, ExperimentReport};
 use acq_core::variants::{
-    basic_g_v1, basic_g_v2, basic_w_v1, basic_w_v2, sw, swt, Variant1Query, Variant2Query,
+    basic_g_v1, basic_g_v2, basic_w_v1, basic_w_v2, Variant1Query, Variant2Query,
 };
+use acq_core::{Executor, Request};
 use acq_graph::KeywordId;
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
@@ -29,6 +30,7 @@ pub fn fig17_variant1(ctx: &ExperimentContext) -> Vec<ExperimentReport> {
         if queries.is_empty() {
             continue;
         }
+        let engine = dataset.engine();
         for algorithm in ["basic-g-v1", "basic-w-v1", "SW"] {
             let mut row = vec![dataset.name.clone(), algorithm.to_string()];
             for s_size in [1usize, 3, 5, 7, 9] {
@@ -40,11 +42,14 @@ pub fn fig17_variant1(ctx: &ExperimentContext) -> Vec<ExperimentReport> {
                     let wq: Vec<KeywordId> = dataset.graph.keyword_set(q).iter().collect();
                     let keywords: Vec<KeywordId> =
                         wq.choose_multiple(&mut rng, s_size).copied().collect();
-                    let query = Variant1Query { vertex: q, k, keywords };
+                    let query = Variant1Query { vertex: q, k, keywords: keywords.clone() };
+                    // The index-free baselines stay direct algorithm calls;
+                    // the index-based `SW` goes through the unified door.
+                    let request = Request::community(q).k(k).exact_keywords(keywords);
                     let (_, ms) = time_ms(|| match algorithm {
                         "basic-g-v1" => basic_g_v1(&dataset.graph, &query),
                         "basic-w-v1" => basic_w_v1(&dataset.graph, &query),
-                        _ => sw(&dataset.graph, &dataset.index, &query),
+                        _ => engine.execute(&request).expect("valid request").result,
                     });
                     total += ms;
                 }
@@ -77,6 +82,7 @@ pub fn fig17_variant2(ctx: &ExperimentContext) -> Vec<ExperimentReport> {
         if queries.is_empty() {
             continue;
         }
+        let engine = dataset.engine();
         for algorithm in ["basic-g-v2", "basic-w-v2", "SWT"] {
             let mut row = vec![dataset.name.clone(), algorithm.to_string()];
             for theta in [0.2f64, 0.4, 0.6, 0.8, 1.0] {
@@ -86,11 +92,12 @@ pub fn fig17_variant2(ctx: &ExperimentContext) -> Vec<ExperimentReport> {
                     let wq: Vec<KeywordId> = dataset.graph.keyword_set(q).iter().collect();
                     let keywords: Vec<KeywordId> =
                         wq.choose_multiple(&mut rng, 10.min(wq.len())).copied().collect();
-                    let query = Variant2Query { vertex: q, k, keywords, theta };
+                    let query = Variant2Query { vertex: q, k, keywords: keywords.clone(), theta };
+                    let request = Request::community(q).k(k).keywords(keywords).threshold(theta);
                     let (_, ms) = time_ms(|| match algorithm {
                         "basic-g-v2" => basic_g_v2(&dataset.graph, &query),
                         "basic-w-v2" => basic_w_v2(&dataset.graph, &query),
-                        _ => swt(&dataset.graph, &dataset.index, &query),
+                        _ => engine.execute(&request).expect("valid request").result,
                     });
                     total += ms;
                 }

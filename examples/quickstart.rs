@@ -1,18 +1,21 @@
-//! Quickstart: the paper's running example (Figure 3) end to end.
+//! Quickstart: the paper's running example (Figure 3) end to end, through
+//! the unified `Request`/`Executor` API.
 //!
-//! Builds the ten-vertex toy graph, constructs the CL-tree index, and runs a
-//! handful of attributed community queries with different algorithms, printing
-//! the communities and their AC-labels.
+//! Builds the ten-vertex toy graph, constructs the owning engine (CL-tree
+//! index behind a swappable handle), and runs a handful of attributed
+//! community queries — Problem 1 with different algorithms plus the two
+//! Appendix G variants — printing the communities and their AC-labels.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
 use attributed_community_search::prelude::*;
+use std::sync::Arc;
 
 fn main() {
     // The attributed graph of Figure 3(a): vertices A..J with keywords w,x,y,z.
-    let graph = paper_figure3_graph();
+    let graph = Arc::new(paper_figure3_graph());
     println!(
         "graph: {} vertices, {} edges, {} distinct keywords",
         graph.num_vertices(),
@@ -21,20 +24,25 @@ fn main() {
     );
 
     // Build the query engine (CL-tree index, advanced construction).
-    let engine = AcqEngine::new(&graph);
+    let engine = Engine::new(Arc::clone(&graph));
+    let index = engine.index();
     println!(
-        "CL-tree: {} nodes, height {}, kmax {}",
-        engine.index().num_nodes(),
-        engine.index().height(),
-        engine.index().kmax()
+        "CL-tree: {} nodes, height {}, kmax {} (generation {})",
+        index.num_nodes(),
+        index.height(),
+        index.kmax(),
+        engine.generation()
     );
 
     let q = graph.vertex_by_label("A").expect("vertex A exists");
 
     // --- The paper's Section 3 example: q = A, k = 2, S = W(A). ------------
-    let result = engine.query(&AcqQuery::new(q, 2)).expect("valid query");
-    println!("\nACQ(q = A, k = 2, S = W(A)):");
-    for community in &result.communities {
+    let response = engine.execute(&Request::community(q).k(2)).expect("valid request");
+    println!(
+        "\nACQ(q = A, k = 2, S = W(A))  [{} in {}us]:",
+        response.meta.algorithm, response.meta.wall_time_us
+    );
+    for community in response.communities() {
         println!(
             "  members {:?}  AC-label {:?}",
             community.member_names(&graph),
@@ -43,10 +51,10 @@ fn main() {
     }
 
     // --- Personalisation: restrict S to a single keyword. ------------------
-    let personalised = AcqQuery::with_keyword_terms(&graph, q, 1, &["x"]);
-    let result = engine.query(&personalised).expect("valid query");
+    let personalised = Request::community(q).k(1).keyword_terms(&graph, &["x"]);
+    let response = engine.execute(&personalised).expect("valid request");
     println!("\nACQ(q = A, k = 1, S = {{x}}):");
-    for community in &result.communities {
+    for community in response.communities() {
         println!(
             "  members {:?}  AC-label {:?}",
             community.member_names(&graph),
@@ -56,25 +64,37 @@ fn main() {
 
     // --- Every algorithm of the paper returns the same answer. -------------
     println!("\nalgorithm agreement for (q = A, k = 2):");
-    let reference = engine.query(&AcqQuery::new(q, 2)).unwrap().canonical();
+    let reference = engine.execute(&Request::community(q).k(2)).unwrap().canonical();
     for algorithm in AcqAlgorithm::ALL {
-        let result = engine.query_with(&AcqQuery::new(q, 2), algorithm).unwrap();
+        let response = engine.execute(&Request::community(q).k(2).algorithm(algorithm)).unwrap();
         println!(
             "  {:<8} -> {} communities, label size {}, agrees = {}",
             algorithm.name(),
-            result.communities.len(),
-            result.label_size,
-            result.canonical() == reference
+            response.communities().len(),
+            response.result.label_size,
+            response.canonical() == reference
         );
     }
 
-    // --- Variant queries (Appendix G). --------------------------------------
+    // --- Variant queries (Appendix G): the same door, one more knob. --------
     let x = graph.dictionary().get("x").unwrap();
     let y = graph.dictionary().get("y").unwrap();
-    let v1 = engine.query_variant1(&Variant1Query { vertex: q, k: 2, keywords: vec![x] }).unwrap();
-    println!("\nVariant 1 (S = {{x}} required): {:?}", v1.communities[0].member_names(&graph));
-    let v2 = engine
-        .query_variant2(&Variant2Query { vertex: q, k: 2, keywords: vec![x, y], theta: 0.5 })
-        .unwrap();
-    println!("Variant 2 (>= 50% of {{x, y}}):  {:?}", v2.communities[0].member_names(&graph));
+    let v1 = engine.execute(&Request::community(q).k(2).exact_keywords([x])).unwrap();
+    println!(
+        "\nVariant 1 via {} (S = {{x}} required): {:?}",
+        v1.meta.algorithm,
+        v1.communities()[0].member_names(&graph)
+    );
+    let v2 = engine.execute(&Request::community(q).k(2).keywords([x, y]).threshold(0.5)).unwrap();
+    println!(
+        "Variant 2 via {} (>= 50% of {{x, y}}):  {:?}",
+        v2.meta.algorithm,
+        v2.communities()[0].member_names(&graph)
+    );
+
+    // --- Batches fan out over a worker pool, answers stay in order. ---------
+    let requests: Vec<Request> = graph.vertices().map(|v| Request::community(v).k(2)).collect();
+    let responses = engine.execute_batch(&requests);
+    let answered = responses.iter().filter(|r| r.is_ok()).count();
+    println!("\nbatch over every vertex: {answered}/{} answered", requests.len());
 }

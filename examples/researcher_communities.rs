@@ -15,6 +15,7 @@ use attributed_community_search::baselines::global_community;
 use attributed_community_search::datagen::case_study::{self, themes};
 use attributed_community_search::metrics;
 use attributed_community_search::prelude::*;
+use std::sync::Arc;
 
 fn print_result(graph: &AttributedGraph, heading: &str, result: &AcqResult) {
     println!("\n{heading}");
@@ -29,8 +30,8 @@ fn print_result(graph: &AttributedGraph, heading: &str, result: &AcqResult) {
 }
 
 fn main() {
-    let graph = case_study::case_study_graph();
-    let engine = AcqEngine::new(&graph);
+    let graph = Arc::new(case_study::case_study_graph());
+    let engine = Engine::new(Arc::clone(&graph));
     let k = 4;
 
     // ------------------------------------------------------------------ Jim
@@ -39,19 +40,19 @@ fn main() {
     println!("keywords of the query vertex: {:?}", graph.keyword_terms(jim));
 
     // Figure 2(a): the database-systems side of Jim's collaborations.
-    let db_query = AcqQuery::with_keyword_terms(&graph, jim, k, themes::DATABASE);
+    let db_query = Request::community(jim).k(k).keyword_terms(&graph, themes::DATABASE);
     print_result(
         &graph,
         "S = {transaction, data, management, system, research}:",
-        &engine.query(&db_query).unwrap(),
+        &engine.execute(&db_query).unwrap().result,
     );
 
     // Figure 2(b): the Sloan Digital Sky Survey side.
-    let sdss_query = AcqQuery::with_keyword_terms(&graph, jim, k, themes::SDSS);
+    let sdss_query = Request::community(jim).k(k).keyword_terms(&graph, themes::SDSS);
     print_result(
         &graph,
         "S = {sloan, digital, sky, survey, sdss}:",
-        &engine.query(&sdss_query).unwrap(),
+        &engine.execute(&sdss_query).unwrap().result,
     );
 
     // What a keyword-oblivious method returns instead: one big k-core.
@@ -68,32 +69,39 @@ fn main() {
     println!("\n== Jiawei Han (k = {k}) ==");
 
     // Figure 10(a): graph-analysis collaborators.
-    let analysis = AcqQuery::with_keyword_terms(&graph, han, k, themes::GRAPH_ANALYSIS);
+    let analysis = Request::community(han).k(k).keyword_terms(&graph, themes::GRAPH_ANALYSIS);
     print_result(
         &graph,
         "S = {analysis, mine, data, information, network}:",
-        &engine.query(&analysis).unwrap(),
+        &engine.execute(&analysis).unwrap().result,
     );
 
     // Figure 10(b): pattern-mining collaborators.
-    let pattern = AcqQuery::with_keyword_terms(&graph, han, k, themes::PATTERN_MINING);
-    print_result(&graph, "S = {mine, data, pattern, database}:", &engine.query(&pattern).unwrap());
+    let pattern = Request::community(han).k(k).keyword_terms(&graph, themes::PATTERN_MINING);
+    print_result(
+        &graph,
+        "S = {mine, data, pattern, database}:",
+        &engine.execute(&pattern).unwrap().result,
+    );
 
     // ------------------------------------------------ Variants (Figure 18)
     println!("\n== Variants (Jiawei Han) ==");
     let stream_kw: Vec<KeywordId> =
         themes::STREAM.iter().filter_map(|t| graph.dictionary().get(t)).collect();
     let v1 = engine
-        .query_variant1(&Variant1Query { vertex: han, k, keywords: stream_kw.clone() })
+        .execute(&Request::community(han).k(k).exact_keywords(stream_kw.iter().copied()))
         .unwrap();
     print_result(
         &graph,
         "Variant 1 — every member must contain {stream, classification, data, mine}:",
-        &v1,
+        &v1.result,
     );
 
-    let v2 = engine
-        .query_variant2(&Variant2Query { vertex: han, k, keywords: stream_kw, theta: 0.6 })
-        .unwrap();
-    print_result(&graph, "Variant 2 — every member must contain >= 60% of those keywords:", &v2);
+    let v2 =
+        engine.execute(&Request::community(han).k(k).keywords(stream_kw).threshold(0.6)).unwrap();
+    print_result(
+        &graph,
+        "Variant 2 — every member must contain >= 60% of those keywords:",
+        &v2.result,
+    );
 }

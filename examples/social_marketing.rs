@@ -19,19 +19,20 @@ use attributed_community_search::baselines::global_community;
 use attributed_community_search::datagen;
 use attributed_community_search::metrics;
 use attributed_community_search::prelude::*;
+use std::sync::Arc;
 
 fn main() {
     // A Flickr-like social network, scaled down so the example runs instantly.
     let profile = datagen::flickr().scaled(0.25);
-    let graph = datagen::generate(&profile);
-    let engine = AcqEngine::new(&graph);
+    let graph = Arc::new(datagen::generate(&profile));
+    let engine = Engine::new(Arc::clone(&graph));
     let k = 5;
 
     // Pick a member with a reasonably deep core number and at least 5 interests
     // — our "Mary", the gym customer.
-    let decomposition = engine.index().decomposition();
+    let decomposition = engine.index().decomposition().clone();
     let mary =
-        datagen::select_query_vertices_with_keywords(&graph, decomposition, 1, k as u32, 5, 11)
+        datagen::select_query_vertices_with_keywords(&graph, &decomposition, 1, k as u32, 5, 11)
             .into_iter()
             .next()
             .expect("the generated network has well-connected members");
@@ -69,8 +70,8 @@ fn main() {
     );
 
     // --- 2. ACQ personalised to the target interest. -----------------------
-    let query = AcqQuery::with_keyword_terms(&graph, mary, k, &[target_interest]);
-    let result = engine.query(&query).expect("valid query");
+    let query = Request::community(mary).k(k).keyword_terms(&graph, &[target_interest]);
+    let result = engine.execute(&query).expect("valid request").result;
     if let Some(ac) = result.communities.first() {
         if result.label_size > 0 {
             println!(
@@ -88,8 +89,8 @@ fn main() {
     }
 
     // --- 3. ACQ with the full interest profile. -----------------------------
-    let full = AcqQuery::new(mary, k);
-    let result = engine.query(&full).expect("valid query");
+    let full = Request::community(mary).k(k);
+    let result = engine.execute(&full).expect("valid request").result;
     if let Some(ac) = result.communities.first() {
         let communities: Vec<Vec<VertexId>> = vec![ac.vertices.clone()];
         let wq: Vec<KeywordId> = graph.keyword_set(mary).iter().collect();

@@ -15,47 +15,59 @@
 //! | [`unionfind`] | union-find and the Anchored Union-Find |
 //! | [`fpm`] | Apriori and FP-Growth frequent-itemset mining |
 //! | [`cltree`] | the CL-tree index (basic/advanced construction, maintenance) |
-//! | [`acq`] | the ACQ problem, the `basic-g`/`basic-w`/`Inc-S`/`Inc-T`/`Dec` algorithms, variants, [`AcqEngine`](acq::AcqEngine) and the batch layer ([`BatchEngine`](acq::exec::BatchEngine)) |
+//! | [`acq`] | the ACQ problem, the `basic-g`/`basic-w`/`Inc-S`/`Inc-T`/`Dec` algorithms, variants, and the unified [`Request`](acq::Request)/[`Executor`](acq::Executor) surface served by the owning [`Engine`](acq::Engine) and the batch layer ([`BatchEngine`](acq::exec::BatchEngine)) |
 //! | [`baselines`] | Global, Local, CODICIL-style detection, star-pattern GPM |
 //! | [`metrics`] | CMF, CPJ, MF and structural cohesion measures |
 //! | [`datagen`] | synthetic dataset profiles, generator, workloads, case study |
 //!
 //! ## Quick start
 //!
+//! Every query kind goes through one door: build a [`Request`](prelude::Request),
+//! hand it to an [`Executor`](prelude::Executor), read the
+//! [`Response`](prelude::Response).
+//!
 //! ```
 //! use attributed_community_search::prelude::*;
+//! use std::sync::Arc;
 //!
 //! // The running example of the paper (Figure 3).
-//! let graph = paper_figure3_graph();
-//! let engine = AcqEngine::new(&graph);
+//! let graph = Arc::new(paper_figure3_graph());
+//! let engine = Engine::new(Arc::clone(&graph));
 //! let q = graph.vertex_by_label("A").unwrap();
 //!
 //! // "Find the community of A in which everyone has degree >= 2 and shares
 //! //  as many of A's keywords as possible."
-//! let result = engine.query(&AcqQuery::new(q, 2)).unwrap();
-//! let ac = &result.communities[0];
+//! let response = engine.execute(&Request::community(q).k(2)).unwrap();
+//! let ac = &response.communities()[0];
 //! assert_eq!(ac.member_names(&graph), vec!["A", "C", "D"]);
 //! assert_eq!(ac.label_terms(&graph), vec!["x", "y"]);
+//!
+//! // The two problem variants are the same request with one more knob.
+//! let x = graph.dictionary().get("x").unwrap();
+//! let sw = engine.execute(&Request::community(q).k(2).exact_keywords([x])).unwrap();
+//! assert_eq!(sw.meta.algorithm, "SW");
+//! let swt = engine.execute(&Request::community(q).k(2).keywords([x]).threshold(0.5)).unwrap();
+//! assert_eq!(swt.meta.algorithm, "SWT");
 //! ```
 //!
-//! For many queries against one graph, use the batch engine instead — it
-//! shares the index, its core decomposition and an LRU cache across a worker
-//! pool (see `ARCHITECTURE.md` for where this layer sits):
+//! For many queries against one graph, hand the whole slice to
+//! [`Executor::execute_batch`](prelude::Executor::execute_batch) — both
+//! engines share the index, its core decomposition and an LRU cache across a
+//! worker pool (see `ARCHITECTURE.md` for where this layer sits):
 //!
 //! ```
 //! use attributed_community_search::prelude::*;
 //! use std::sync::Arc;
 //!
 //! let graph = Arc::new(paper_figure3_graph());
-//! let engine = BatchEngine::new(Arc::clone(&graph));
-//! let batch: QueryBatch = graph
+//! let engine = Engine::builder(Arc::clone(&graph)).threads(2).build();
+//! let requests: Vec<Request> = graph
 //!     .vertices()
-//!     .filter(|&v| engine.decomposition().core_number(v) >= 2)
-//!     .map(|v| AcqQuery::new(v, 2))
+//!     .map(|v| Request::community(v).k(2))
 //!     .collect();
-//! let results = engine.run(&batch); // answers arrive in input order
-//! assert_eq!(results.len(), batch.len());
-//! assert!(results.iter().all(|r| r.is_ok()));
+//! let responses = engine.execute_batch(&requests); // answers arrive in input order
+//! assert_eq!(responses.len(), requests.len());
+//! assert!(responses.iter().all(|r| r.is_ok()));
 //! ```
 
 #![deny(missing_docs)]
@@ -73,9 +85,14 @@ pub use acq_unionfind as unionfind;
 /// The most commonly used items, importable with a single `use`.
 pub mod prelude {
     pub use acq_cltree::{build_advanced, build_basic, ClTree};
-    pub use acq_core::exec::{BatchEngine, CacheStats, QueryBatch};
+    pub use acq_core::exec::{BatchEngine, CacheStats};
+    #[allow(deprecated)]
+    pub use acq_core::AcqEngine;
+    #[allow(deprecated)]
+    pub use acq_core::QueryBatch;
     pub use acq_core::{
-        AcqAlgorithm, AcqEngine, AcqQuery, AcqResult, AttributedCommunity, Variant1Query,
+        AcqAlgorithm, AcqQuery, AcqResult, AttributedCommunity, Engine, EngineBuilder,
+        ExecutionMeta, Executor, QueryError, QuerySpec, Request, Response, Variant1Query,
         Variant2Query,
     };
     pub use acq_graph::{

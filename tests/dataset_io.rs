@@ -4,6 +4,7 @@
 use attributed_community_search::datagen;
 use attributed_community_search::graph::io;
 use attributed_community_search::prelude::*;
+use std::sync::Arc;
 
 #[test]
 fn generated_dataset_roundtrips_through_disk_files() {
@@ -34,17 +35,19 @@ fn generated_dataset_roundtrips_through_disk_files() {
     }
 
     // A query through the public engine returns the same community (by label).
-    let engine_a = AcqEngine::new(&graph);
-    let engine_b = AcqEngine::new(&reloaded);
+    let graph = Arc::new(graph);
+    let reloaded = Arc::new(reloaded);
+    let engine_a = Engine::new(Arc::clone(&graph));
+    let engine_b = Engine::new(Arc::clone(&reloaded));
     let q_a = datagen::select_query_vertices(&graph, &original_cores, 1, 4, 21)
         .into_iter()
         .next()
         .expect("tiny profile supports k=4");
     let q_b = reloaded.vertex_by_label(graph.label(q_a).unwrap()).unwrap();
-    let mut names_a =
-        engine_a.query(&AcqQuery::new(q_a, 4)).unwrap().communities[0].member_names(&graph);
-    let mut names_b =
-        engine_b.query(&AcqQuery::new(q_b, 4)).unwrap().communities[0].member_names(&reloaded);
+    let mut names_a = engine_a.execute(&Request::community(q_a).k(4)).unwrap().communities()[0]
+        .member_names(&graph);
+    let mut names_b = engine_b.execute(&Request::community(q_b).k(4)).unwrap().communities()[0]
+        .member_names(&reloaded);
     names_a.sort();
     names_b.sort();
     assert_eq!(names_a, names_b);

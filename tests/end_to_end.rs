@@ -8,6 +8,7 @@ use attributed_community_search::datagen;
 use attributed_community_search::kcore::CoreDecomposition;
 use attributed_community_search::metrics;
 use attributed_community_search::prelude::*;
+use std::sync::Arc;
 
 fn generated_graph() -> AttributedGraph {
     datagen::generate(&datagen::tiny())
@@ -15,17 +16,17 @@ fn generated_graph() -> AttributedGraph {
 
 /// The façade's quick-start path, as shown in the crate-level doctest: build
 /// the paper's Figure 3 graph through the prelude alone and run the default
-/// query. Pins the `prelude` re-exports (graph, engine, query, index types) as
-/// a plain integration test so an accidental re-export removal fails even when
-/// doctests are skipped.
+/// request. Pins the `prelude` re-exports (graph, engine, request, index
+/// types) as a plain integration test so an accidental re-export removal
+/// fails even when doctests are skipped.
 #[test]
 fn prelude_quick_start_smoke_test() {
-    let graph = paper_figure3_graph();
-    let engine = AcqEngine::new(&graph);
+    let graph = Arc::new(paper_figure3_graph());
+    let engine = Engine::new(Arc::clone(&graph));
     let q = graph.vertex_by_label("A").expect("Figure 3 has a vertex A");
 
-    let result = engine.query(&AcqQuery::new(q, 2)).expect("valid query");
-    let ac = &result.communities[0];
+    let response = engine.execute(&Request::community(q).k(2)).expect("valid request");
+    let ac = &response.communities()[0];
     assert_eq!(ac.member_names(&graph), vec!["A", "C", "D"]);
     assert_eq!(ac.label_terms(&graph), vec!["x", "y"]);
 
@@ -43,16 +44,15 @@ fn prelude_quick_start_smoke_test() {
 
 #[test]
 fn full_pipeline_on_generated_dataset() {
-    let graph = generated_graph();
-    let engine = AcqEngine::new(&graph);
-    let decomposition = engine.index().decomposition();
-    let queries = datagen::select_query_vertices(&graph, decomposition, 20, 4, 1);
+    let graph = Arc::new(generated_graph());
+    let engine = Engine::new(Arc::clone(&graph));
+    let decomposition = engine.index().decomposition().clone();
+    let queries = datagen::select_query_vertices(&graph, &decomposition, 20, 4, 1);
     assert!(!queries.is_empty(), "the tiny profile must support k=4 queries");
 
     for &q in &queries {
-        let query = AcqQuery::new(q, 4);
-        let result = engine.query(&query).expect("valid query");
-        for community in &result.communities {
+        let response = engine.execute(&Request::community(q).k(4)).expect("valid request");
+        for community in response.communities() {
             // Problem 1: connectivity, membership of q, minimum degree, shared label.
             let subset =
                 VertexSubset::from_iter(graph.num_vertices(), community.vertices.iter().copied());
@@ -70,15 +70,19 @@ fn full_pipeline_on_generated_dataset() {
 
 #[test]
 fn all_algorithms_agree_on_generated_dataset() {
-    let graph = generated_graph();
-    let engine = AcqEngine::new(&graph);
-    let queries = datagen::select_query_vertices(&graph, engine.index().decomposition(), 10, 4, 2);
+    let graph = Arc::new(generated_graph());
+    let engine = Engine::new(Arc::clone(&graph));
+    let decomposition = engine.index().decomposition().clone();
+    let queries = datagen::select_query_vertices(&graph, &decomposition, 10, 4, 2);
     for &q in &queries {
-        let query = AcqQuery::new(q, 4);
-        let reference = engine.query_with(&query, AcqAlgorithm::BasicG).unwrap().canonical();
+        let reference = engine
+            .execute(&Request::community(q).k(4).algorithm(AcqAlgorithm::BasicG))
+            .unwrap()
+            .canonical();
         for algorithm in AcqAlgorithm::ALL {
-            let result = engine.query_with(&query, algorithm).unwrap();
-            assert_eq!(result.canonical(), reference, "algorithm {}", algorithm.name());
+            let response =
+                engine.execute(&Request::community(q).k(4).algorithm(algorithm)).unwrap();
+            assert_eq!(response.canonical(), reference, "algorithm {}", algorithm.name());
         }
     }
 }
@@ -95,13 +99,14 @@ fn both_index_builders_agree_on_generated_dataset() {
 
 #[test]
 fn acq_is_contained_in_the_kcore_and_more_cohesive() {
-    let graph = generated_graph();
-    let engine = AcqEngine::new(&graph);
-    let queries = datagen::select_query_vertices(&graph, engine.index().decomposition(), 15, 4, 3);
+    let graph = Arc::new(generated_graph());
+    let engine = Engine::new(Arc::clone(&graph));
+    let decomposition = engine.index().decomposition().clone();
+    let queries = datagen::select_query_vertices(&graph, &decomposition, 15, 4, 3);
     let mut acq_cmf = Vec::new();
     let mut global_cmf = Vec::new();
     for &q in &queries {
-        let result = engine.query(&AcqQuery::new(q, 4)).unwrap();
+        let result = engine.execute(&Request::community(q).k(4)).unwrap().result;
         let Some(kcore) = global_community(&graph, q, 4) else { continue };
         let wq: Vec<KeywordId> = graph.keyword_set(q).iter().collect();
         for community in &result.communities {
@@ -186,16 +191,19 @@ fn graph_io_roundtrip_preserves_query_results() {
 
     // Query the same (relabelled) vertex in both graphs and compare answers by
     // member label.
-    let engine_a = AcqEngine::new(&graph);
-    let engine_b = AcqEngine::new(&reloaded);
-    let q_a = datagen::select_query_vertices(&graph, engine_a.index().decomposition(), 1, 4, 5)
+    let graph = Arc::new(graph);
+    let reloaded = Arc::new(reloaded);
+    let engine_a = Engine::new(Arc::clone(&graph));
+    let engine_b = Engine::new(Arc::clone(&reloaded));
+    let decomposition = engine_a.index().decomposition().clone();
+    let q_a = datagen::select_query_vertices(&graph, &decomposition, 1, 4, 5)
         .into_iter()
         .next()
         .expect("workload non-empty");
     let label = graph.label(q_a).unwrap();
     let q_b = reloaded.vertex_by_label(label).unwrap();
-    let result_a = engine_a.query(&AcqQuery::new(q_a, 4)).unwrap();
-    let result_b = engine_b.query(&AcqQuery::new(q_b, 4)).unwrap();
+    let result_a = engine_a.execute(&Request::community(q_a).k(4)).unwrap().result;
+    let result_b = engine_b.execute(&Request::community(q_b).k(4)).unwrap().result;
     assert_eq!(result_a.label_size, result_b.label_size);
     let names = |graph: &AttributedGraph, r: &AcqResult| -> Vec<Vec<String>> {
         let mut all: Vec<Vec<String>> =
@@ -209,39 +217,50 @@ fn graph_io_roundtrip_preserves_query_results() {
     assert_eq!(names(&graph, &result_a), names(&reloaded, &result_b));
 }
 
-/// The batch path through the prelude: a generated dataset is queried once
-/// through the sequential engine and once as a multi-threaded batch, and the
-/// answers must be identical (including the work counters). Also pins the
-/// prelude re-exports of `BatchEngine`, `QueryBatch`, `CacheStats` and
-/// `SharedDecomposition`.
+/// The two executors through the prelude: a generated dataset is queried once
+/// through the owning `Engine` and once through a multi-threaded
+/// `BatchEngine`, and the communities must be identical (including the work
+/// counters). Also pins the prelude re-exports of `Engine`, `Executor`,
+/// `BatchEngine`, `CacheStats` and `SharedDecomposition`.
 #[test]
-fn batch_engine_matches_sequential_engine_end_to_end() {
-    use std::sync::Arc;
-
+fn both_executors_agree_end_to_end() {
     let graph = Arc::new(generated_graph());
-    let engine = BatchEngine::new(Arc::clone(&graph)).with_threads(4);
-    let sequential = AcqEngine::with_index(&graph, engine.index().as_ref().clone());
+    let batch_engine = BatchEngine::new(Arc::clone(&graph)).with_threads(4);
+    let sequential = Engine::builder(Arc::clone(&graph))
+        .index(Arc::clone(batch_engine.index()))
+        .cache_capacity(0)
+        .threads(1)
+        .build();
 
     // The decomposition handle is shared, not recomputed.
-    let decomposition: &SharedDecomposition = engine.decomposition();
-    let queries: Vec<AcqQuery> = graph
+    let decomposition: &SharedDecomposition = batch_engine.decomposition();
+    let requests: Vec<Request> = graph
         .vertices()
         .filter(|&v| decomposition.core_number(v) >= 3)
         .take(12)
-        .map(|v| AcqQuery::new(v, 3))
+        .map(|v| Request::community(v).k(3))
         .collect();
-    assert!(!queries.is_empty(), "generated graph has a 3-core");
+    assert!(!requests.is_empty(), "generated graph has a 3-core");
 
-    let batch: QueryBatch = queries.iter().cloned().collect();
-    let results = engine.run(&batch);
-    for (query, result) in queries.iter().zip(&results) {
-        assert_eq!(result, &sequential.query(query), "batch must equal sequential");
+    let batched = batch_engine.execute_batch(&requests);
+    for (request, response) in requests.iter().zip(&batched) {
+        let expected = sequential.execute(request).map(|r| r.result);
+        assert_eq!(
+            response.as_ref().map(|r| r.result.clone()).map_err(Clone::clone),
+            expected,
+            "batch must equal sequential"
+        );
     }
 
     // Running the same batch again is answered (partly) from the cache and
-    // still returns identical results.
-    let again = engine.run(&batch);
-    assert_eq!(results, again);
-    let stats: CacheStats = engine.cache_stats();
+    // still returns identical communities.
+    let again = batch_engine.execute_batch(&requests);
+    for (first, second) in batched.iter().zip(&again) {
+        assert_eq!(
+            first.as_ref().map(|r| r.result.clone()),
+            second.as_ref().map(|r| r.result.clone())
+        );
+    }
+    let stats: CacheStats = batch_engine.cache_stats();
     assert!(stats.hits > 0, "repeated batch must hit the shared cache: {stats:?}");
 }

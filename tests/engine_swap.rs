@@ -1,0 +1,138 @@
+//! Concurrency tests for [`Engine::swap_index`]: publishing a new index
+//! generation must not disturb concurrent `execute` calls — queries keep
+//! succeeding throughout, answers never change (same graph), and each thread
+//! observes generations in publication order.
+
+use attributed_community_search::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn swap_under_load_never_disturbs_concurrent_queries() {
+    let graph = Arc::new(attributed_community_search::datagen::generate(
+        &attributed_community_search::datagen::tiny(),
+    ));
+    let engine = Engine::new(Arc::clone(&graph));
+    let queries: Vec<Request> = graph
+        .vertices()
+        .filter(|&v| CoreDecomposition::compute(&graph).core_number(v) >= 3)
+        .take(6)
+        .map(|v| Request::community(v).k(3))
+        .collect();
+    assert!(!queries.is_empty(), "the tiny profile has a 3-core");
+
+    // Reference answers before any swap.
+    let reference: Vec<AcqResult> = queries
+        .iter()
+        .map(|request| engine.execute(request).expect("valid request").result)
+        .collect();
+
+    const SWAPS: u64 = 25;
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        // Writer: keeps publishing freshly built indexes while readers query.
+        let writer = scope.spawn(|| {
+            for _ in 0..SWAPS {
+                engine.rebuild_index();
+            }
+            stop.store(true, Ordering::Release);
+        });
+
+        // Readers: hammer the engine across the swaps.
+        let mut readers = Vec::new();
+        for _ in 0..4 {
+            readers.push(scope.spawn(|| {
+                let mut last_generation = 0u64;
+                let mut rounds = 0usize;
+                while !stop.load(Ordering::Acquire) || rounds < 3 {
+                    for (request, expected) in queries.iter().zip(&reference) {
+                        let response =
+                            engine.execute(request).expect("swap must not break queries");
+                        assert_eq!(
+                            &response.result, expected,
+                            "same graph must yield the same answer across generations"
+                        );
+                        // Generations are observed in publication order.
+                        assert!(
+                            response.meta.generation >= last_generation,
+                            "generation went backwards: {} after {}",
+                            response.meta.generation,
+                            last_generation
+                        );
+                        last_generation = response.meta.generation;
+                    }
+                    rounds += 1;
+                }
+                last_generation
+            }));
+        }
+
+        writer.join().expect("writer thread");
+        let max_seen = readers.into_iter().map(|r| r.join().expect("reader thread")).max().unwrap();
+        assert!(max_seen > 1, "readers must have observed at least one published swap");
+    });
+
+    assert_eq!(engine.generation(), 1 + SWAPS, "every swap bumped the generation");
+    // After the dust settles, the engine still answers from the last index.
+    let final_response = engine.execute(&queries[0]).unwrap();
+    assert_eq!(final_response.meta.generation, 1 + SWAPS);
+    assert_eq!(final_response.result, reference[0]);
+}
+
+#[test]
+fn a_batch_runs_entirely_on_one_generation() {
+    let graph = Arc::new(paper_figure3_graph());
+    let engine = Engine::builder(Arc::clone(&graph)).threads(4).build();
+    let requests: Vec<Request> = graph.vertices().map(|v| Request::community(v).k(2)).collect();
+
+    std::thread::scope(|scope| {
+        let swapper = scope.spawn(|| {
+            for _ in 0..10 {
+                engine.rebuild_index();
+            }
+        });
+        for _ in 0..10 {
+            let responses = engine.execute_batch(&requests);
+            let generations: Vec<u64> =
+                responses.iter().map(|r| r.as_ref().unwrap().meta.generation).collect();
+            assert!(
+                generations.windows(2).all(|w| w[0] == w[1]),
+                "a batch must never straddle an index swap: {generations:?}"
+            );
+        }
+        swapper.join().expect("swapper thread");
+    });
+}
+
+#[test]
+fn swapped_in_maintained_index_serves_the_updated_graph() {
+    // The dynamic-maintenance shape this handle exists for: the graph gains
+    // an edge, the index is maintained off to the side, and the swap
+    // publishes the maintained tree to a *new* generation of an engine that
+    // owns the updated graph — no rebuild on the serving path.
+    use attributed_community_search::cltree::maintenance;
+
+    let graph = paper_figure3_graph();
+    let stale_index = build_advanced(&graph, true);
+
+    let h = graph.vertex_by_label("H").unwrap();
+    let j = graph.vertex_by_label("J").unwrap();
+    assert!(!graph.has_edge(h, j));
+    let updated = Arc::new(graph.with_edge_inserted(h, j).unwrap());
+    let maintained = maintenance::apply_edge_insertion(&stale_index, &updated, h, j);
+
+    // The serving engine owns the updated graph; the maintained index is
+    // published through the swap and must answer queries from generation 2.
+    let engine = Engine::builder(Arc::clone(&updated)).index(Arc::new(stale_index)).build();
+    let generation = engine.swap_index(Arc::new(maintained));
+    assert_eq!(generation, 2);
+
+    // H gained an edge: its community structure must match a from-scratch
+    // engine over the updated graph, served *through the swapped index*.
+    for request in [Request::community(h).k(3), Request::community(j).k(2)] {
+        let via_swap = engine.execute(&request).unwrap();
+        assert_eq!(via_swap.meta.generation, 2, "query must run on the swapped generation");
+        let from_scratch = Engine::new(Arc::clone(&updated)).execute(&request).unwrap();
+        assert_eq!(via_swap.result.canonical(), from_scratch.result.canonical());
+    }
+}

@@ -9,21 +9,23 @@ use attributed_community_search::cltree::{build_advanced, build_basic};
 use attributed_community_search::datagen;
 use attributed_community_search::metrics;
 use attributed_community_search::prelude::*;
+use std::sync::Arc;
 use std::time::Instant;
 
-fn dataset() -> AttributedGraph {
-    datagen::generate(&datagen::dblp().scaled(0.25))
+fn dataset() -> Arc<AttributedGraph> {
+    Arc::new(datagen::generate(&datagen::dblp().scaled(0.25)))
 }
 
 #[test]
 fn claim_acs_share_keywords_and_get_more_cohesive_with_longer_labels() {
     // Figure 7's direction: a longer AC-label implies higher CPJ.
     let graph = dataset();
-    let engine = AcqEngine::new(&graph);
-    let queries = datagen::select_query_vertices(&graph, engine.index().decomposition(), 40, 4, 9);
+    let engine = Engine::new(Arc::clone(&graph));
+    let decomposition = engine.index().decomposition().clone();
+    let queries = datagen::select_query_vertices(&graph, &decomposition, 40, 4, 9);
     let mut by_label_len: Vec<Vec<f64>> = vec![Vec::new(); 6];
     for &q in &queries {
-        let result = engine.query(&AcqQuery::new(q, 4)).unwrap();
+        let result = engine.execute(&Request::community(q).k(4)).unwrap().result;
         if result.label_size == 0 || result.label_size > 5 {
             continue;
         }
@@ -50,8 +52,9 @@ fn claim_acs_share_keywords_and_get_more_cohesive_with_longer_labels() {
 fn claim_acq_is_more_keyword_cohesive_than_structure_only_and_detection_baselines() {
     // Figures 8 and 9: CMF(ACQ) beats CMF(Global) and CMF(CODICIL).
     let graph = dataset();
-    let engine = AcqEngine::new(&graph);
-    let queries = datagen::select_query_vertices(&graph, engine.index().decomposition(), 30, 4, 7);
+    let engine = Engine::new(Arc::clone(&graph));
+    let decomposition = engine.index().decomposition().clone();
+    let queries = datagen::select_query_vertices(&graph, &decomposition, 30, 4, 7);
     let codicil = Codicil::detect(
         &graph,
         &CodicilConfig { num_clusters: graph.num_vertices() / 40, ..Default::default() },
@@ -59,7 +62,7 @@ fn claim_acq_is_more_keyword_cohesive_than_structure_only_and_detection_baseline
     let (mut acq, mut global, mut detection) = (Vec::new(), Vec::new(), Vec::new());
     for &q in &queries {
         let wq: Vec<KeywordId> = graph.keyword_set(q).iter().collect();
-        let result = engine.query(&AcqQuery::new(q, 4)).unwrap();
+        let result = engine.execute(&Request::community(q).k(4)).unwrap().result;
         if result.label_size == 0 {
             continue;
         }
@@ -95,12 +98,13 @@ fn claim_acq_is_more_keyword_cohesive_than_structure_only_and_detection_baseline
 fn claim_acq_communities_are_much_smaller_than_global_kcores() {
     // Figure 12 / Table 4 direction: the AC is a focused subset of the k-core.
     let graph = dataset();
-    let engine = AcqEngine::new(&graph);
-    let queries = datagen::select_query_vertices(&graph, engine.index().decomposition(), 25, 4, 11);
+    let engine = Engine::new(Arc::clone(&graph));
+    let decomposition = engine.index().decomposition().clone();
+    let queries = datagen::select_query_vertices(&graph, &decomposition, 25, 4, 11);
     let mut acq_sizes = Vec::new();
     let mut global_sizes = Vec::new();
     for &q in &queries {
-        let result = engine.query(&AcqQuery::new(q, 4)).unwrap();
+        let result = engine.execute(&Request::community(q).k(4)).unwrap().result;
         if result.label_size == 0 {
             continue;
         }
@@ -150,13 +154,14 @@ fn claim_dec_and_incremental_algorithms_return_maximal_labels() {
     // Section 6's guarantee: Dec (top-down) and Inc-S/Inc-T (bottom-up) agree
     // on the maximal label size for every query.
     let graph = dataset();
-    let engine = AcqEngine::new(&graph);
-    let queries = datagen::select_query_vertices(&graph, engine.index().decomposition(), 20, 4, 13);
+    let engine = Engine::new(Arc::clone(&graph));
+    let decomposition = engine.index().decomposition().clone();
+    let queries = datagen::select_query_vertices(&graph, &decomposition, 20, 4, 13);
     for &q in &queries {
-        let query = AcqQuery::new(q, 4);
-        let dec = engine.query_with(&query, AcqAlgorithm::Dec).unwrap();
-        let inc_s = engine.query_with(&query, AcqAlgorithm::IncS).unwrap();
-        let inc_t = engine.query_with(&query, AcqAlgorithm::IncT).unwrap();
+        let request = Request::community(q).k(4);
+        let dec = engine.execute(&request.clone().algorithm(AcqAlgorithm::Dec)).unwrap().result;
+        let inc_s = engine.execute(&request.clone().algorithm(AcqAlgorithm::IncS)).unwrap().result;
+        let inc_t = engine.execute(&request.algorithm(AcqAlgorithm::IncT)).unwrap().result;
         assert_eq!(dec.label_size, inc_s.label_size);
         assert_eq!(dec.label_size, inc_t.label_size);
     }

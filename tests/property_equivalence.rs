@@ -1,33 +1,108 @@
-//! Property-based integration tests on *generated* datasets (as opposed to the
-//! purely random graphs used by the per-crate property tests): algorithm
-//! equivalence, label maximality, and the monotonicity properties of the
-//! problem variants.
+//! Property-based integration tests on *generated* datasets (as opposed to
+//! the purely random graphs used by the per-crate property tests), built
+//! around the unified `Request`/`Executor` surface:
+//!
+//! * **executor equivalence** — any request (all three spec kinds, every
+//!   algorithm) produces canonical-identical communities from the sequential
+//!   owning `Engine` and from a `BatchEngine`, across thread counts;
+//! * the monotonicity properties of the problem variants.
 
 use attributed_community_search::datagen;
 use attributed_community_search::prelude::*;
 use proptest::prelude::*;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::sync::{Arc, OnceLock};
 
 /// One generated graph is shared by all cases (generation dominates runtime);
-/// proptest varies the query vertex, k and the keyword subset.
-fn shared_graph() -> &'static AttributedGraph {
-    use std::sync::OnceLock;
-    static GRAPH: OnceLock<AttributedGraph> = OnceLock::new();
-    GRAPH.get_or_init(|| datagen::generate(&datagen::tiny()))
+/// proptest varies the query vertex, k, the spec kind and the keyword subset.
+fn shared_graph() -> &'static Arc<AttributedGraph> {
+    static GRAPH: OnceLock<Arc<AttributedGraph>> = OnceLock::new();
+    GRAPH.get_or_init(|| Arc::new(datagen::generate(&datagen::tiny())))
 }
 
-fn shared_engine() -> &'static AcqEngine<'static> {
-    use std::sync::OnceLock;
-    static ENGINE: OnceLock<AcqEngine<'static>> = OnceLock::new();
-    ENGINE.get_or_init(|| AcqEngine::new(shared_graph()))
+/// The sequential reference executor: one thread, caching disabled.
+fn reference_engine() -> &'static Engine {
+    static ENGINE: OnceLock<Engine> = OnceLock::new();
+    ENGINE.get_or_init(|| {
+        Engine::builder(Arc::clone(shared_graph())).cache_capacity(0).threads(1).build()
+    })
+}
+
+/// Batch executors sharing the reference index, at several worker counts.
+fn batch_engines() -> &'static Vec<BatchEngine> {
+    static ENGINES: OnceLock<Vec<BatchEngine>> = OnceLock::new();
+    ENGINES.get_or_init(|| {
+        let index = reference_engine().index();
+        [1usize, 2, 4]
+            .iter()
+            .map(|&threads| {
+                BatchEngine::with_index(Arc::clone(shared_graph()), Arc::clone(&index))
+                    .with_threads(threads)
+                    .with_cache_capacity(64)
+            })
+            .collect()
+    })
+}
+
+/// An arbitrary request against the shared graph: any vertex, any small `k`,
+/// any of the three spec kinds, any algorithm, keywords drawn from `W(q)`.
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        0usize..1000,                    // vertex pick
+        1usize..6,                       // k
+        0usize..AcqAlgorithm::ALL.len(), // algorithm pick
+        0usize..3,                       // spec kind
+        0u64..1000,                      // keyword subset seed
+        0.0f64..1.0,                     // theta
+    )
+        .prop_map(|(vertex_pick, k, alg, kind, kw_seed, theta)| {
+            let graph = shared_graph();
+            let q = VertexId::from_index(vertex_pick % graph.num_vertices());
+            let wq: Vec<KeywordId> = graph.keyword_set(q).iter().collect();
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(kw_seed);
+            let take = if wq.is_empty() { 0 } else { kw_seed as usize % (wq.len() + 1) };
+            let s: Vec<KeywordId> = wq.choose_multiple(&mut rng, take).copied().collect();
+            let request = Request::community(q).k(k).algorithm(AcqAlgorithm::ALL[alg]);
+            match kind {
+                0 if s.is_empty() => request,
+                0 => request.keywords(s),
+                1 => request.exact_keywords(s),
+                _ => request.keywords(s).threshold(theta),
+            }
+        })
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// All seven algorithm variants return identical community sets for
-    /// arbitrary queries against the generated dataset.
+    /// Executor equivalence: for any batch of requests, every `BatchEngine`
+    /// (1, 2 and 4 workers, shared LRU cache) returns canonical-identical
+    /// communities to the sequential cache-less `Engine` — all three spec
+    /// kinds and all seven algorithms flow through this single property.
+    #[test]
+    fn executors_agree_for_any_request(requests in proptest::collection::vec(arb_request(), 1..10)) {
+        let sequential = reference_engine();
+        let expected: Vec<_> = requests
+            .iter()
+            .map(|request| sequential.execute(request).map(|r| r.result))
+            .collect();
+        for engine in batch_engines() {
+            let batched = engine.execute_batch(&requests);
+            prop_assert_eq!(batched.len(), expected.len());
+            for ((request, got), want) in requests.iter().zip(&batched).zip(&expected) {
+                let got = got.clone().map(|r| r.result);
+                prop_assert_eq!(
+                    &got, want,
+                    "request {:?} must agree across executors", request
+                );
+            }
+        }
+    }
+
+    /// The sequential engine agrees with itself across algorithm picks for
+    /// the `Community` spec (canonical form), pinning that the algorithm knob
+    /// changes the work, never the answer.
     #[test]
     fn algorithms_agree_on_generated_graph(
         vertex_pick in 0usize..1000,
@@ -35,22 +110,24 @@ proptest! {
         keyword_subset_seed in 0u64..1000,
     ) {
         let graph = shared_graph();
-        let engine = shared_engine();
+        let engine = reference_engine();
         let q = VertexId::from_index(vertex_pick % graph.num_vertices());
-        // Random subset of W(q) as S (possibly empty -> behaves like label-less).
         let wq: Vec<KeywordId> = graph.keyword_set(q).iter().collect();
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(keyword_subset_seed);
         let take = if wq.is_empty() { 0 } else { keyword_subset_seed as usize % (wq.len() + 1) };
         let s: Vec<KeywordId> = wq.choose_multiple(&mut rng, take).copied().collect();
-        let query = if s.is_empty() {
-            AcqQuery::new(q, k)
+        let base = if s.is_empty() {
+            Request::community(q).k(k)
         } else {
-            AcqQuery::with_keywords(q, k, s)
+            Request::community(q).k(k).keywords(s)
         };
-        let reference = engine.query_with(&query, AcqAlgorithm::BasicG).unwrap().canonical();
+        let reference = engine
+            .execute(&base.clone().algorithm(AcqAlgorithm::BasicG))
+            .unwrap()
+            .canonical();
         for algorithm in AcqAlgorithm::ALL {
-            let result = engine.query_with(&query, algorithm).unwrap();
-            prop_assert_eq!(result.canonical(), reference.clone(), "{}", algorithm.name());
+            let response = engine.execute(&base.clone().algorithm(algorithm)).unwrap();
+            prop_assert_eq!(response.canonical(), reference.clone(), "{}", algorithm.name());
         }
     }
 
@@ -62,7 +139,7 @@ proptest! {
         k in 1usize..5,
     ) {
         let graph = shared_graph();
-        let engine = shared_engine();
+        let engine = reference_engine();
         let q = VertexId::from_index(vertex_pick % graph.num_vertices());
         let keywords: Vec<KeywordId> = graph.keyword_set(q).iter().take(4).collect();
         if keywords.is_empty() {
@@ -70,9 +147,9 @@ proptest! {
         }
         let mut previous_size: Option<usize> = None;
         for theta in [0.0, 0.25, 0.5, 0.75, 1.0] {
-            let result = engine
-                .query_variant2(&Variant2Query { vertex: q, k, keywords: keywords.clone(), theta })
-                .unwrap();
+            let request =
+                Request::community(q).k(k).keywords(keywords.iter().copied()).threshold(theta);
+            let result = engine.execute(&request).unwrap().result;
             let size = result.communities.first().map(AttributedCommunity::len);
             if let (Some(prev), Some(now)) = (previous_size, size) {
                 prop_assert!(now <= prev, "θ increased but the community grew: {prev} -> {now}");
@@ -86,14 +163,14 @@ proptest! {
         }
         // θ = 1.0 equals Variant 1.
         let v2 = engine
-            .query_variant2(&Variant2Query { vertex: q, k, keywords: keywords.clone(), theta: 1.0 })
+            .execute(&Request::community(q).k(k).keywords(keywords.iter().copied()).threshold(1.0))
             .unwrap();
         let v1 = engine
-            .query_variant1(&Variant1Query { vertex: q, k, keywords })
+            .execute(&Request::community(q).k(k).exact_keywords(keywords))
             .unwrap();
         prop_assert_eq!(
-            v2.communities.first().map(|c| c.vertices.clone()),
-            v1.communities.first().map(|c| c.vertices.clone())
+            v2.communities().first().map(|c| c.vertices.clone()),
+            v1.communities().first().map(|c| c.vertices.clone())
         );
     }
 
@@ -105,11 +182,11 @@ proptest! {
     #[test]
     fn community_size_shrinks_with_k_for_fixed_label(vertex_pick in 0usize..1000) {
         let graph = shared_graph();
-        let engine = shared_engine();
+        let engine = reference_engine();
         let q = VertexId::from_index(vertex_pick % graph.num_vertices());
         let mut previous: Option<(usize, Vec<KeywordId>)> = None;
         for k in 1..=5usize {
-            let result = engine.query(&AcqQuery::new(q, k)).unwrap();
+            let result = engine.execute(&Request::community(q).k(k)).unwrap().result;
             let Some(largest) = result.communities.iter().map(AttributedCommunity::len).max()
             else {
                 break;

@@ -9,8 +9,15 @@
 //!
 //! Benches using this crate must set `harness = false` in their manifest, as
 //! `criterion_main!` generates the `main` function.
+//!
+//! When the `BENCH_JSONL` environment variable names a file, every finished
+//! benchmark additionally appends one JSON line
+//! (`{"benchmark": ..., "mean_ns": ..., "iterations": ...}`) to it, so
+//! baseline files like the repository's `BENCH_batch_query.json` can be
+//! recorded without parsing the human-readable output.
 
 use std::fmt;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 /// Prevents the optimizer from discarding a value.
@@ -133,6 +140,18 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut body: 
         bencher.elapsed / u32::try_from(bencher.iterations).unwrap_or(u32::MAX)
     };
     println!("bench: {label:<60} {mean:>12.3?}/iter ({} iters)", bencher.iterations);
+    if let Ok(path) = std::env::var("BENCH_JSONL") {
+        if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+            let escaped: String =
+                label.chars().filter(|c| *c != '"' && *c != '\\' && !c.is_control()).collect();
+            let _ = writeln!(
+                file,
+                "{{\"benchmark\": \"{escaped}\", \"mean_ns\": {}, \"iterations\": {}}}",
+                mean.as_nanos(),
+                bencher.iterations
+            );
+        }
+    }
 }
 
 /// Declares a function running the listed benchmark functions in order.

@@ -6,8 +6,11 @@
 //!   on serialize, filled from `Default::default()` on deserialize);
 //! * `#[serde(transparent)]` newtype structs (one unnamed field), which also
 //!   get a `JsonKey` impl so they can be used as map keys;
-//! * generic parameters, enums and other serde attributes are **not**
-//!   supported and produce a compile error.
+//! * enums whose variants are unit variants (serialized as the variant name
+//!   string) or have named fields (serialized externally tagged, as
+//!   `{"Variant": {fields...}}`);
+//! * generic parameters, tuple enum variants and other serde attributes are
+//!   **not** supported and produce a compile error.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -24,6 +27,15 @@ enum Kind {
     Named(Vec<(String, bool)>),
     /// Tuple struct with this many fields.
     Tuple(usize),
+    /// Enum variants, in declaration order.
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    /// `None` for a unit variant, field `(name, skipped)` pairs otherwise.
+    fields: Option<Vec<(String, bool)>>,
 }
 
 /// Splits leading attributes off a token cursor, returning whether any of
@@ -76,32 +88,76 @@ fn parse(input: TokenStream) -> Input {
         }
     }
 
-    match &tokens[pos] {
-        TokenTree::Ident(i) if i.to_string() == "struct" => pos += 1,
-        other => panic!("serde stand-in: only structs can be derived, found `{other}`"),
-    }
+    let is_enum = match &tokens[pos] {
+        TokenTree::Ident(i) if i.to_string() == "struct" => {
+            pos += 1;
+            false
+        }
+        TokenTree::Ident(i) if i.to_string() == "enum" => {
+            pos += 1;
+            true
+        }
+        other => panic!("serde stand-in: only structs and enums can be derived, found `{other}`"),
+    };
 
     let name = match &tokens[pos] {
         TokenTree::Ident(i) => i.to_string(),
-        other => panic!("serde stand-in: expected struct name, found `{other}`"),
+        other => panic!("serde stand-in: expected type name, found `{other}`"),
     };
     pos += 1;
 
     if matches!(&tokens[pos], TokenTree::Punct(p) if p.as_char() == '<') {
-        panic!("serde stand-in: generic structs are not supported ({name})");
+        panic!("serde stand-in: generic types are not supported ({name})");
     }
 
     let kind = match &tokens[pos] {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace && is_enum => {
+            Kind::Enum(parse_variants(g.stream()))
+        }
         TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
             Kind::Named(parse_named_fields(g.stream()))
         }
-        TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis && !is_enum => {
             Kind::Tuple(count_tuple_fields(g.stream()))
         }
-        other => panic!("serde stand-in: unsupported struct body `{other}`"),
+        other => panic!("serde stand-in: unsupported type body `{other}`"),
     };
 
     Input { name, transparent, kind }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        // Consume attributes (doc comments, `#[default]`, …).
+        take_attrs(&tokens, &mut pos, &[]);
+        let name = match &tokens[pos] {
+            TokenTree::Ident(i) => i.to_string(),
+            other => panic!("serde stand-in: expected variant name, found `{other}`"),
+        };
+        pos += 1;
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Some(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde stand-in: tuple enum variants are not supported ({name})")
+            }
+            _ => None,
+        };
+        match tokens.get(pos) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => pos += 1,
+            Some(other) => {
+                panic!("serde stand-in: unsupported token `{other}` after variant {name}")
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
 }
 
 fn parse_named_fields(stream: TokenStream) -> Vec<(String, bool)> {
@@ -207,6 +263,47 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                  }}\n"
             ));
         }
+        (Kind::Enum(variants), false) => {
+            let mut arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.fields {
+                    None => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),\n"
+                    )),
+                    Some(fields) => {
+                        let bindings: Vec<String> = fields
+                            .iter()
+                            .map(|(f, skip)| if *skip { format!("{f}: _") } else { f.clone() })
+                            .collect();
+                        let mut body = String::new();
+                        for (field, skip) in fields {
+                            if *skip {
+                                continue;
+                            }
+                            body.push_str(&format!(
+                                "__fields.push((\"{field}\".to_string(), ::serde::Serialize::to_value({field})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\n\
+                                 let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                                 {body}\
+                                 ::serde::Value::Object(::std::vec![(\"{vname}\".to_string(), ::serde::Value::Object(__fields))])\n\
+                             }}\n",
+                            bindings.join(", ")
+                        ));
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}\n"
+            ));
+        }
         _ => panic!("serde stand-in: unsupported shape for Serialize on {name}"),
     }
     out.parse().expect("generated Serialize impl must parse")
@@ -247,6 +344,73 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                 "impl ::serde::Deserialize for {name} {{\n\
                      fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
                          ::std::result::Result::Ok(Self {{ {body} }})\n\
+                     }}\n\
+                 }}\n"
+            ));
+        }
+        (Kind::Enum(variants), false) => {
+            let units: Vec<&Variant> = variants.iter().filter(|v| v.fields.is_none()).collect();
+            let structs: Vec<&Variant> = variants.iter().filter(|v| v.fields.is_some()).collect();
+            let mut arms = String::new();
+            if !units.is_empty() {
+                let mut unit_arms = String::new();
+                for variant in &units {
+                    let vname = &variant.name;
+                    unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    ));
+                }
+                arms.push_str(&format!(
+                    "::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => ::std::result::Result::Err(::serde::Error::custom(\n\
+                             format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                     }},\n"
+                ));
+            }
+            if !structs.is_empty() {
+                let mut tag_arms = String::new();
+                for variant in &structs {
+                    let vname = &variant.name;
+                    let mut body = String::new();
+                    for (field, skip) in variant.fields.as_ref().expect("struct variant") {
+                        if *skip {
+                            body.push_str(&format!(
+                                "{field}: ::std::default::Default::default(),\n"
+                            ));
+                        } else {
+                            body.push_str(&format!(
+                                "{field}: match __inner.get_field(\"{field}\") {{\n\
+                                     ::std::option::Option::Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+                                     ::std::option::Option::None => return ::std::result::Result::Err(\n\
+                                         ::serde::Error::custom(\"missing field `{field}` in {name}::{vname}\")),\n\
+                                 }},\n"
+                            ));
+                        }
+                    }
+                    tag_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{ {body} }}),\n"
+                    ));
+                }
+                arms.push_str(&format!(
+                    "::serde::Value::Object(__tagged) if __tagged.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__tagged[0];\n\
+                         match __tag.as_str() {{\n\
+                             {tag_arms}\
+                             __other => ::std::result::Result::Err(::serde::Error::custom(\n\
+                                 format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n"
+                ));
+            }
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match value {{\n\
+                             {arms}\
+                             __other => ::std::result::Result::Err(::serde::Error::custom(\n\
+                                 \"unsupported value shape for enum {name}\")),\n\
+                         }}\n\
                      }}\n\
                  }}\n"
             ));
