@@ -7,7 +7,7 @@
 //! and filters keywords inside it; `basic-w` filters keywords over the whole
 //! graph and only then intersects with the structural constraint.
 
-use crate::common::{filter_by_keywords, generate_candidates, verify_candidate, KeywordSetVec};
+use crate::common::{generate_candidates, verify_candidate, KeywordPools, KeywordSetVec};
 use crate::query::{AcqQuery, AcqResult, AttributedCommunity, QueryStats};
 use acq_graph::{AttributedGraph, VertexSubset};
 use acq_kcore::peel_to_kcore_containing;
@@ -25,12 +25,17 @@ pub fn basic_g(graph: &AttributedGraph, query: &AcqQuery) -> AcqResult {
         return AcqResult::empty(stats);
     };
 
+    // One keyword-set scan of the ĉore builds the per-keyword pools; every
+    // candidate — at any level — is then assembled by word-parallel
+    // intersection of those pools.
+    let single_pools = KeywordPools::build(graph, kcore.iter(), &s);
+
     let mut psi: Vec<KeywordSetVec> = s.iter().map(|&kw| vec![kw]).collect();
     let mut last_level: Vec<(KeywordSetVec, VertexSubset)> = Vec::new();
     while !psi.is_empty() {
         let mut phi: Vec<(KeywordSetVec, VertexSubset)> = Vec::new();
         for candidate in &psi {
-            let pool = filter_by_keywords(graph, kcore.iter(), candidate);
+            let pool = single_pools.candidate_pool(candidate);
             if let Some(community) = verify_candidate(graph, q, k, &pool, &mut stats) {
                 stats.qualified_sets += 1;
                 phi.push((candidate.clone(), community));
@@ -54,12 +59,16 @@ pub fn basic_w(graph: &AttributedGraph, query: &AcqQuery) -> AcqResult {
     let k = query.k;
     let s = query.effective_keywords(graph);
 
+    // Whole-graph per-keyword pools (basic-w filters before any structure
+    // pruning); deeper candidates intersect word-parallel.
+    let single_pools = KeywordPools::build(graph, graph.vertices(), &s);
+
     let mut psi: Vec<KeywordSetVec> = s.iter().map(|&kw| vec![kw]).collect();
     let mut last_level: Vec<(KeywordSetVec, VertexSubset)> = Vec::new();
     while !psi.is_empty() {
         let mut phi: Vec<(KeywordSetVec, VertexSubset)> = Vec::new();
         for candidate in &psi {
-            let pool = filter_by_keywords(graph, graph.vertices(), candidate);
+            let pool = single_pools.candidate_pool(candidate);
             if let Some(community) = verify_candidate(graph, q, k, &pool, &mut stats) {
                 stats.qualified_sets += 1;
                 phi.push((candidate.clone(), community));

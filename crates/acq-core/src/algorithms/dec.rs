@@ -13,7 +13,7 @@
 //!    least `l` keywords with `q`; the first size with a qualifying set wins.
 
 use crate::algorithms::basic::assemble;
-use crate::common::{filter_by_keywords, verify_candidate, KeywordSetVec};
+use crate::common::{verify_candidate, KeywordPools, KeywordSetVec};
 use crate::exec::IndexCache;
 use crate::query::{AcqQuery, AcqResult, QueryStats};
 use acq_cltree::ClTree;
@@ -61,12 +61,14 @@ pub(crate) fn dec_cached(
     let candidates_by_size = neighbourhood_candidates(graph, q, k, &s, miner);
 
     // ---- R_i: vertices of the k-ĉore sharing exactly i keywords of S with q
-    //      (lines 3-4). ----
+    //      (lines 3-4). The same merge walk that counts the shares builds the
+    //      per-keyword vertex pools candidate verification later intersects
+    //      word-parallel, so the pools come at the cost of a few bit inserts
+    //      on top of the share pass the pre-bitset code already ran. ----
+    let n = graph.num_vertices();
     let subtree = cache.subtree_vertices(index, root_k, k as u32);
-    let mut share_count: Vec<(VertexId, usize)> = Vec::with_capacity(subtree.len());
-    for &v in subtree.iter() {
-        share_count.push((v, graph.keyword_set(v).intersection_size(&s)));
-    }
+    let (single_pools, share_count) =
+        KeywordPools::build_with_shares(graph, subtree.iter().copied(), &s);
 
     let fallback = || Some(VertexSubset::from_iter(graph.num_vertices(), subtree.iter().copied()));
 
@@ -81,11 +83,16 @@ pub(crate) fn dec_cached(
     let mut level = h;
     let mut last_level: Vec<(KeywordSetVec, VertexSubset)> = Vec::new();
     while level >= 1 {
-        let in_r_hat: Vec<VertexId> =
-            share_count.iter().filter(|&&(_, c)| c >= level).map(|&(v, _)| v).collect();
+        // R̂: subtree vertices sharing >= `level` keywords of S with q, as a
+        // bitset so every candidate pool restricts to it with one word-wise AND.
+        let r_hat = VertexSubset::from_iter(
+            n,
+            share_count.iter().filter(|&&(_, c)| c >= level).map(|&(v, _)| v),
+        );
         let mut found: Vec<(KeywordSetVec, VertexSubset)> = Vec::new();
         for candidate in &candidates_by_size[level - 1] {
-            let pool = filter_by_keywords(graph, in_r_hat.iter().copied(), candidate);
+            let mut pool = single_pools.candidate_pool(candidate);
+            pool.intersect_in_place(&r_hat);
             if let Some(community) = verify_candidate(graph, q, k, &pool, &mut stats) {
                 stats.qualified_sets += 1;
                 found.push((candidate.clone(), community));

@@ -166,10 +166,10 @@ pub(crate) fn inc_t_cached(
             let mut pool: Option<VertexSubset> = None;
             for (subset, community) in &last_level {
                 if is_subset(subset, &candidate) {
-                    pool = Some(match pool {
-                        None => community.clone(),
-                        Some(p) => p.intersect(community),
-                    });
+                    match &mut pool {
+                        None => pool = Some(community.clone()),
+                        Some(p) => p.intersect_in_place(community),
+                    }
                 }
             }
             let Some(pool) = pool else { continue };

@@ -90,6 +90,97 @@ pub fn filter_by_keywords(
     )
 }
 
+/// Per-keyword vertex pools over a search space: `pool` `i` holds the
+/// vertices of the space carrying query keyword `i`. Built in one scan, the
+/// pools turn every candidate-pool computation — at any candidate size — into
+/// word-parallel bitset intersection ([`candidate_pool`](Self::candidate_pool))
+/// instead of a keyword-set scan per vertex per candidate.
+#[derive(Debug, Clone)]
+pub struct KeywordPools {
+    /// Universe size (vertex count of the parent graph).
+    n: usize,
+    /// The query keywords, sorted and deduplicated.
+    keywords: Vec<KeywordId>,
+    /// `pools[i]` = vertices of the space carrying `keywords[i]`.
+    pools: Vec<VertexSubset>,
+}
+
+impl KeywordPools {
+    /// Builds the pools with one scan of `space`; see
+    /// [`build_with_shares`](Self::build_with_shares).
+    pub fn build(
+        graph: &AttributedGraph,
+        space: impl IntoIterator<Item = VertexId>,
+        keywords: &[KeywordId],
+    ) -> Self {
+        Self::build_with_shares(graph, space, keywords).0
+    }
+
+    /// Builds the pools and, from the same two-pointer merge walk, the number
+    /// of query keywords each space vertex shares (the paper's `R̂` share
+    /// counts used by `Dec`). The walk is exactly the
+    /// `KeywordSet::intersection_size` merge the pre-bitset code already ran
+    /// per vertex, so pool construction adds only the per-hit bit inserts.
+    pub fn build_with_shares(
+        graph: &AttributedGraph,
+        space: impl IntoIterator<Item = VertexId>,
+        keywords: &[KeywordId],
+    ) -> (Self, Vec<(VertexId, usize)>) {
+        let mut sorted = keywords.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let n = graph.num_vertices();
+        let mut pools = vec![VertexSubset::empty(n); sorted.len()];
+        let mut shares = Vec::new();
+        for v in space {
+            let wv = graph.keyword_set(v).as_slice();
+            let (mut i, mut j, mut share) = (0usize, 0usize, 0usize);
+            while i < wv.len() && j < sorted.len() {
+                match wv[i].cmp(&sorted[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        share += 1;
+                        pools[j].insert(v);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            shares.push((v, share));
+        }
+        (Self { n, keywords: sorted, pools }, shares)
+    }
+
+    /// Word-parallel pool assembly: the vertices carrying *every* keyword of
+    /// `candidate` are exactly the intersection of the per-keyword pools, so a
+    /// size-`c` candidate costs `c - 1` word-wise `AND`s. A keyword without a
+    /// pool means no space vertex carries it — the empty subset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidate` is empty (candidates are never empty).
+    pub fn candidate_pool(&self, candidate: &[KeywordId]) -> VertexSubset {
+        let (first, rest) =
+            candidate.split_first().expect("candidate keyword sets are never empty");
+        let Some(mut pool) = self.pool_of(*first).cloned() else {
+            return VertexSubset::empty(self.n);
+        };
+        for &kw in rest {
+            match self.pool_of(kw) {
+                Some(p) => pool.intersect_in_place(p),
+                None => return VertexSubset::empty(self.n),
+            }
+        }
+        pool
+    }
+
+    /// The pool of a single keyword, if it is one of the query keywords.
+    pub fn pool_of(&self, kw: KeywordId) -> Option<&VertexSubset> {
+        self.keywords.binary_search(&kw).ok().map(|i| &self.pools[i])
+    }
+}
+
 /// The minimum core number of a community — the paper's subgraph core number
 /// (Definition 4), used by `Inc-S` to shrink later verification ranges.
 pub fn subgraph_core_number(

@@ -10,7 +10,7 @@
 //!   `θ ∈ [0, 1]`. Algorithms: `basic-g-v2`, `basic-w-v2` and the index-based
 //!   `SWT`.
 
-use crate::common::verify_candidate;
+use crate::common::{filter_by_keywords, verify_candidate};
 use crate::query::{AcqResult, AttributedCommunity, QueryStats};
 use acq_cltree::ClTree;
 use acq_graph::{AttributedGraph, KeywordId, VertexId, VertexSubset};
@@ -84,10 +84,7 @@ pub fn basic_g_v1(graph: &AttributedGraph, query: &Variant1Query) -> AcqResult {
     let Some(kcore) = peel_to_kcore_containing(graph, &full, query.vertex, query.k) else {
         return AcqResult::empty(stats);
     };
-    let pool = VertexSubset::from_iter(
-        graph.num_vertices(),
-        kcore.iter().filter(|&v| graph.keyword_set(v).contains_all(&s)),
-    );
+    let pool = filter_by_keywords(graph, kcore.iter(), &s);
     let community = verify_candidate(graph, query.vertex, query.k, &pool, &mut stats);
     single_community(s, community, stats)
 }
@@ -96,10 +93,7 @@ pub fn basic_g_v1(graph: &AttributedGraph, query: &Variant1Query) -> AcqResult {
 pub fn basic_w_v1(graph: &AttributedGraph, query: &Variant1Query) -> AcqResult {
     let mut stats = QueryStats::default();
     let s = sorted(&query.keywords);
-    let pool = VertexSubset::from_iter(
-        graph.num_vertices(),
-        graph.vertices().filter(|&v| graph.keyword_set(v).contains_all(&s)),
-    );
+    let pool = filter_by_keywords(graph, graph.vertices(), &s);
     let community = verify_candidate(graph, query.vertex, query.k, &pool, &mut stats);
     single_community(s, community, stats)
 }

@@ -32,12 +32,13 @@ pub fn local_community(graph: &AttributedGraph, q: VertexId, k: usize) -> Option
 
     // Expansion frontier ordered by full-graph degree (descending): vertices
     // that are more likely to sustain a dense subgraph are pulled in first.
+    // `queued` is a bitset so the visited-set bookkeeping shares the
+    // word-level substrate of the candidate set.
     let mut frontier: BinaryHeap<(usize, VertexId)> = BinaryHeap::new();
-    let mut queued = vec![false; n];
-    queued[q.index()] = true;
+    let mut queued = VertexSubset::empty(n);
+    queued.insert(q);
     for &u in graph.neighbors(q) {
-        if graph.degree(u) >= k && !queued[u.index()] {
-            queued[u.index()] = true;
+        if graph.degree(u) >= k && queued.insert(u) {
             frontier.push((graph.degree(u), u));
         }
     }
@@ -55,8 +56,7 @@ pub fn local_community(graph: &AttributedGraph, q: VertexId, k: usize) -> Option
             }
             added += 1;
             for &u in graph.neighbors(v) {
-                if graph.degree(u) >= k && !queued[u.index()] && !candidate.contains(u) {
-                    queued[u.index()] = true;
+                if graph.degree(u) >= k && !candidate.contains(u) && queued.insert(u) {
                     frontier.push((graph.degree(u), u));
                 }
             }

@@ -1,0 +1,205 @@
+//! Scalar-vs-word kernel microbenchmarks for the bitset substrate: in-subset
+//! degree counting (`degree_within`), k-core peeling (`peel_to_kcore`), set
+//! algebra (`intersect`/`union`/equality) and connectivity (`component_of` /
+//! `components`), measured across subset densities on two graphs:
+//!
+//! * `mixed` — the Tencent-like datagen fixture (power-law-ish, avg degree ~24
+//!   at n=1250): most vertices sit below the hybrid-bitmap threshold, so this
+//!   arm checks the CSR fallback does **not regress** against the scalar
+//!   baseline;
+//! * `dense-core` — a synthetic high-average-degree graph shaped like the
+//!   k-ĉores the query algorithms actually verify inside (deg ≫ n/64): every
+//!   vertex owns a bitmap row and the popcount kernels should win outright
+//!   (the ≥2x acceptance bar of ISSUE 4 / `BENCH_peeling.json`).
+//!
+//! Every pairing first *asserts* that the word kernel and its scalar
+//! reference produce identical results on the benchmark inputs, so the CI
+//! `bench-smoke` job fails on kernel regressions instead of letting them rot.
+//!
+//! Set `BENCH_QUICK=1` for the CI smoke configuration (small graphs, few
+//! samples); run with `BENCH_JSONL=<file>` to append machine-readable results
+//! (see `BENCH_peeling.json` at the repository root for the recorded
+//! baseline).
+
+use acq_bench::{dense_fixture, fixture};
+use acq_graph::{unlabeled_graph, AttributedGraph, VertexId, VertexSubset};
+use acq_kcore::{peel_to_kcore, peel_to_kcore_scalar};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// Whether the CI smoke configuration is active.
+fn quick() -> bool {
+    std::env::var("BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn samples(full: usize) -> usize {
+    if quick() {
+        2
+    } else {
+        full
+    }
+}
+
+/// A deterministic pseudo-random dense graph mimicking a k-ĉore under
+/// verification: `n` vertices, average degree ≈ `avg_degree` ≫ n/64, so every
+/// vertex clears the hybrid adjacency-bitmap threshold.
+fn dense_core_graph(n: usize, avg_degree: usize) -> AttributedGraph {
+    let mut edges = Vec::with_capacity(n * avg_degree / 2);
+    let mut state = 0x243F_6A88_85A3_08D3u64;
+    for v in 0..n as u32 {
+        for _ in 0..avg_degree / 2 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = (state >> 33) as u32 % n as u32;
+            if u != v {
+                edges.push((v, u));
+            }
+        }
+    }
+    unlabeled_graph(n, &edges)
+}
+
+/// The two benchmark graphs: (label, graph, peel degree bound).
+fn bench_graphs() -> Vec<(&'static str, AttributedGraph, usize)> {
+    if quick() {
+        vec![
+            ("mixed", fixture(&acq_datagen::tiny(), 4.0, 5, 3).graph.as_ref().clone(), 2),
+            ("dense-core", dense_core_graph(256, 48), 8),
+        ]
+    } else {
+        vec![
+            ("mixed", dense_fixture().graph.as_ref().clone(), 6),
+            ("dense-core", dense_core_graph(1024, 192), 32),
+        ]
+    }
+}
+
+/// A deterministic pseudo-random subset holding ~`percent`% of the vertices
+/// (Fibonacci-hash selector, independent of vertex locality).
+fn subset_with_density(n: usize, percent: u64) -> VertexSubset {
+    VertexSubset::from_iter(
+        n,
+        (0..n)
+            .filter(|&i| {
+                (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 57 < (percent * 128) / 100
+            })
+            .map(VertexId::from_index),
+    )
+}
+
+/// Scalar reference for `intersect`: member iteration + per-element bit tests
+/// (what the pre-words implementation did).
+fn intersect_scalar(a: &VertexSubset, b: &VertexSubset) -> VertexSubset {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    VertexSubset::from_iter(a.num_vertices(), small.iter().filter(|&v| large.contains(v)))
+}
+
+/// Scalar reference for `union`.
+fn union_scalar(a: &VertexSubset, b: &VertexSubset) -> VertexSubset {
+    let mut out = a.clone();
+    for v in b.iter() {
+        out.insert(v);
+    }
+    out
+}
+
+fn bench_degree_within(c: &mut Criterion) {
+    for (label, g, _) in bench_graphs() {
+        let n = g.num_vertices();
+        let mut group = c.benchmark_group(format!("degree_within/{label}"));
+        group.sample_size(samples(20));
+        for percent in [10u64, 50, 90] {
+            let subset = subset_with_density(n, percent);
+            // Equivalence gate: the hybrid kernel must agree with the scalar scan.
+            for v in g.vertices() {
+                assert_eq!(
+                    subset.degree_within(&g, v),
+                    subset.degree_within_scalar(&g, v),
+                    "kernel mismatch at {v:?} on {label}"
+                );
+            }
+            group.bench_function(format!("word/density={percent}%"), |b| {
+                b.iter(|| subset.iter().map(|v| subset.degree_within(&g, v)).sum::<usize>())
+            });
+            group.bench_function(format!("scalar/density={percent}%"), |b| {
+                b.iter(|| subset.iter().map(|v| subset.degree_within_scalar(&g, v)).sum::<usize>())
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_peel(c: &mut Criterion) {
+    for (label, g, k) in bench_graphs() {
+        let n = g.num_vertices();
+        let mut group = c.benchmark_group(format!("peel_to_kcore/{label}"));
+        group.sample_size(samples(10));
+        for percent in [10u64, 50, 100] {
+            let subset = subset_with_density(n, percent);
+            assert_eq!(
+                peel_to_kcore(&g, &subset, k).sorted_members(),
+                peel_to_kcore_scalar(&g, &subset, k).sorted_members(),
+                "peel kernel mismatch at density {percent}% on {label}"
+            );
+            group.bench_function(format!("word/density={percent}%"), |b| {
+                b.iter(|| peel_to_kcore(&g, &subset, k))
+            });
+            group.bench_function(format!("scalar/density={percent}%"), |b| {
+                b.iter(|| peel_to_kcore_scalar(&g, &subset, k))
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_set_algebra(c: &mut Criterion) {
+    // Set algebra never touches the graph; one representative universe size.
+    let n = if quick() { 1000 } else { 100_000 };
+    let mut group = c.benchmark_group("set_algebra");
+    group.sample_size(samples(50));
+    for percent in [10u64, 90] {
+        let a = subset_with_density(n, percent);
+        let b_set = subset_with_density(n, 50);
+        assert_eq!(a.intersect(&b_set), intersect_scalar(&a, &b_set));
+        assert_eq!(a.union(&b_set), union_scalar(&a, &b_set));
+        group.bench_function(format!("intersect/word/density={percent}%"), |b| {
+            b.iter(|| a.intersect(&b_set))
+        });
+        group.bench_function(format!("intersect/scalar/density={percent}%"), |b| {
+            b.iter(|| intersect_scalar(&a, &b_set))
+        });
+        group.bench_function(format!("union/word/density={percent}%"), |b| {
+            b.iter(|| a.union(&b_set))
+        });
+        group.bench_function(format!("union/scalar/density={percent}%"), |b| {
+            b.iter(|| union_scalar(&a, &b_set))
+        });
+        group.bench_function(format!("equality/word/density={percent}%"), |b| {
+            let a2 = a.clone();
+            b.iter(|| a == a2)
+        });
+        group.bench_function(format!("equality/sorted-members/density={percent}%"), |b| {
+            let a2 = a.clone();
+            b.iter(|| a.sorted_members() == a2.sorted_members())
+        });
+    }
+    group.finish();
+}
+
+fn bench_components(c: &mut Criterion) {
+    for (label, g, _) in bench_graphs() {
+        let n = g.num_vertices();
+        let subset = subset_with_density(n, 90);
+        let mut group = c.benchmark_group(format!("connectivity/{label}"));
+        group.sample_size(samples(10));
+        group.bench_function("components/word-bfs/density=90%", |b| {
+            b.iter(|| subset.components(&g).len())
+        });
+        let full = VertexSubset::full(n);
+        group.bench_function("component_of/word-bfs/full", |b| {
+            b.iter(|| full.component_of(&g, VertexId(0)))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_degree_within, bench_peel, bench_set_algebra, bench_components);
+criterion_main!(benches);

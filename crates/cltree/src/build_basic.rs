@@ -65,6 +65,7 @@ fn expand(
     }
     let owned: Vec<VertexId> =
         component.iter().filter(|&v| decomposition.core_number(v) == k).collect();
+    let owned_set = VertexSubset::from_iter(graph.num_vertices(), owned.iter().copied());
 
     let next_parent = if owned.is_empty() {
         parent
@@ -72,11 +73,10 @@ fn expand(
         push_node(nodes, vertex_node, ClTreeNode::new(k, owned), Some(parent))
     };
 
-    // Vertices of the (k+1)-core inside this component.
-    let deeper = VertexSubset::from_iter(
-        graph.num_vertices(),
-        component.iter().filter(|&v| decomposition.core_number(v) > k),
-    );
+    // Vertices of the (k+1)-core inside this component: every component vertex
+    // has core >= k, so a word-parallel difference against the owned (core == k)
+    // set replaces a second per-vertex core-number scan.
+    let deeper = component.difference(&owned_set);
     if deeper.is_empty() {
         return;
     }

@@ -18,13 +18,115 @@ use std::collections::BTreeSet;
 /// The structure is immutable after construction; the update methods
 /// ([`with_edge_inserted`](Self::with_edge_inserted) and friends) return a new
 /// graph, which is what the CL-tree maintenance experiments operate on.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct AttributedGraph {
     offsets: Vec<usize>,
     neighbors: Vec<VertexId>,
     keywords: Vec<KeywordSet>,
     labels: Vec<Option<String>>,
     dictionary: KeywordDictionary,
+    /// Derived acceleration structure — never serialized (it is a pure
+    /// function of the CSR fields) and rebuilt on deserialization, so the
+    /// wire format stays the pre-bitmap one and no bitmap invariant is ever
+    /// trusted from external data.
+    #[serde(skip)]
+    adjacency: AdjacencyBitmaps,
+}
+
+impl Deserialize for AttributedGraph {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        fn field<T: Deserialize>(value: &serde::Value, name: &str) -> Result<T, serde::Error> {
+            match value.get_field(name) {
+                Some(v) => T::from_value(v),
+                None => {
+                    Err(serde::Error::custom(format!("missing field `{name}` in AttributedGraph")))
+                }
+            }
+        }
+        let offsets: Vec<usize> = field(value, "offsets")?;
+        let neighbors: Vec<VertexId> = field(value, "neighbors")?;
+        let keywords: Vec<KeywordSet> = field(value, "keywords")?;
+        let labels: Vec<Option<String>> = field(value, "labels")?;
+        let dictionary: KeywordDictionary = field(value, "dictionary")?;
+        // Validate the CSR shape before rebuilding derived structures, so a
+        // malformed payload is an error instead of a panic.
+        let n = keywords.len();
+        if offsets.len() != n + 1
+            || offsets.first() != Some(&0)
+            || offsets.last() != Some(&neighbors.len())
+            || offsets.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err(serde::Error::custom("inconsistent CSR offsets in AttributedGraph"));
+        }
+        if labels.len() != n {
+            return Err(serde::Error::custom("label count mismatch in AttributedGraph"));
+        }
+        if neighbors.iter().any(|u| u.index() >= n) {
+            return Err(serde::Error::custom("neighbor vertex out of range in AttributedGraph"));
+        }
+        // Each CSR row must be sorted and duplicate-free: `has_edge` binary-
+        // searches rows, and the bitmap rows (one bit per neighbour) must
+        // agree with the scalar row scans.
+        for v in 0..n {
+            if neighbors[offsets[v]..offsets[v + 1]].windows(2).any(|w| w[0] >= w[1]) {
+                return Err(serde::Error::custom(
+                    "unsorted or duplicated CSR neighbor row in AttributedGraph",
+                ));
+            }
+        }
+        let adjacency = AdjacencyBitmaps::build(&offsets, &neighbors, n);
+        Ok(Self { offsets, neighbors, keywords, labels, dictionary, adjacency })
+    }
+}
+
+/// Hybrid adjacency bitmap: dense bitset rows (one bit per vertex) for the
+/// high-degree vertices, CSR scan fallback for the long low-degree tail.
+///
+/// A vertex gets a row when `deg(v) >= max(1, n / 64)`. At that threshold a
+/// row of `⌈n/64⌉` words (`n/8` bytes) costs at most ~2x the vertex's own CSR
+/// list (`deg(v) * 4 >= n/16` bytes), so the whole structure adds at most
+/// ~2x the CSR adjacency memory while making every in-subset degree count on
+/// a hot vertex a word-parallel `popcount(row & subset)` instead of a
+/// per-neighbour scan. `VertexSubset::degree_within`, the peeling worklist and
+/// the frontier-bitset BFS all key off [`AttributedGraph::adjacency_row`].
+#[derive(Debug, Clone, Default)]
+struct AdjacencyBitmaps {
+    /// Words per row, `⌈n/64⌉`.
+    words_per_row: usize,
+    /// The degree threshold at which a vertex receives a row.
+    threshold: usize,
+    /// Per-vertex row index into `rows` (in units of rows); `u32::MAX` means
+    /// "no row — scan the CSR list".
+    row_of: Vec<u32>,
+    /// Concatenated bitmap rows, `row_count * words_per_row` words.
+    rows: Vec<u64>,
+}
+
+/// Sentinel in [`AdjacencyBitmaps::row_of`] for vertices without a row.
+const NO_ROW: u32 = u32::MAX;
+
+impl AdjacencyBitmaps {
+    /// Builds the bitmap rows from a finished CSR layout.
+    fn build(offsets: &[usize], neighbors: &[VertexId], n: usize) -> Self {
+        let words_per_row = n.div_ceil(64);
+        let threshold = (n / 64).max(1);
+        let mut row_of = vec![NO_ROW; n];
+        let mut rows = Vec::new();
+        for v in 0..n {
+            let degree = offsets[v + 1] - offsets[v];
+            if degree < threshold {
+                continue;
+            }
+            let start = rows.len();
+            rows.resize(start + words_per_row, 0u64);
+            for u in &neighbors[offsets[v]..offsets[v + 1]] {
+                let i = u.index();
+                rows[start + i / 64] |= 1u64 << (i % 64);
+            }
+            row_of[v] = u32::try_from(start / words_per_row).expect("row count fits u32");
+        }
+        Self { words_per_row, threshold, row_of, rows }
+    }
 }
 
 impl AttributedGraph {
@@ -102,6 +204,43 @@ impl AttributedGraph {
     /// The shared keyword dictionary.
     pub fn dictionary(&self) -> &KeywordDictionary {
         &self.dictionary
+    }
+
+    /// The adjacency-bitmap row of `v` — one bit per graph vertex — if `v` is
+    /// hot enough to own one (`deg(v) >=`
+    /// [`adjacency_bitmap_threshold`](Self::adjacency_bitmap_threshold)).
+    /// `None` means the caller should scan the CSR list
+    /// ([`neighbors`](Self::neighbors)) instead.
+    #[inline]
+    pub fn adjacency_row(&self, v: VertexId) -> Option<&[u64]> {
+        let row = self.adjacency.row_of[v.index()];
+        if row == NO_ROW {
+            return None;
+        }
+        let w = self.adjacency.words_per_row;
+        let start = row as usize * w;
+        Some(&self.adjacency.rows[start..start + w])
+    }
+
+    /// The degree at or above which a vertex owns an adjacency-bitmap row:
+    /// `max(1, n / 64)` — the point where a bitmap row stops costing more
+    /// than the vertex's own CSR list (see the memory cost model on the
+    /// hybrid bitmap in `ARCHITECTURE.md`).
+    #[inline]
+    pub fn adjacency_bitmap_threshold(&self) -> usize {
+        self.adjacency.threshold
+    }
+
+    /// Number of vertices that own an adjacency-bitmap row.
+    pub fn adjacency_bitmap_rows(&self) -> usize {
+        self.adjacency.rows.len().checked_div(self.adjacency.words_per_row).unwrap_or(0)
+    }
+
+    /// Memory spent on the hybrid adjacency bitmap, in bytes (rows plus the
+    /// per-vertex row index).
+    pub fn adjacency_bitmap_bytes(&self) -> usize {
+        self.adjacency.rows.len() * std::mem::size_of::<u64>()
+            + self.adjacency.row_of.len() * std::mem::size_of::<u32>()
     }
 
     /// Average vertex degree `d̂ = 2m / n` (0 for the empty graph).
@@ -320,12 +459,14 @@ impl GraphBuilder {
         for v in 0..n {
             neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
         }
+        let adjacency = AdjacencyBitmaps::build(&offsets, &neighbors, n);
         AttributedGraph {
             offsets,
             neighbors,
             keywords: self.keywords,
             labels: self.labels,
             dictionary: self.dictionary,
+            adjacency,
         }
     }
 }
@@ -515,6 +656,35 @@ mod tests {
     }
 
     #[test]
+    fn hybrid_adjacency_rows_match_csr_lists() {
+        let g = paper_figure3_graph();
+        assert_eq!(g.adjacency_bitmap_threshold(), 1, "n = 10 -> max(1, 10/64)");
+        for v in g.vertices() {
+            match g.adjacency_row(v) {
+                Some(row) => {
+                    let from_row: Vec<VertexId> = g
+                        .vertices()
+                        .filter(|u| (row[u.index() / 64] >> (u.index() % 64)) & 1 == 1)
+                        .collect();
+                    assert_eq!(from_row, g.neighbors(v), "row of {v:?} matches CSR");
+                }
+                None => assert!(
+                    g.degree(v) < g.adjacency_bitmap_threshold(),
+                    "only tail vertices lack rows"
+                ),
+            }
+        }
+        assert_eq!(g.adjacency_bitmap_rows(), 9, "all but the isolated J are hot at n=10");
+        assert!(g.adjacency_bitmap_bytes() > 0);
+        // Rows survive the immutable-update paths (rebuilt via the builder).
+        let h = g.vertex_by_label("H").unwrap();
+        let f = g.vertex_by_label("F").unwrap();
+        let g2 = g.with_edge_inserted(h, f).unwrap();
+        let row_h = g2.adjacency_row(h).expect("H now has degree 2");
+        assert_eq!((row_h[f.index() / 64] >> (f.index() % 64)) & 1, 1);
+    }
+
+    #[test]
     fn graph_serde_roundtrip() {
         let g = paper_figure3_graph();
         let json = serde_json::to_string(&g).unwrap();
@@ -524,5 +694,17 @@ mod tests {
         let a = VertexId(0);
         assert_eq!(g2.neighbors(a), g.neighbors(a));
         assert_eq!(g2.keyword_set(a), g.keyword_set(a));
+        assert_eq!(g2.adjacency_row(a), g.adjacency_row(a), "bitmap rows are rebuilt identically");
+        assert!(!json.contains("adjacency"), "derived bitmap stays off the wire");
+    }
+
+    #[test]
+    fn deserialization_rejects_malformed_csr() {
+        let g = paper_figure3_graph();
+        let json = serde_json::to_string(&g).unwrap();
+        // Truncating the offsets array must surface as an error, not a panic
+        // while rebuilding the adjacency bitmap.
+        let broken = json.replacen("\"offsets\":[0,", "\"offsets\":[", 1);
+        assert!(serde_json::from_str::<AttributedGraph>(&broken).is_err());
     }
 }

@@ -44,7 +44,7 @@ pub use graph::{
 pub use ids::{KeywordId, VertexId};
 pub use keywords::{KeywordDictionary, KeywordSet};
 pub use statistics::GraphStatistics;
-pub use subgraph::VertexSubset;
+pub use subgraph::{SetBits, VertexSubset};
 
 #[cfg(test)]
 mod proptests {
@@ -71,6 +71,40 @@ mod proptests {
                 b.build()
             })
         })
+    }
+
+    /// Strategy: a graph plus an arbitrary subset of its vertices.
+    fn arb_graph_and_subset() -> impl Strategy<Value = (AttributedGraph, VertexSubset)> {
+        arb_graph().prop_flat_map(|g| {
+            let n = g.num_vertices();
+            let verts = proptest::collection::vec(0..n as u32, 0..(2 * n + 1));
+            verts.prop_map(move |ids| {
+                let s = VertexSubset::from_iter(n, ids.into_iter().map(VertexId));
+                (g.clone(), s)
+            })
+        })
+    }
+
+    /// Strategy: a word-boundary universe size (straddling 64) plus two
+    /// subsets, for the single-word-boundary edge cases of the word kernels.
+    fn arb_boundary_subsets() -> impl Strategy<Value = (usize, VertexSubset, VertexSubset)> {
+        (62usize..68).prop_flat_map(|n| {
+            let a = proptest::collection::vec(0..n as u32, 0..n);
+            let b = proptest::collection::vec(0..n as u32, 0..n);
+            (a, b).prop_map(move |(a, b)| {
+                (
+                    n,
+                    VertexSubset::from_iter(n, a.into_iter().map(VertexId)),
+                    VertexSubset::from_iter(n, b.into_iter().map(VertexId)),
+                )
+            })
+        })
+    }
+
+    /// Reference set algebra over `BTreeSet`, the scalar semantics the
+    /// word-parallel kernels must reproduce bit-for-bit.
+    fn as_set(s: &VertexSubset) -> std::collections::BTreeSet<VertexId> {
+        s.iter().collect()
     }
 
     proptest! {
@@ -123,6 +157,110 @@ mod proptests {
                     let b = g.keyword_set(v).jaccard(g.keyword_set(u));
                     prop_assert!((a - b).abs() < 1e-12);
                     prop_assert!((0.0..=1.0).contains(&a));
+                }
+            }
+        }
+
+        #[test]
+        fn degree_within_word_kernel_matches_scalar(gs in arb_graph_and_subset()) {
+            let (g, s) = gs;
+            for v in g.vertices() {
+                prop_assert_eq!(
+                    s.degree_within(&g, v),
+                    s.degree_within_scalar(&g, v),
+                    "degree_within of {:?} (row: {})", v, g.adjacency_row(v).is_some()
+                );
+            }
+            // The all-empty and all-full subsets are degenerate fixed points.
+            let empty = VertexSubset::empty(g.num_vertices());
+            let full = VertexSubset::full(g.num_vertices());
+            for v in g.vertices() {
+                prop_assert_eq!(empty.degree_within(&g, v), 0);
+                prop_assert_eq!(full.degree_within(&g, v), g.degree(v));
+            }
+        }
+
+        #[test]
+        fn set_algebra_matches_btreeset_reference(bounds in arb_boundary_subsets()) {
+            let (n, a, b) = bounds;
+            let (sa, sb) = (as_set(&a), as_set(&b));
+            prop_assert_eq!(as_set(&a.intersect(&b)), sa.intersection(&sb).copied().collect());
+            prop_assert_eq!(as_set(&a.union(&b)), sa.union(&sb).copied().collect());
+            prop_assert_eq!(as_set(&a.difference(&b)), sa.difference(&sb).copied().collect());
+            prop_assert_eq!(a.intersect(&b).len(), sa.intersection(&sb).count(), "popcount len");
+            prop_assert_eq!(a.union(&b).num_vertices(), n, "true universe size");
+            // In-place variants agree with the allocating ones.
+            let mut c = a.clone();
+            c.intersect_in_place(&b);
+            prop_assert_eq!(&c, &a.intersect(&b));
+            c = a.clone();
+            c.union_in_place(&b);
+            prop_assert_eq!(&c, &a.union(&b));
+            c = a.clone();
+            c.difference_in_place(&b);
+            prop_assert_eq!(&c, &a.difference(&b));
+            // Boundary identities with the all-empty / all-full subsets.
+            let (empty, full) = (VertexSubset::empty(n), VertexSubset::full(n));
+            prop_assert_eq!(a.intersect(&full), a.clone());
+            prop_assert_eq!(a.union(&empty), a.clone());
+            prop_assert_eq!(a.difference(&full), empty.clone());
+            prop_assert_eq!(full.difference(&a).len(), n - a.len());
+        }
+
+        #[test]
+        fn word_equality_matches_sorted_member_equality(bounds in arb_boundary_subsets()) {
+            let (_, a, b) = bounds;
+            prop_assert_eq!(a == b, a.sorted_members() == b.sorted_members());
+            prop_assert_eq!(&a, &a.clone());
+        }
+
+        #[test]
+        fn members_are_sorted_and_consistent_with_iteration(gs in arb_graph_and_subset()) {
+            let (_, s) = gs;
+            let members = s.members().to_vec();
+            prop_assert!(members.windows(2).all(|w| w[0] < w[1]), "ascending, deduplicated");
+            prop_assert_eq!(members.len(), s.len(), "cached popcount agrees");
+            prop_assert_eq!(s.iter().collect::<Vec<_>>(), members);
+            prop_assert_eq!(s.first(), s.members().first().copied());
+        }
+
+        #[test]
+        fn component_of_word_bfs_matches_scalar_bfs(gs in arb_graph_and_subset()) {
+            let (g, s) = gs;
+            for start in s.iter() {
+                // Scalar reference BFS with per-element bit tests.
+                let mut seen = vec![false; g.num_vertices()];
+                let mut queue = std::collections::VecDeque::new();
+                seen[start.index()] = true;
+                queue.push_back(start);
+                let mut reached = vec![start];
+                while let Some(v) = queue.pop_front() {
+                    for &u in g.neighbors(v) {
+                        if s.contains(u) && !seen[u.index()] {
+                            seen[u.index()] = true;
+                            reached.push(u);
+                            queue.push_back(u);
+                        }
+                    }
+                }
+                reached.sort_unstable();
+                let comp = s.component_of(&g, start).expect("start is a member");
+                prop_assert_eq!(comp.sorted_members(), reached);
+            }
+            prop_assert!(s.component_of(&g, VertexId::from_index(g.num_vertices() - 1))
+                .is_none() || s.contains(VertexId::from_index(g.num_vertices() - 1)));
+        }
+
+        #[test]
+        fn components_partition_and_match_component_of(gs in arb_graph_and_subset()) {
+            let (g, s) = gs;
+            let comps = s.components(&g);
+            let total: usize = comps.iter().map(VertexSubset::len).sum();
+            prop_assert_eq!(total, s.len(), "components partition the subset");
+            for c in &comps {
+                for v in c.iter() {
+                    prop_assert!(s.contains(v));
+                    prop_assert_eq!(s.component_of(&g, v).expect("member"), c.clone());
                 }
             }
         }

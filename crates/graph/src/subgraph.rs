@@ -5,31 +5,53 @@
 //! degrees *within* the subset. This keeps `G[S']` and `Gk[S']` computations
 //! allocation-light, which matters because the incremental algorithms verify
 //! many candidate keyword sets per query.
+//!
+//! # Words-first layout
+//!
+//! The subset is stored **words-first**: the source of truth is a dense bitset
+//! of `⌈n/64⌉` 64-bit words (bit `i mod 64` of word `i / 64` is vertex `i`),
+//! plus the universe size `n` and a cached popcount. Set algebra
+//! ([`intersect`](VertexSubset::intersect), [`union`](VertexSubset::union),
+//! [`difference`](VertexSubset::difference), equality) runs word-parallel —
+//! 64 vertices per instruction plus hardware popcount — and
+//! [`degree_within`](VertexSubset::degree_within) becomes a row of `AND` +
+//! `popcnt` for vertices that own a hybrid adjacency-bitmap row (see
+//! [`AttributedGraph::adjacency_row`]). The member *list* is only materialised
+//! lazily (ascending vertex order) when a caller asks for
+//! [`members`](VertexSubset::members).
+//!
+//! Invariant relied on by every word-wise kernel: bits at positions `>= n`
+//! (the tail of the last word) are always zero.
 
 use crate::graph::AttributedGraph;
 use crate::ids::VertexId;
+use std::sync::OnceLock;
 
-/// A subset of the vertices of a fixed [`AttributedGraph`], stored as a bitset
-/// plus an explicit member list for fast iteration.
+/// A subset of the vertices of a fixed [`AttributedGraph`], stored as a dense
+/// word bitset with a lazily materialised member list.
 #[derive(Debug, Clone)]
 pub struct VertexSubset {
+    /// Number of vertices of the parent graph (the universe size).
+    n: usize,
+    /// Cached popcount of `bits` — [`len`](Self::len) is `O(1)`.
+    len: usize,
+    /// The membership bitset; bits at positions `>= n` are always zero.
     bits: Vec<u64>,
-    members: Vec<VertexId>,
+    /// Lazily materialised member list (ascending); reset on every mutation.
+    members: OnceLock<Vec<VertexId>>,
 }
 
 impl VertexSubset {
     /// Creates an empty subset for a graph with `n` vertices.
     pub fn empty(n: usize) -> Self {
-        Self { bits: vec![0u64; n.div_ceil(64)], members: Vec::new() }
+        Self { n, len: 0, bits: vec![0u64; n.div_ceil(64)], members: OnceLock::new() }
     }
 
     /// Creates a subset containing all `n` vertices of the graph.
     pub fn full(n: usize) -> Self {
-        let mut s = Self::empty(n);
-        for i in 0..n {
-            s.insert(VertexId::from_index(i));
-        }
-        s
+        let mut bits = vec![!0u64; n.div_ceil(64)];
+        Self::mask_tail(n, &mut bits);
+        Self { n, len: n, bits, members: OnceLock::new() }
     }
 
     /// Builds a subset from an iterator of vertices (duplicates are fine).
@@ -41,16 +63,50 @@ impl VertexSubset {
         s
     }
 
-    /// Number of vertices in the subset.
+    /// Builds a subset directly from its word representation. `bits` must hold
+    /// exactly `⌈n/64⌉` words; tail bits beyond `n` are cleared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != ⌈n/64⌉`.
+    pub fn from_words(n: usize, mut bits: Vec<u64>) -> Self {
+        assert_eq!(bits.len(), n.div_ceil(64), "word count must match the universe size");
+        Self::mask_tail(n, &mut bits);
+        let len = bits.iter().map(|w| w.count_ones() as usize).sum();
+        Self { n, len, bits, members: OnceLock::new() }
+    }
+
+    /// Clears the bits at positions `>= n` in the last word.
+    fn mask_tail(n: usize, bits: &mut [u64]) {
+        if !n.is_multiple_of(64) {
+            if let Some(last) = bits.last_mut() {
+                *last &= (1u64 << (n % 64)) - 1;
+            }
+        }
+    }
+
+    /// The number of vertices of the parent graph (not the subset size).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// The raw word representation (read-only), for word-parallel kernels.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Number of vertices in the subset (`O(1)`; the popcount is cached).
     #[inline]
     pub fn len(&self) -> usize {
-        self.members.len()
+        self.len
     }
 
     /// Whether the subset is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.members.is_empty()
+        self.len == 0
     }
 
     /// Membership test.
@@ -63,99 +119,191 @@ impl VertexSubset {
     /// Inserts a vertex; returns `true` if it was newly inserted.
     pub fn insert(&mut self, v: VertexId) -> bool {
         let i = v.index();
+        debug_assert!(i < self.n, "vertex {v:?} outside universe of size {}", self.n);
         let mask = 1u64 << (i % 64);
         if self.bits[i / 64] & mask != 0 {
             return false;
         }
         self.bits[i / 64] |= mask;
-        self.members.push(v);
+        self.len += 1;
+        self.members.take();
         true
     }
 
-    /// The member vertices, in insertion order.
-    #[inline]
-    pub fn members(&self) -> &[VertexId] {
-        &self.members
+    /// Removes a vertex; returns `true` if it was a member.
+    pub fn remove(&mut self, v: VertexId) -> bool {
+        let i = v.index();
+        let mask = 1u64 << (i % 64);
+        if self.bits[i / 64] & mask == 0 {
+            return false;
+        }
+        self.bits[i / 64] &= !mask;
+        self.len -= 1;
+        self.members.take();
+        true
     }
 
-    /// Iterates over the member vertices.
-    pub fn iter(&self) -> impl Iterator<Item = VertexId> + '_ {
-        self.members.iter().copied()
+    /// The member vertices in ascending order, materialised lazily on first
+    /// access and cached until the subset is next mutated.
+    pub fn members(&self) -> &[VertexId] {
+        self.members.get_or_init(|| self.iter().collect())
+    }
+
+    /// Iterates over the member vertices in ascending order, straight off the
+    /// words (no allocation): each word is consumed by clearing its lowest set
+    /// bit (`w &= w - 1`) after a `trailing_zeros`.
+    pub fn iter(&self) -> SetBits<'_> {
+        SetBits { words: &self.bits, word_idx: 0, current: self.bits.first().copied().unwrap_or(0) }
     }
 
     /// A sorted copy of the member vertices (for deterministic output).
     pub fn sorted_members(&self) -> Vec<VertexId> {
-        let mut m = self.members.clone();
-        m.sort_unstable();
-        m
+        self.members().to_vec()
     }
 
-    /// Intersection with another subset over the same graph.
+    /// The smallest member, or `None` for the empty subset.
+    pub fn first(&self) -> Option<VertexId> {
+        self.bits
+            .iter()
+            .position(|&w| w != 0)
+            .map(|i| VertexId::from_index(i * 64 + self.bits[i].trailing_zeros() as usize))
+    }
+
+    /// Intersection with another subset over the same graph (word-parallel).
     pub fn intersect(&self, other: &VertexSubset) -> VertexSubset {
-        debug_assert_eq!(self.bits.len(), other.bits.len(), "subsets of different graphs");
-        let mut out = VertexSubset::empty(self.bits.len() * 64);
-        out.bits.truncate(self.bits.len());
-        let (small, large) = if self.len() <= other.len() { (self, other) } else { (other, self) };
-        for &v in &small.members {
-            if large.contains(v) {
-                out.insert(v);
-            }
-        }
-        out
+        self.zip_words(other, |a, b| a & b)
     }
 
-    /// Union with another subset over the same graph.
+    /// Union with another subset over the same graph (word-parallel).
     pub fn union(&self, other: &VertexSubset) -> VertexSubset {
-        debug_assert_eq!(self.bits.len(), other.bits.len(), "subsets of different graphs");
-        let mut out = self.clone();
-        for &v in &other.members {
-            out.insert(v);
+        self.zip_words(other, |a, b| a | b)
+    }
+
+    /// Set difference `self \ other` over the same graph (word-parallel).
+    pub fn difference(&self, other: &VertexSubset) -> VertexSubset {
+        self.zip_words(other, |a, b| a & !b)
+    }
+
+    fn zip_words(&self, other: &VertexSubset, f: impl Fn(u64, u64) -> u64) -> VertexSubset {
+        debug_assert_eq!(self.n, other.n, "subsets of different graphs");
+        let bits: Vec<u64> = self.bits.iter().zip(&other.bits).map(|(&a, &b)| f(a, b)).collect();
+        VertexSubset::from_words(self.n, bits)
+    }
+
+    /// In-place `self &= other`.
+    pub fn intersect_in_place(&mut self, other: &VertexSubset) {
+        self.apply_words(other, |a, b| a & b);
+    }
+
+    /// In-place `self |= other`.
+    pub fn union_in_place(&mut self, other: &VertexSubset) {
+        self.apply_words(other, |a, b| a | b);
+    }
+
+    /// In-place `self \= other`.
+    pub fn difference_in_place(&mut self, other: &VertexSubset) {
+        self.apply_words(other, |a, b| a & !b);
+    }
+
+    fn apply_words(&mut self, other: &VertexSubset, f: impl Fn(u64, u64) -> u64) {
+        // Hard assert: a silent zip over mismatched universes would leave the
+        // tail words unmodified and corrupt the result in release builds.
+        assert_eq!(self.bits.len(), other.bits.len(), "subsets of different graphs");
+        for (a, &b) in self.bits.iter_mut().zip(&other.bits) {
+            *a = f(*a, b);
         }
-        out
+        self.recount();
+    }
+
+    /// Recomputes the cached popcount and drops the member-list cache.
+    fn recount(&mut self) {
+        self.len = self.bits.iter().map(|w| w.count_ones() as usize).sum();
+        self.members.take();
     }
 
     /// Degree of `v` counted inside the subset (neighbours that are members).
+    ///
+    /// Hybrid kernel: vertices whose degree clears the graph's adjacency-bitmap
+    /// threshold resolve with `popcount(adj_row & subset_words)` — `⌈n/64⌉`
+    /// `AND`+`popcnt` word operations regardless of degree — while the
+    /// low-degree tail falls back to the CSR scan
+    /// ([`degree_within_scalar`](Self::degree_within_scalar)).
     pub fn degree_within(&self, graph: &AttributedGraph, v: VertexId) -> usize {
+        match graph.adjacency_row(v) {
+            Some(row) => {
+                // Hard assert: the scalar fallback panics on a foreign-universe
+                // subset, so the word path must not silently truncate either.
+                assert_eq!(row.len(), self.bits.len(), "subset over a different universe");
+                row.iter().zip(&self.bits).map(|(&a, &b)| (a & b).count_ones() as usize).sum()
+            }
+            None => self.degree_within_scalar(graph, v),
+        }
+    }
+
+    /// The scalar reference kernel for [`degree_within`](Self::degree_within):
+    /// a per-neighbour CSR scan with individual bit tests. Kept public so the
+    /// equivalence proptests and the `peeling` microbenchmark can pin the
+    /// word-parallel path against it.
+    pub fn degree_within_scalar(&self, graph: &AttributedGraph, v: VertexId) -> usize {
         graph.neighbors(v).iter().filter(|&&u| self.contains(u)).count()
     }
 
     /// Number of edges of the induced subgraph `G[subset]`.
     pub fn induced_edge_count(&self, graph: &AttributedGraph) -> usize {
-        self.members.iter().map(|&v| self.degree_within(graph, v)).sum::<usize>() / 2
+        self.iter().map(|v| self.degree_within(graph, v)).sum::<usize>() / 2
     }
 
     /// The connected component of the induced subgraph that contains `start`,
     /// or `None` if `start` is not a member.
+    ///
+    /// Runs a frontier-bitset BFS: each round expands the whole frontier at
+    /// once, using word-parallel `row & subset & !visited` steps for vertices
+    /// with adjacency-bitmap rows and CSR scans for the rest.
     pub fn component_of(&self, graph: &AttributedGraph, start: VertexId) -> Option<VertexSubset> {
         if !self.contains(start) {
             return None;
         }
-        let mut comp = VertexSubset::empty(graph.num_vertices());
-        let mut queue = std::collections::VecDeque::new();
+        let n = graph.num_vertices();
+        let mut comp = VertexSubset::empty(n);
         comp.insert(start);
-        queue.push_back(start);
-        while let Some(v) = queue.pop_front() {
-            for &u in graph.neighbors(v) {
-                if self.contains(u) && comp.insert(u) {
-                    queue.push_back(u);
+        let mut frontier = comp.clone();
+        while !frontier.is_empty() {
+            // Accumulate the next frontier in raw words; the popcount and tail
+            // mask are paid once per round in `from_words`, not per vertex.
+            let mut next_words = vec![0u64; n.div_ceil(64)];
+            for v in frontier.iter() {
+                match graph.adjacency_row(v) {
+                    Some(row) => {
+                        for ((w, &r), &m) in next_words.iter_mut().zip(row).zip(&self.bits) {
+                            *w |= r & m;
+                        }
+                    }
+                    None => {
+                        for &u in graph.neighbors(v) {
+                            if self.contains(u) {
+                                let i = u.index();
+                                next_words[i / 64] |= 1u64 << (i % 64);
+                            }
+                        }
+                    }
                 }
             }
+            let mut next = VertexSubset::from_words(n, next_words);
+            next.difference_in_place(&comp);
+            comp.union_in_place(&next);
+            frontier = next;
         }
         Some(comp)
     }
 
-    /// All connected components of the induced subgraph, each as a subset.
+    /// All connected components of the induced subgraph, each as a subset,
+    /// ordered by their smallest member.
     pub fn components(&self, graph: &AttributedGraph) -> Vec<VertexSubset> {
-        let mut seen = VertexSubset::empty(graph.num_vertices());
+        let mut remaining = self.clone();
         let mut out = Vec::new();
-        for &v in &self.members {
-            if seen.contains(v) {
-                continue;
-            }
-            let comp = self.component_of(graph, v).expect("member vertex");
-            for &u in comp.members() {
-                seen.insert(u);
-            }
+        while let Some(v) = remaining.first() {
+            let comp = remaining.component_of(graph, v).expect("first() returns a member");
+            remaining.difference_in_place(&comp);
             out.push(comp);
         }
         out
@@ -164,20 +312,54 @@ impl VertexSubset {
     /// Whether the induced subgraph is connected (the empty subset counts as
     /// connected).
     pub fn is_connected(&self, graph: &AttributedGraph) -> bool {
-        match self.members.first() {
+        match self.first() {
             None => true,
-            Some(&v) => self.component_of(graph, v).expect("member").len() == self.len(),
+            Some(v) => self.component_of(graph, v).expect("member").len() == self.len(),
         }
     }
 }
 
+/// Word-wise equality: two subsets are equal iff their bitsets agree. Subsets
+/// over different universe sizes compare equal when they hold the same members
+/// (all excess words zero), preserving the semantics of the old
+/// sorted-member-list comparison at a fraction of the cost.
 impl PartialEq for VertexSubset {
     fn eq(&self, other: &Self) -> bool {
-        self.sorted_members() == other.sorted_members()
+        if self.len != other.len {
+            return false;
+        }
+        let common = self.bits.len().min(other.bits.len());
+        self.bits[..common] == other.bits[..common]
+            && self.bits[common..].iter().all(|&w| w == 0)
+            && other.bits[common..].iter().all(|&w| w == 0)
     }
 }
 
 impl Eq for VertexSubset {}
+
+/// Ascending iterator over the members of a [`VertexSubset`], yielding set
+/// bits via `trailing_zeros` without materialising a member list. Created by
+/// [`VertexSubset::iter`].
+#[derive(Debug, Clone)]
+pub struct SetBits<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for SetBits<'_> {
+    type Item = VertexId;
+
+    fn next(&mut self) -> Option<VertexId> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            self.current = *self.words.get(self.word_idx)?;
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(VertexId::from_index(self.word_idx * 64 + bit))
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -204,12 +386,56 @@ mod tests {
     }
 
     #[test]
+    fn remove_clears_membership() {
+        let mut s = VertexSubset::from_iter(70, [VertexId(3), VertexId(65)]);
+        assert!(s.remove(VertexId(65)));
+        assert!(!s.remove(VertexId(65)));
+        assert!(!s.contains(VertexId(65)));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.members(), &[VertexId(3)]);
+    }
+
+    #[test]
+    fn members_are_ascending_and_lazily_cached() {
+        let s = VertexSubset::from_iter(130, [VertexId(129), VertexId(0), VertexId(64)]);
+        assert_eq!(s.members(), &[VertexId(0), VertexId(64), VertexId(129)]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), s.members());
+        assert_eq!(s.first(), Some(VertexId(0)));
+        assert_eq!(VertexSubset::empty(10).first(), None);
+    }
+
+    #[test]
+    fn full_masks_the_tail_word_at_boundaries() {
+        for n in [1usize, 63, 64, 65, 127, 128, 129] {
+            let f = VertexSubset::full(n);
+            assert_eq!(f.len(), n, "full({n})");
+            assert_eq!(f.iter().count(), n, "iter over full({n})");
+            assert_eq!(f.words().len(), n.div_ceil(64));
+            // The complement of full within its own universe is empty.
+            assert!(f.difference(&f).is_empty());
+            assert_eq!(f.intersect(&f), f);
+        }
+    }
+
+    #[test]
+    fn from_words_roundtrips_and_masks() {
+        let s = VertexSubset::from_iter(65, [VertexId(0), VertexId(64)]);
+        let rebuilt = VertexSubset::from_words(65, s.words().to_vec());
+        assert_eq!(rebuilt, s);
+        // Stray tail bits are cleared.
+        let noisy = VertexSubset::from_words(1, vec![!0u64]);
+        assert_eq!(noisy.len(), 1);
+        assert!(noisy.contains(VertexId(0)));
+    }
+
+    #[test]
     fn degree_within_counts_only_members() {
         let g = paper_figure3_graph();
         let s = subset_of(&g, &["A", "B", "C"]);
         let a = g.vertex_by_label("A").unwrap();
         // A's neighbours are B, C, D, E; only B and C are members.
         assert_eq!(s.degree_within(&g, a), 2);
+        assert_eq!(s.degree_within_scalar(&g, a), 2);
         assert_eq!(s.induced_edge_count(&g), 3, "triangle A-B-C");
     }
 
@@ -245,6 +471,27 @@ mod tests {
         let s2 = subset_of(&g, &["B", "C", "D"]);
         assert_eq!(s1.intersect(&s2), subset_of(&g, &["B", "C"]));
         assert_eq!(s1.union(&s2), subset_of(&g, &["A", "B", "C", "D"]));
+        assert_eq!(s1.difference(&s2), subset_of(&g, &["A"]));
+        let mut s3 = s1.clone();
+        s3.intersect_in_place(&s2);
+        assert_eq!(s3, subset_of(&g, &["B", "C"]));
+        s3.union_in_place(&s1);
+        assert_eq!(s3, s1.union(&s2).difference(&subset_of(&g, &["D"])));
+        s3.difference_in_place(&s1);
+        assert!(s3.is_empty());
+    }
+
+    #[test]
+    fn intersect_result_has_the_true_universe_size() {
+        // Regression for the old `empty(bits.len() * 64)` capacity hack: the
+        // result of set algebra must report the parent graph's vertex count,
+        // not a multiple of 64.
+        let a = VertexSubset::from_iter(70, [VertexId(1), VertexId(69)]);
+        let b = VertexSubset::full(70);
+        for result in [a.intersect(&b), a.union(&b), a.difference(&b)] {
+            assert_eq!(result.num_vertices(), 70);
+            assert_eq!(result.words().len(), 2);
+        }
     }
 
     #[test]
@@ -253,5 +500,18 @@ mod tests {
         let s1 = subset_of(&g, &["A", "B"]);
         let s2 = subset_of(&g, &["B", "A"]);
         assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn equality_across_universe_sizes_compares_members() {
+        // Old sorted-member-list semantics: a subset padded with extra zero
+        // words equals one over a smaller universe with the same members.
+        let small = VertexSubset::from_iter(10, [VertexId(3)]);
+        let large = VertexSubset::from_iter(200, [VertexId(3)]);
+        assert_eq!(small, large);
+        assert_eq!(VertexSubset::empty(10), VertexSubset::empty(1000));
+        let mut different = large.clone();
+        different.insert(VertexId(150));
+        assert_ne!(small, different);
     }
 }

@@ -23,6 +23,11 @@ pub fn kcore_subset(
 
 /// The k-ĉore containing `q`: the connected component of `H_k` that holds the
 /// query vertex, or `None` if `q`'s core number is below `k`.
+///
+/// Materialises the eligible set (core number ≥ `k`) as a bitset — `O(n)`
+/// words of work, the same order as reading the decomposition — and then runs
+/// the frontier-bitset BFS of [`VertexSubset::component_of`], which expands
+/// high-degree vertices word-parallel through their adjacency-bitmap rows.
 pub fn connected_kcore_containing(
     graph: &AttributedGraph,
     decomposition: &CoreDecomposition,
@@ -32,32 +37,81 @@ pub fn connected_kcore_containing(
     if decomposition.core_number(q) < k {
         return None;
     }
-    // BFS from q restricted to vertices with core number >= k; cheaper than
-    // materialising the full H_k when the component is small.
-    let mut comp = VertexSubset::empty(graph.num_vertices());
-    let mut queue = VecDeque::new();
-    comp.insert(q);
-    queue.push_back(q);
-    while let Some(v) = queue.pop_front() {
-        for &u in graph.neighbors(v) {
-            if decomposition.core_number(u) >= k && comp.insert(u) {
-                queue.push_back(u);
-            }
-        }
-    }
-    Some(comp)
+    kcore_subset(graph, decomposition, k).component_of(graph, q)
 }
 
 /// Reduces `subset` to its maximal sub-subgraph in which every vertex has
 /// degree ≥ `k` *within the result* — i.e. the k-core of the induced subgraph
-/// `G[subset]`. Runs the standard iterative peel with a worklist; `O(|E(subset)|)`.
+/// `G[subset]`.
+///
+/// Word-parallel worklist peel: every round removes the entire frontier of
+/// under-degree vertices from the alive set with one word-wise `difference`,
+/// gathers the affected survivors (alive neighbours of removed vertices —
+/// through adjacency-bitmap rows where available), and batch-recomputes their
+/// in-subset degrees with the hybrid popcount kernel. Degrees of vertices that
+/// lost no neighbour are never touched again.
 pub fn peel_to_kcore(graph: &AttributedGraph, subset: &VertexSubset, k: usize) -> VertexSubset {
     let n = graph.num_vertices();
     let mut alive = subset.clone();
-    // In-subset degrees.
+    if k == 0 || alive.is_empty() {
+        return alive;
+    }
+    let mut frontier = VertexSubset::empty(n);
+    for v in alive.iter() {
+        if alive.degree_within(graph, v) < k {
+            frontier.insert(v);
+        }
+    }
+    while !frontier.is_empty() {
+        alive.difference_in_place(&frontier);
+        if alive.is_empty() {
+            break;
+        }
+        // Alive vertices adjacent to at least one vertex removed this round,
+        // accumulated in raw words so the popcount is paid once per round.
+        let mut affected_words = vec![0u64; n.div_ceil(64)];
+        for v in frontier.iter() {
+            match graph.adjacency_row(v) {
+                Some(row) => {
+                    for ((w, &r), &m) in affected_words.iter_mut().zip(row).zip(alive.words()) {
+                        *w |= r & m;
+                    }
+                }
+                None => {
+                    for &u in graph.neighbors(v) {
+                        if alive.contains(u) {
+                            let i = u.index();
+                            affected_words[i / 64] |= 1u64 << (i % 64);
+                        }
+                    }
+                }
+            }
+        }
+        let affected = VertexSubset::from_words(n, affected_words);
+        // Batched degree recomputation over the affected set only.
+        frontier = VertexSubset::empty(n);
+        for u in affected.iter() {
+            if alive.degree_within(graph, u) < k {
+                frontier.insert(u);
+            }
+        }
+    }
+    alive
+}
+
+/// The scalar reference implementation of [`peel_to_kcore`]: a vertex-at-a-time
+/// worklist with per-edge degree decrements and per-element bit tests (the
+/// pre-bitset code path). Kept public so the equivalence proptests and the
+/// `peeling` microbenchmark can pin the word-parallel kernel against it.
+pub fn peel_to_kcore_scalar(
+    graph: &AttributedGraph,
+    subset: &VertexSubset,
+    k: usize,
+) -> VertexSubset {
+    let n = graph.num_vertices();
     let mut degree = vec![0usize; n];
     for v in subset.iter() {
-        degree[v.index()] = subset.degree_within(graph, v);
+        degree[v.index()] = subset.degree_within_scalar(graph, v);
     }
     let mut removed = vec![false; n];
     let mut queue: VecDeque<VertexId> = subset.iter().filter(|&v| degree[v.index()] < k).collect();
@@ -66,7 +120,7 @@ pub fn peel_to_kcore(graph: &AttributedGraph, subset: &VertexSubset, k: usize) -
     }
     while let Some(v) = queue.pop_front() {
         for &u in graph.neighbors(v) {
-            if alive.contains(u) && !removed[u.index()] {
+            if subset.contains(u) && !removed[u.index()] {
                 degree[u.index()] -= 1;
                 if degree[u.index()] < k {
                     removed[u.index()] = true;
@@ -75,9 +129,7 @@ pub fn peel_to_kcore(graph: &AttributedGraph, subset: &VertexSubset, k: usize) -
             }
         }
     }
-    let survivors: Vec<VertexId> = subset.iter().filter(|v| !removed[v.index()]).collect();
-    alive = VertexSubset::from_iter(n, survivors);
-    alive
+    VertexSubset::from_iter(n, subset.iter().filter(|v| !removed[v.index()]))
 }
 
 /// Like [`peel_to_kcore`] but additionally restricts the result to the

@@ -30,7 +30,7 @@ pub mod shared;
 pub use decompose::CoreDecomposition;
 pub use extract::{
     connected_kcore_containing, kcore_subset, may_contain_kcore, peel_to_kcore,
-    peel_to_kcore_containing,
+    peel_to_kcore_containing, peel_to_kcore_scalar,
 };
 pub use shared::SharedDecomposition;
 
@@ -99,6 +99,19 @@ mod proptests {
         core
     }
 
+    /// Strategy: a graph plus an arbitrary subset of its vertices, for the
+    /// scalar-vs-word peeling equivalence properties.
+    fn arb_graph_and_subset() -> impl Strategy<Value = (AttributedGraph, VertexSubset)> {
+        arb_graph().prop_flat_map(|g| {
+            let n = g.num_vertices();
+            let verts = proptest::collection::vec(0..n as u32, 0..(2 * n + 1));
+            verts.prop_map(move |ids| {
+                let s = VertexSubset::from_iter(n, ids.into_iter().map(VertexId));
+                (g.clone(), s)
+            })
+        })
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -147,6 +160,58 @@ mod proptests {
             let decomp = CoreDecomposition::compute(&g);
             let expected = kcore_subset(&g, &decomp, k as u32);
             prop_assert_eq!(peeled.sorted_members(), expected.sorted_members());
+        }
+
+        #[test]
+        fn word_peel_matches_scalar_peel_on_arbitrary_subsets(gsk in
+            (arb_graph_and_subset(), 0usize..6)) {
+            let ((g, s), k) = gsk;
+            let word = peel_to_kcore(&g, &s, k);
+            let scalar = peel_to_kcore_scalar(&g, &s, k);
+            prop_assert_eq!(word.sorted_members(), scalar.sorted_members(),
+                "peel(k={}) over {} members", k, s.len());
+            // The all-empty and all-full subsets are the boundary cases.
+            let empty = VertexSubset::empty(g.num_vertices());
+            prop_assert!(peel_to_kcore(&g, &empty, k).is_empty());
+            let full = VertexSubset::full(g.num_vertices());
+            prop_assert_eq!(
+                peel_to_kcore(&g, &full, k).sorted_members(),
+                peel_to_kcore_scalar(&g, &full, k).sorted_members()
+            );
+        }
+
+        #[test]
+        fn connected_kcore_matches_core_filtered_component(g in arb_graph()) {
+            let decomp = CoreDecomposition::compute(&g);
+            for k in 0..=decomp.kmax() {
+                for q in g.vertices() {
+                    // Scalar reference: queue BFS gated on core numbers (the
+                    // pre-bitset implementation of connected_kcore_containing).
+                    let expected = if decomp.core_number(q) < k {
+                        None
+                    } else {
+                        let mut seen = vec![false; g.num_vertices()];
+                        let mut queue = std::collections::VecDeque::new();
+                        seen[q.index()] = true;
+                        queue.push_back(q);
+                        let mut comp = vec![q];
+                        while let Some(v) = queue.pop_front() {
+                            for &u in g.neighbors(v) {
+                                if decomp.core_number(u) >= k && !seen[u.index()] {
+                                    seen[u.index()] = true;
+                                    comp.push(u);
+                                    queue.push_back(u);
+                                }
+                            }
+                        }
+                        comp.sort_unstable();
+                        Some(comp)
+                    };
+                    let got = connected_kcore_containing(&g, &decomp, q, k)
+                        .map(|c| c.sorted_members());
+                    prop_assert_eq!(got, expected, "q={:?}, k={}", q, k);
+                }
+            }
         }
 
         #[test]
