@@ -77,6 +77,13 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries displaced by the LRU bound.
     pub evictions: u64,
+    /// Entries carried over from the previous generation's cache at swap
+    /// time (0 unless the cache was seeded by the live-update pipeline's
+    /// carry-over — see `Engine::apply_updates`).
+    pub carried: u64,
+    /// Entries of the previous generation dropped at swap time because a
+    /// delta touched their CL-tree node (or the skeleton was rebuilt).
+    pub dropped: u64,
 }
 
 impl CacheStats {
@@ -104,6 +111,8 @@ pub struct IndexCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    carried: AtomicU64,
+    dropped: AtomicU64,
 }
 
 impl IndexCache {
@@ -116,6 +125,8 @@ impl IndexCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            carried: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
         }
     }
 
@@ -126,7 +137,45 @@ impl IndexCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            carried: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
         }
+    }
+
+    /// Seeds this (freshly created) cache with the entries of `old` whose key
+    /// passes `keep`, preserving their relative recency; entries failing the
+    /// filter are dropped. Records the carried/dropped counts in
+    /// [`stats`](Self::stats) and returns them.
+    ///
+    /// This is the swap-aware carry-over of the live-update pipeline: when a
+    /// delta batch leaves the CL-tree skeleton untouched (stable node ids),
+    /// every entry whose node no delta staled is still byte-identical to what
+    /// the new generation would recompute, so it moves over instead of being
+    /// thrown away with the generation.
+    pub(crate) fn carry_from(
+        &self,
+        old: &IndexCache,
+        mut keep: impl FnMut(&CacheKey) -> bool,
+    ) -> (u64, u64) {
+        let mut carried = 0u64;
+        let mut dropped = 0u64;
+        if let (Some(new_inner), Some(old_inner)) = (&self.inner, &old.inner) {
+            let old_guard = old_inner.lock().expect("cache mutex poisoned");
+            let mut new_guard = new_inner.lock().expect("cache mutex poisoned");
+            for (key, value) in old_guard.iter() {
+                if keep(key) {
+                    new_guard.insert(key.clone(), value.clone());
+                    carried += 1;
+                } else {
+                    dropped += 1;
+                }
+            }
+        } else if let Some(old_inner) = &old.inner {
+            dropped = old_inner.lock().expect("cache mutex poisoned").len() as u64;
+        }
+        self.carried.store(carried, Ordering::Relaxed);
+        self.dropped.store(dropped, Ordering::Relaxed);
+        (carried, dropped)
     }
 
     /// Whether this cache actually stores entries.
@@ -134,12 +183,14 @@ impl IndexCache {
         self.inner.is_some()
     }
 
-    /// A snapshot of the hit/miss/eviction counters.
+    /// A snapshot of the hit/miss/eviction and swap carry-over counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            carried: self.carried.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
         }
     }
 
@@ -203,6 +254,14 @@ impl IndexCache {
         let pool = Arc::new(VertexSubset::from_iter(graph.num_vertices(), vertices));
         self.store(key, CacheValue::Pool(Arc::clone(&pool)));
         pool
+    }
+
+    /// Records the swap-time drop count on a cache that was **not** seeded by
+    /// [`carry_from`](Self::carry_from) — the rebuild paths of the update
+    /// pipeline drop every entry of the predecessor cache, and
+    /// [`stats`](Self::stats) must say so.
+    pub(crate) fn note_swap_drop(&self, dropped: u64) {
+        self.dropped.store(dropped, Ordering::Relaxed);
     }
 
     fn lookup(&self, key: &CacheKey) -> Option<CacheValue> {
@@ -292,6 +351,34 @@ mod tests {
         assert!(Arc::ptr_eq(&core, &cache.subtree_vertices(&index, node, 1)));
         assert!(Arc::ptr_eq(&pool, &cache.keyword_pool(&g, &index, node, 1, &[], false)));
         assert_eq!(cache.stats().hits, 2);
+    }
+
+    #[test]
+    fn carry_from_moves_only_kept_entries_and_counts_both() {
+        let g = paper_figure3_graph();
+        let index = build_advanced(&g, true);
+        let old = IndexCache::with_capacity(16);
+        let a = g.vertex_by_label("A").unwrap();
+        let node2 = index.locate_core(a, 2).unwrap();
+        let node3 = index.locate_core(a, 3).unwrap();
+        let kept = old.subtree_vertices(&index, node2, 2);
+        old.subtree_vertices(&index, node3, 3);
+        assert_eq!(old.len(), 2);
+
+        let fresh = IndexCache::with_capacity(16);
+        let (carried, dropped) = fresh.carry_from(&old, |key| key.node == node2);
+        assert_eq!((carried, dropped), (1, 1));
+        assert_eq!(fresh.len(), 1);
+        let stats = fresh.stats();
+        assert_eq!((stats.carried, stats.dropped), (1, 1));
+        // The carried entry is served as a genuine hit, pointer-identical.
+        let hit = fresh.subtree_vertices(&index, node2, 2);
+        assert!(Arc::ptr_eq(&kept, &hit), "carried entry survives by pointer");
+        assert_eq!(fresh.stats().hits, 1);
+        // Carrying into a disabled cache just counts drops.
+        let disabled = IndexCache::disabled();
+        let (carried, dropped) = disabled.carry_from(&old, |_| true);
+        assert_eq!((carried, dropped), (0, 2));
     }
 
     #[test]

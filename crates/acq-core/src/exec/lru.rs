@@ -89,6 +89,15 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.map.contains_key(key)
     }
 
+    /// Iterates over the live entries from **least** to **most** recently
+    /// used, without touching recency. Re-inserting the yielded entries into
+    /// a fresh cache in this order reproduces the original recency — which is
+    /// exactly what the generation cache carry-over does.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        std::iter::successors(self.tail, |&slot| self.slots[slot].prev)
+            .map(|slot| (&self.slots[slot].key, self.slots[slot].value.as_ref().expect("live")))
+    }
+
     /// Inserts `key → value` as the most recently used entry. Returns the
     /// evicted least-recently-used pair when the insertion overflowed the
     /// capacity, `None` otherwise (including the capacity-0 cache, which
@@ -212,6 +221,23 @@ mod tests {
         assert_eq!(cache.insert(3, ()), Some((2, ())), "2 was least recently touched");
         assert_eq!(cache.insert(4, ()), Some((1, ())));
         assert_eq!(cache.insert(5, ()), Some((3, ())));
+    }
+
+    #[test]
+    fn iter_walks_lru_to_mru_without_touching_recency() {
+        let mut cache = LruCache::new(3);
+        cache.insert(1, "a");
+        cache.insert(2, "b");
+        cache.insert(3, "c");
+        cache.get(&1); // order is now 2 (LRU), 3, 1 (MRU)
+        let keys: Vec<i32> = cache.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![2, 3, 1]);
+        // Replaying into a fresh cache preserves eviction order.
+        let mut replay = LruCache::new(3);
+        for (k, v) in cache.iter() {
+            replay.insert(*k, *v);
+        }
+        assert_eq!(replay.insert(4, "d"), Some((2, "b")), "2 is still the LRU entry");
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub use engine::AcqEngine;
 pub use exec::BatchEngine;
 #[allow(deprecated)]
 pub use exec::QueryBatch;
-pub use owned::{Engine, EngineBuilder};
+pub use owned::{Engine, EngineBuilder, UpdateReport, UpdateStrategy, DEFAULT_REBUILD_THRESHOLD};
 pub use query::{AcqQuery, AcqResult, AttributedCommunity, QueryError, QueryStats};
 pub use request::{ExecutionMeta, Executor, QuerySpec, Request, Response};
 pub use variants::{

@@ -238,6 +238,10 @@ pub struct ExecutionMeta {
     pub cache_hits: u64,
     /// Index-cache lookups that had to compute their result (same caveat).
     pub cache_misses: u64,
+    /// Entries the generation this query ran on inherited from its
+    /// predecessor's cache at swap time (the live-update carry-over; 0 for
+    /// generations that started cold).
+    pub cache_carried: u64,
     /// Wall-clock execution time in microseconds.
     pub wall_time_us: u64,
 }
@@ -340,6 +344,7 @@ pub(crate) fn execute_on(
             generation,
             cache_hits: after.hits.saturating_sub(before.hits),
             cache_misses: after.misses.saturating_sub(before.misses),
+            cache_carried: after.carried,
             wall_time_us,
         },
     })

@@ -40,6 +40,7 @@ mod tree;
 
 pub use build_advanced::{build_advanced, build_advanced_with_decomposition};
 pub use build_basic::{build_basic, build_basic_with_decomposition};
+pub use maintenance::MaintenanceReport;
 pub use node::{ClTreeNode, NodeId};
 pub use tree::{ClTree, SubtreeVertices};
 

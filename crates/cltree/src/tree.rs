@@ -110,8 +110,16 @@ impl ClTree {
 
     /// The path of nodes from `v`'s owning node up to the root.
     pub fn path_to_root(&self, v: VertexId) -> Vec<NodeId> {
+        self.node_path_to_root(self.node_of(v))
+    }
+
+    /// The node ids from `node` up to the root (both inclusive) — the set of
+    /// subtrees that contain `node`. The swap-aware cache carry-over keys off
+    /// this: a keyword change at a node stales exactly the cached pools of
+    /// its ancestors-or-self.
+    pub fn node_path_to_root(&self, node: NodeId) -> Vec<NodeId> {
         let mut path = Vec::new();
-        let mut cur = Some(self.node_of(v));
+        let mut cur = Some(node);
         while let Some(n) = cur {
             path.push(n);
             cur = self.nodes[n].parent;
@@ -395,6 +403,26 @@ impl ClTree {
     /// Mutable node access for the maintenance module.
     pub(crate) fn node_mut(&mut self, id: NodeId) -> &mut ClTreeNode {
         &mut self.nodes[id]
+    }
+
+    /// Registers a freshly appended **isolated** vertex (the graph must
+    /// already contain it, with no edges): it joins the root node (core
+    /// number 0), its keywords join the root's inverted list, and the
+    /// decomposition grows by one. Every existing node id stays valid.
+    pub(crate) fn insert_isolated_vertex(&mut self, graph: &AttributedGraph, v: VertexId) {
+        debug_assert_eq!(v.index(), self.vertex_node.len(), "vertex ids are dense and appended");
+        debug_assert_eq!(graph.degree(v), 0, "only isolated vertices join the root directly");
+        self.decomposition.push_isolated();
+        self.vertex_node.push(self.root);
+        let root = self.root;
+        if let Err(pos) = self.nodes[root].vertices.binary_search(&v) {
+            self.nodes[root].vertices.insert(pos, v);
+        }
+        if self.with_inverted_lists {
+            for kw in graph.keyword_set(v).iter() {
+                self.nodes[root].add_keyword_entry(kw, v);
+            }
+        }
     }
 }
 

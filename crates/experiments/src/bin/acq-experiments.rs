@@ -5,8 +5,8 @@
 //!
 //!   EXPERIMENT   one or more of: all, table3, fig7, fig8, fig9, fig11, table4,
 //!                table56, fig12, table7, fig13, fig14-cs, fig14-k, fig14-kw,
-//!                fig14-vx, fig14-s, fig15, fig16, fig17-v1, fig17-v2
-//!                (default: all)
+//!                fig14-vx, fig14-s, fig15, fig16, fig17-v1, fig17-v2,
+//!                appF-maint (default: all)
 //!   --scale F    multiply every dataset profile's size by F     (default 1.0)
 //!   --queries N  query vertices per data point                  (default 50)
 //!   --k K        default minimum degree                          (default 6)

@@ -18,6 +18,7 @@
 pub mod case_study;
 pub mod effectiveness;
 pub mod index_construction;
+pub mod maintenance;
 pub mod query_efficiency;
 pub mod table3;
 pub mod variants;
@@ -234,9 +235,26 @@ pub fn strip_keywords(graph: &AttributedGraph) -> AttributedGraph {
 /// All experiment identifiers, in the order the paper presents them.
 pub fn all_experiment_ids() -> Vec<&'static str> {
     vec![
-        "table3", "fig7", "fig8", "fig9", "fig11", "table4", "table56", "fig12", "table7", "fig13",
-        "fig14-cs", "fig14-k", "fig14-kw", "fig14-vx", "fig14-s", "fig15", "fig16", "fig17-v1",
+        "table3",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig11",
+        "table4",
+        "table56",
+        "fig12",
+        "table7",
+        "fig13",
+        "fig14-cs",
+        "fig14-k",
+        "fig14-kw",
+        "fig14-vx",
+        "fig14-s",
+        "fig15",
+        "fig16",
+        "fig17-v1",
         "fig17-v2",
+        "appF-maint",
     ]
 }
 
@@ -262,6 +280,7 @@ pub fn run_experiment(id: &str, ctx: &ExperimentContext) -> Option<Vec<Experimen
         "fig16" => query_efficiency::fig16_non_attributed(ctx),
         "fig17-v1" => variants::fig17_variant1(ctx),
         "fig17-v2" => variants::fig17_variant2(ctx),
+        "appF-maint" => maintenance::appf_index_maintenance(ctx),
         _ => return None,
     };
     Some(reports)

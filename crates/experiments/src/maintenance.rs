@@ -1,0 +1,120 @@
+//! Index maintenance cost (Section 5.2.2 / Appendix F): how fast the live
+//! [`Engine::apply_updates`] pipeline absorbs graph deltas compared with
+//! rebuilding the index from scratch per update — the reproduction of the
+//! paper's claim that CL-tree maintenance touches only the affected subcore.
+
+use crate::{time_ms, ExperimentContext, ExperimentReport};
+use acq_core::{Engine, UpdateStrategy};
+use acq_graph::{GraphDelta, VertexId};
+use std::sync::Arc;
+
+/// A deterministic edge-toggle update stream (splitmix-style, seeded from the
+/// experiment config) over the dataset's vertex set.
+fn update_stream(n: usize, count: usize, seed: u64) -> Vec<(VertexId, VertexId)> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 11
+    };
+    let mut pairs = Vec::with_capacity(count);
+    while pairs.len() < count {
+        let u = (next() % n as u64) as u32;
+        let v = (next() % n as u64) as u32;
+        if u != v {
+            pairs.push((VertexId(u), VertexId(v)));
+        }
+    }
+    pairs
+}
+
+/// Appendix F: per-update maintenance latency, incremental vs full rebuild,
+/// plus how often the skeleton short-circuit and cache carry-over fire.
+pub fn appf_index_maintenance(ctx: &ExperimentContext) -> Vec<ExperimentReport> {
+    let updates = ctx.config.queries.max(3);
+    let mut report = ExperimentReport::new(
+        "appF",
+        "index maintenance: per-update latency, incremental apply_updates vs full rebuild",
+        &[
+            "dataset",
+            "updates",
+            "incremental ms/upd",
+            "rebuild ms/upd",
+            "speedup",
+            "stable-skeleton %",
+            "cache carried",
+        ],
+    );
+    for dataset in &ctx.datasets {
+        let pairs = update_stream(dataset.graph.num_vertices(), updates, ctx.config.seed ^ 0xF00D);
+
+        // Incremental arm: unreachable threshold keeps every edge delta on
+        // the subcore kernels; deltas are applied one at a time (the serving
+        // shape) so each call stages from the published generation.
+        let incremental = Engine::builder(Arc::clone(&dataset.graph))
+            .index(Arc::clone(&dataset.index))
+            .threads(1)
+            .rebuild_threshold(f64::INFINITY)
+            .build();
+        let mut stable = 0usize;
+        let mut carried = 0u64;
+        let (_, incremental_ms) = time_ms(|| {
+            for &(u, v) in &pairs {
+                let delta = if incremental.graph().has_edge(u, v) {
+                    GraphDelta::remove_edge(u, v)
+                } else {
+                    GraphDelta::insert_edge(u, v)
+                };
+                let outcome = incremental.apply_updates(&[delta]).expect("valid delta");
+                if outcome.strategy == UpdateStrategy::IncrementalStableSkeleton {
+                    stable += 1;
+                }
+                carried += outcome.cache_carried;
+            }
+        });
+
+        // Rebuild arm: a negative threshold forces build_advanced per update.
+        let rebuild = Engine::builder(Arc::clone(&dataset.graph))
+            .index(Arc::clone(&dataset.index))
+            .threads(1)
+            .rebuild_threshold(-1.0)
+            .build();
+        let (_, rebuild_ms) = time_ms(|| {
+            for &(u, v) in &pairs {
+                let delta = if rebuild.graph().has_edge(u, v) {
+                    GraphDelta::remove_edge(u, v)
+                } else {
+                    GraphDelta::insert_edge(u, v)
+                };
+                rebuild.apply_updates(&[delta]).expect("valid delta");
+            }
+        });
+
+        let per_inc = incremental_ms / updates as f64;
+        let per_reb = rebuild_ms / updates as f64;
+        report.push_row(vec![
+            dataset.name.clone(),
+            updates.to_string(),
+            format!("{per_inc:.3}"),
+            format!("{per_reb:.3}"),
+            format!("{:.2}x", if per_inc > 0.0 { per_reb / per_inc } else { f64::NAN }),
+            format!("{:.0}%", 100.0 * stable as f64 / updates as f64),
+            carried.to_string(),
+        ]);
+    }
+    vec![report]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExperimentConfig;
+
+    #[test]
+    fn maintenance_experiment_produces_one_row_per_dataset() {
+        let ctx = ExperimentContext::dblp_only(ExperimentConfig::smoke_test());
+        let reports = appf_index_maintenance(&ctx);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].rows.len(), ctx.datasets.len());
+        assert_eq!(reports[0].rows[0].len(), reports[0].headers.len());
+    }
+}

@@ -28,6 +28,7 @@
 #![deny(missing_docs)]
 
 pub mod components;
+pub mod delta;
 pub mod error;
 pub mod graph;
 pub mod ids;
@@ -36,6 +37,7 @@ pub mod keywords;
 pub mod statistics;
 pub mod subgraph;
 
+pub use delta::{AppliedDelta, GraphDelta};
 pub use error::GraphError;
 pub use graph::{
     graph_from_edges, paper_figure3_graph, sorted_ids, unlabeled_graph, AttributedGraph,
@@ -263,6 +265,109 @@ mod proptests {
                     prop_assert_eq!(s.component_of(&g, v).expect("member"), c.clone());
                 }
             }
+        }
+
+        /// The incremental delta path must be indistinguishable from building
+        /// the post-delta graph from scratch: CSR rows, hybrid bitmap rows,
+        /// keyword sets and labels all agree. Universe sizes straddle the
+        /// 64-bit word boundary so promotions/rebuilds hit the edge cases.
+        #[test]
+        fn apply_deltas_matches_from_scratch_build(
+            graph_and_raw in arb_graph().prop_flat_map(|g| {
+                let n = g.num_vertices();
+                let deltas = proptest::collection::vec(
+                    (0u32..5, 0..(n as u32 + 8), 0..(n as u32 + 8), 0u32..6), 0..24);
+                (proptest::strategy::Just(g), deltas)
+            })
+        ) {
+            let (g, raw) = graph_and_raw;
+            // Decode the raw tuples into deltas valid for the evolving size.
+            let mut n = g.num_vertices();
+            let mut deltas = Vec::new();
+            for (kind, a, b, kw) in raw {
+                let (a, b) = ((a as usize % n) as u32, (b as usize % n) as u32);
+                let term = format!("kw{kw}");
+                match kind {
+                    0 if a != b => deltas.push(GraphDelta::insert_edge(VertexId(a), VertexId(b))),
+                    1 if a != b => deltas.push(GraphDelta::remove_edge(VertexId(a), VertexId(b))),
+                    2 => deltas.push(GraphDelta::AddKeyword { vertex: VertexId(a), term }),
+                    3 => deltas.push(GraphDelta::RemoveKeyword { vertex: VertexId(a), term }),
+                    4 => {
+                        deltas.push(GraphDelta::InsertVertex {
+                            label: None,
+                            keywords: vec![term],
+                        });
+                        n += 1;
+                    }
+                    _ => {}
+                }
+            }
+            let incremental = g.apply_deltas(&deltas).expect("decoded deltas are valid");
+
+            // Reference: replay the deltas on a naive model, then rebuild.
+            let mut edges: std::collections::BTreeSet<(VertexId, VertexId)> = g
+                .vertices()
+                .flat_map(|v| g.neighbors(v).iter().map(move |&u| (v.min(u), v.max(u))))
+                .collect();
+            let mut b = GraphBuilder::new();
+            let mut keyword_terms: Vec<Vec<String>> = g
+                .vertices()
+                .map(|v| g.keyword_terms(v).iter().map(|s| (*s).to_owned()).collect())
+                .collect();
+            for delta in &deltas {
+                match delta {
+                    GraphDelta::InsertEdge { u, v } => {
+                        edges.insert((*u.min(v), *u.max(v)));
+                    }
+                    GraphDelta::RemoveEdge { u, v } => {
+                        edges.remove(&(*u.min(v), *u.max(v)));
+                    }
+                    GraphDelta::AddKeyword { vertex, term } => {
+                        if !keyword_terms[vertex.index()].contains(term) {
+                            keyword_terms[vertex.index()].push(term.clone());
+                        }
+                    }
+                    GraphDelta::RemoveKeyword { vertex, term } => {
+                        keyword_terms[vertex.index()].retain(|t| t != term);
+                    }
+                    GraphDelta::InsertVertex { keywords, .. } => {
+                        keyword_terms.push(keywords.clone());
+                    }
+                }
+            }
+            for terms in &keyword_terms {
+                let refs: Vec<&str> = terms.iter().map(String::as_str).collect();
+                b.add_unlabeled_vertex(&refs);
+            }
+            for &(u, v) in &edges {
+                b.add_edge(u, v).unwrap();
+            }
+            let reference = b.build();
+
+            prop_assert_eq!(incremental.num_vertices(), reference.num_vertices());
+            prop_assert_eq!(incremental.num_edges(), reference.num_edges());
+            for v in reference.vertices() {
+                prop_assert_eq!(incremental.neighbors(v), reference.neighbors(v),
+                    "CSR row of {:?}", v);
+                prop_assert_eq!(
+                    incremental.adjacency_row(v).is_some(),
+                    reference.adjacency_row(v).is_some(),
+                    "hot/cold status of {:?} (deg {}, threshold {})",
+                    v, reference.degree(v), reference.adjacency_bitmap_threshold()
+                );
+                prop_assert_eq!(incremental.adjacency_row(v), reference.adjacency_row(v),
+                    "bitmap row of {:?}", v);
+                // Keyword *terms* agree (ids may be interned in another order).
+                let mut got: Vec<&str> = incremental.keyword_terms(v);
+                let mut want: Vec<&str> = reference.keyword_terms(v);
+                got.sort_unstable();
+                want.sort_unstable();
+                prop_assert_eq!(got, want, "keywords of {:?}", v);
+            }
+            prop_assert_eq!(
+                incremental.adjacency_bitmap_rows(),
+                reference.adjacency_bitmap_rows()
+            );
         }
 
         #[test]

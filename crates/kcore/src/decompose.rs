@@ -149,6 +149,16 @@ impl CoreDecomposition {
         vertices.into_iter().map(|v| self.core_number(v)).min()
     }
 
+    /// Appends a new **isolated** vertex (core number 0) — the
+    /// decomposition-side counterpart of a vertex-insertion graph delta in
+    /// the live update pipeline. The caller wires any edges of the new vertex
+    /// through the edge-maintenance kernels afterwards. Invalidates the peel
+    /// order like every in-place maintenance step.
+    pub fn push_isolated(&mut self) {
+        self.core.push(0);
+        self.peel_order.clear();
+    }
+
     /// Mutable access for the maintenance algorithms in [`crate::maintenance`].
     pub(crate) fn core_mut(&mut self) -> &mut Vec<u32> {
         &mut self.core

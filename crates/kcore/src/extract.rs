@@ -50,53 +50,100 @@ pub fn connected_kcore_containing(
 /// through adjacency-bitmap rows where available), and batch-recomputes their
 /// in-subset degrees with the hybrid popcount kernel. Degrees of vertices that
 /// lost no neighbour are never touched again.
+///
+/// All round state lives in three word buffers (`alive`, `frontier`,
+/// `affected`) allocated **once** and reused across rounds; a round costs
+/// zero allocations, however many rounds the peel cascades through.
 pub fn peel_to_kcore(graph: &AttributedGraph, subset: &VertexSubset, k: usize) -> VertexSubset {
     let n = graph.num_vertices();
-    let mut alive = subset.clone();
-    if k == 0 || alive.is_empty() {
-        return alive;
+    if k == 0 || subset.is_empty() {
+        return subset.clone();
     }
-    let mut frontier = VertexSubset::empty(n);
-    for v in alive.iter() {
-        if alive.degree_within(graph, v) < k {
-            frontier.insert(v);
+    let words = n.div_ceil(64);
+    let mut alive: Vec<u64> = subset.words().to_vec();
+    let mut frontier = vec![0u64; words];
+    let mut affected = vec![0u64; words];
+    let mut frontier_empty = true;
+    for v in subset.iter() {
+        if degree_in_words(graph, &alive, v) < k {
+            set_bit(&mut frontier, v.index());
+            frontier_empty = false;
         }
     }
-    while !frontier.is_empty() {
-        alive.difference_in_place(&frontier);
-        if alive.is_empty() {
+    while !frontier_empty {
+        let mut any_alive = false;
+        for (a, &f) in alive.iter_mut().zip(&frontier) {
+            *a &= !f;
+            any_alive |= *a != 0;
+        }
+        if !any_alive {
             break;
         }
         // Alive vertices adjacent to at least one vertex removed this round,
         // accumulated in raw words so the popcount is paid once per round.
-        let mut affected_words = vec![0u64; n.div_ceil(64)];
-        for v in frontier.iter() {
-            match graph.adjacency_row(v) {
-                Some(row) => {
-                    for ((w, &r), &m) in affected_words.iter_mut().zip(row).zip(alive.words()) {
-                        *w |= r & m;
-                    }
+        affected.fill(0);
+        for_each_bit(&frontier, |v| match graph.adjacency_row(v) {
+            Some(row) => {
+                for ((w, &r), &m) in affected.iter_mut().zip(row).zip(&alive) {
+                    *w |= r & m;
                 }
-                None => {
-                    for &u in graph.neighbors(v) {
-                        if alive.contains(u) {
-                            let i = u.index();
-                            affected_words[i / 64] |= 1u64 << (i % 64);
-                        }
+            }
+            None => {
+                for &u in graph.neighbors(v) {
+                    if get_bit(&alive, u.index()) {
+                        set_bit(&mut affected, u.index());
                     }
                 }
             }
-        }
-        let affected = VertexSubset::from_words(n, affected_words);
-        // Batched degree recomputation over the affected set only.
-        frontier = VertexSubset::empty(n);
-        for u in affected.iter() {
-            if alive.degree_within(graph, u) < k {
-                frontier.insert(u);
+        });
+        // Batched degree recomputation over the affected set only; the next
+        // frontier reuses the (cleared) frontier buffer.
+        frontier.fill(0);
+        frontier_empty = true;
+        let (frontier_ref, frontier_empty_ref) = (&mut frontier, &mut frontier_empty);
+        for_each_bit(&affected, |u| {
+            if degree_in_words(graph, &alive, u) < k {
+                set_bit(frontier_ref, u.index());
+                *frontier_empty_ref = false;
             }
+        });
+    }
+    VertexSubset::from_words(n, alive)
+}
+
+/// In-subset degree of `v` against a raw word bitset — the same hybrid
+/// popcount-vs-CSR-scan kernel as [`VertexSubset::degree_within`], usable on
+/// the reusable scratch buffers of [`peel_to_kcore`].
+#[inline]
+fn degree_in_words(graph: &AttributedGraph, words: &[u64], v: VertexId) -> usize {
+    match graph.adjacency_row(v) {
+        Some(row) => row.iter().zip(words).map(|(&a, &b)| (a & b).count_ones() as usize).sum(),
+        None => graph.neighbors(v).iter().filter(|&&u| get_bit(words, u.index())).count(),
+    }
+}
+
+#[inline]
+fn get_bit(words: &[u64], i: usize) -> bool {
+    (words[i / 64] >> (i % 64)) & 1 == 1
+}
+
+#[inline]
+fn set_bit(words: &mut [u64], i: usize) {
+    words[i / 64] |= 1u64 << (i % 64);
+}
+
+/// Calls `f` for every set bit of `words` in ascending order (allocation-free
+/// trailing-zeros walk, like [`acq_graph::SetBits`]).
+#[inline]
+fn for_each_bit(words: &[u64], mut f: impl FnMut(VertexId)) {
+    for (idx, &word) in words.iter().enumerate() {
+        let mut w = word;
+        while w != 0 {
+            let bit = w.trailing_zeros() as usize;
+            f(VertexId::from_index(idx * 64 + bit));
+            w &= w - 1;
         }
     }
-    alive
 }
 
 /// The scalar reference implementation of [`peel_to_kcore`]: a vertex-at-a-time

@@ -32,6 +32,7 @@ pub use extract::{
     connected_kcore_containing, kcore_subset, may_contain_kcore, peel_to_kcore,
     peel_to_kcore_containing, peel_to_kcore_scalar,
 };
+pub use maintenance::MaintenanceOutcome;
 pub use shared::SharedDecomposition;
 
 #[cfg(test)]

@@ -14,8 +14,22 @@ use crate::decompose::CoreDecomposition;
 use acq_graph::{AttributedGraph, VertexId};
 use std::collections::VecDeque;
 
+/// What a single-edge maintenance call touched — the cost/effect signal the
+/// live-update driver in `acq-core` uses to decide between staying
+/// incremental and falling back to a full index rebuild, and to detect
+/// whether the CL-tree skeleton can possibly have changed (`changed == 0`
+/// means every core number survived).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MaintenanceOutcome {
+    /// Size of the affected subcore (candidate vertices the cascade visited).
+    pub subcore_size: usize,
+    /// How many of them changed core number (by exactly one).
+    pub changed: usize,
+}
+
 /// Updates `decomposition` in place after the edge `{u, v}` has been
 /// **inserted** into `graph` (`graph` must already contain the edge).
+/// Returns the size of the touched subcore and how many core numbers moved.
 ///
 /// Runs in time proportional to the size of the affected subcore, typically a
 /// tiny fraction of the graph.
@@ -24,12 +38,12 @@ pub fn apply_edge_insertion(
     decomposition: &mut CoreDecomposition,
     u: VertexId,
     v: VertexId,
-) {
+) -> MaintenanceOutcome {
     let c = decomposition.core_number(u).min(decomposition.core_number(v));
     let candidates = subcore_candidates(graph, decomposition, u, v, c);
     if candidates.is_empty() {
         decomposition.refresh_after_update();
-        return;
+        return MaintenanceOutcome::default();
     }
 
     // Eviction cascade: a candidate can move to c+1 only if it has at least
@@ -67,31 +81,35 @@ pub fn apply_edge_insertion(
     }
 
     let core = decomposition.core_mut();
+    let mut changed = 0usize;
     for &w in &candidates {
         if !evicted[w.index()] {
             core[w.index()] = c + 1;
+            changed += 1;
         }
     }
     decomposition.refresh_after_update();
+    MaintenanceOutcome { subcore_size: candidates.len(), changed }
 }
 
 /// Updates `decomposition` in place after the edge `{u, v}` has been
 /// **removed** from `graph` (`graph` must no longer contain the edge).
+/// Returns the size of the touched subcore and how many core numbers moved.
 pub fn apply_edge_removal(
     graph: &AttributedGraph,
     decomposition: &mut CoreDecomposition,
     u: VertexId,
     v: VertexId,
-) {
+) -> MaintenanceOutcome {
     let c = decomposition.core_number(u).min(decomposition.core_number(v));
     if c == 0 {
         decomposition.refresh_after_update();
-        return;
+        return MaintenanceOutcome::default();
     }
     let candidates = subcore_candidates(graph, decomposition, u, v, c);
     if candidates.is_empty() {
         decomposition.refresh_after_update();
-        return;
+        return MaintenanceOutcome::default();
     }
 
     let n = graph.num_vertices();
@@ -126,12 +144,15 @@ pub fn apply_edge_removal(
     }
 
     let core = decomposition.core_mut();
+    let mut changed = 0usize;
     for &w in &candidates {
         if demoted[w.index()] {
             core[w.index()] = c - 1;
+            changed += 1;
         }
     }
     decomposition.refresh_after_update();
+    MaintenanceOutcome { subcore_size: candidates.len(), changed }
 }
 
 /// Collects the subcore affected by an update on `{u, v}`: vertices whose core
@@ -273,6 +294,42 @@ mod tests {
         for l in ["A", "B", "C", "D"] {
             assert_eq!(d.core_number(g.vertex_by_label(l).unwrap()), 2, "core of {l}");
         }
+    }
+
+    #[test]
+    fn outcomes_report_subcore_size_and_changes() {
+        let g = paper_figure3_graph();
+        let mut d = CoreDecomposition::compute(&g);
+        let f = g.vertex_by_label("F").unwrap();
+        let a = g.vertex_by_label("A").unwrap();
+        // F (core 1) gains an edge to A (core 3): the subcore reachable from
+        // F through core-1 vertices is just {F}, and F is promoted.
+        let g2 = g.with_edge_inserted(f, a).unwrap();
+        let outcome = apply_edge_insertion(&g2, &mut d, f, a);
+        assert_eq!(outcome, MaintenanceOutcome { subcore_size: 1, changed: 1 });
+        // Removing it again demotes F back; G sits in a different subcore now
+        // (F moved to core 2), so only F is examined.
+        let g3 = g2.with_edge_removed(f, a).unwrap();
+        let outcome = apply_edge_removal(&g3, &mut d, f, a);
+        assert_eq!(outcome.changed, 1);
+        assert!(outcome.subcore_size >= 1);
+        assert_matches_recomputation(&g3, &d);
+        // An edge into the isolated vertex: the subcore is just {J}.
+        let h = g3.vertex_by_label("H").unwrap();
+        let j = g3.vertex_by_label("J").unwrap();
+        let g4 = g3.with_edge_inserted(h, j).unwrap();
+        let outcome = apply_edge_insertion(&g4, &mut d, h, j);
+        assert_eq!(outcome.changed, 1, "J rises from core 0 to 1");
+        assert_matches_recomputation(&g4, &d);
+        // An insertion that promotes nobody reports changed == 0: a chord in
+        // a 4-cycle leaves every core number at 2.
+        let g5 = acq_graph::unlabeled_graph(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let mut d5 = CoreDecomposition::compute(&g5);
+        let g6 = g5.with_edge_inserted(VertexId(0), VertexId(2)).unwrap();
+        let outcome = apply_edge_insertion(&g6, &mut d5, VertexId(0), VertexId(2));
+        assert_eq!(outcome.changed, 0, "no core number moves");
+        assert!(outcome.subcore_size > 0, "the subcore was still examined");
+        assert_matches_recomputation(&g6, &d5);
     }
 
     #[test]

@@ -1,95 +1,118 @@
-//! Incremental CL-tree maintenance under graph updates (Section 5.2.2 /
-//! Appendix F): keyword insertions and edge insertions/removals are applied
-//! to the index without rebuilding the core decomposition from scratch, and
-//! the maintained index is checked against a fresh rebuild after every step.
-//! The final section publishes the maintained index to a live engine through
-//! [`Engine::swap_index`] — the generation handle that lets serving survive
-//! graph updates.
+//! The live-update pipeline (Section 5.2.2 / Appendix F): graph deltas flow
+//! into a **serving** engine through [`Engine::apply_updates`], which stages
+//! the updated graph with incremental CSR/bitmap edits, maintains the CL-tree
+//! through the subcore kernels (or falls back to a full rebuild past the
+//! touched-subcore threshold), carries untouched cache entries across the
+//! generation swap, and publishes everything atomically — queries in flight
+//! finish on their snapshot, queries after the swap see the new graph.
 //!
 //! ```text
 //! cargo run --example index_maintenance
 //! ```
 
-use attributed_community_search::cltree::{build_advanced, maintenance};
 use attributed_community_search::datagen;
 use attributed_community_search::prelude::*;
 use std::sync::Arc;
 
 fn main() {
-    // A small DBLP-like graph.
+    // A small DBLP-like graph served by a live engine.
     let profile = datagen::dblp().scaled(0.15);
-    let mut graph = datagen::generate(&profile);
-    let mut index = build_advanced(&graph, true);
+    let graph = Arc::new(datagen::generate(&profile));
+    let engine = Engine::new(Arc::clone(&graph));
     println!(
-        "initial graph: {} vertices, {} edges; CL-tree: {} nodes, kmax {}",
+        "serving generation {}: {} vertices, {} edges, {} CL-tree nodes (kmax {})",
+        engine.generation(),
         graph.num_vertices(),
         graph.num_edges(),
-        index.num_nodes(),
-        index.kmax()
+        engine.index().num_nodes(),
+        engine.index().kmax()
     );
 
-    // --- 1. Keyword updates: touch exactly one CL-tree node. ----------------
+    // Warm the generation cache with a few queries.
+    let queries = datagen::select_query_vertices(&graph, engine.index().decomposition(), 10, 4, 3);
+    let requests: Vec<Request> = queries.iter().map(|&q| Request::community(q).k(4)).collect();
+    for request in &requests {
+        engine.execute(request).expect("valid request");
+    }
+    println!("warmed the cache: {:?}", engine.cache_stats());
+
+    // --- 1. One mixed delta batch: keyword + edges + a brand-new vertex. ----
     let member = VertexId(0);
-    graph = graph.with_keyword_added(member, "community-search").unwrap();
-    let new_kw = graph.dictionary().get("community-search").unwrap();
-    maintenance::apply_keyword_insertion(&mut index, member, new_kw);
+    let deltas = vec![
+        GraphDelta::add_keyword(member, "community-search"),
+        GraphDelta::insert_edge(VertexId(1), VertexId(50)),
+        GraphDelta::insert_edge(VertexId(2), VertexId(51)),
+        GraphDelta::insert_vertex(Some("newcomer"), &["community-search", "graphs"]),
+    ];
+    let report = engine.apply_updates(&deltas).expect("valid deltas");
     println!(
-        "\nadded keyword 'community-search' to {}: index still valid = {}",
-        graph.label(member).unwrap_or("?"),
-        index.validate(&graph).is_ok()
+        "\napplied {} deltas -> generation {} via {:?}",
+        report.deltas_applied, report.generation, report.strategy
+    );
+    println!(
+        "  subcore touched: {} vertices ({:.1}% of the graph), cache carried {} / dropped {}",
+        report.subcore_touched,
+        100.0 * report.touched_fraction,
+        report.cache_carried,
+        report.cache_dropped
     );
 
-    // --- 2. Edge insertions: the affected subcore is updated incrementally. --
-    let updates = [(1u32, 50u32), (2, 51), (3, 52), (10, 60), (11, 61)];
-    for (a, b) in updates {
-        let (u, v) = (VertexId(a), VertexId(b));
-        if graph.has_edge(u, v) {
+    // The published graph contains everything, atomically.
+    let live = engine.graph();
+    let newcomer = live.vertex_by_label("newcomer").expect("vertex was inserted");
+    println!(
+        "  published graph: {} vertices, newcomer {} carries {:?}",
+        live.num_vertices(),
+        newcomer,
+        live.keyword_terms(newcomer)
+    );
+
+    // --- 2. A stream of single-edge updates (the serving steady state). ----
+    let mut stable = 0usize;
+    let mut rebuilt = 0usize;
+    for i in 0..8u32 {
+        let (u, v) = (VertexId(3 + i), VertexId(60 + i));
+        let current = engine.graph();
+        if !current.contains_vertex(u) || !current.contains_vertex(v) {
             continue;
         }
-        graph = graph.with_edge_inserted(u, v).unwrap();
-        index = maintenance::apply_edge_insertion(&index, &graph, u, v);
-        let rebuilt = build_advanced(&graph, true);
-        println!(
-            "inserted edge ({a}, {b}): kmax {} | matches full rebuild = {}",
-            index.kmax(),
-            index.canonical_form() == rebuilt.canonical_form()
-        );
+        let delta = if current.has_edge(u, v) {
+            GraphDelta::remove_edge(u, v)
+        } else {
+            GraphDelta::insert_edge(u, v)
+        };
+        let report = engine.apply_updates(&[delta]).expect("valid delta");
+        match report.strategy {
+            UpdateStrategy::IncrementalStableSkeleton => stable += 1,
+            _ => rebuilt += 1,
+        }
     }
-
-    // --- 3. Edge removals. ----------------------------------------------------
-    let victim =
-        graph.vertices().find(|&v| graph.degree(v) > 2).expect("graph has well-connected vertices");
-    let neighbour = graph.neighbors(victim)[0];
-    graph = graph.with_edge_removed(victim, neighbour).unwrap();
-    index = maintenance::apply_edge_removal(&index, &graph, victim, neighbour);
-    let rebuilt = build_advanced(&graph, true);
     println!(
-        "\nremoved edge ({}, {}): matches full rebuild = {}",
-        victim,
-        neighbour,
-        index.canonical_form() == rebuilt.canonical_form()
+        "\nstreamed 8 single-edge updates: {stable} kept the skeleton (cache carried over), \
+         {rebuilt} rebuilt it; now at generation {}",
+        engine.generation()
     );
 
-    // --- 4. Publish the maintained index to a live engine. -------------------
-    // `Engine::swap_index` atomically swaps in the maintained tree:
-    // generation 1 serves from a fresh rebuild, generation 2 from the
-    // maintained index — and the answers must agree.
-    let graph = Arc::new(graph);
-    let engine = Engine::new(Arc::clone(&graph));
-    let decomposition = engine.index().decomposition().clone();
-    let queries = datagen::select_query_vertices(&graph, &decomposition, 10, 4, 3);
-
-    let fresh: Vec<_> =
-        queries.iter().map(|&q| engine.execute(&Request::community(q).k(4)).unwrap()).collect();
-    let generation = engine.swap_index(Arc::new(index));
-    let maintained: Vec<_> =
-        queries.iter().map(|&q| engine.execute(&Request::community(q).k(4)).unwrap()).collect();
-
-    let agreements =
-        fresh.iter().zip(&maintained).filter(|(a, b)| a.canonical() == b.canonical()).count();
+    // --- 3. Maintained state == from-scratch rebuild, query for query. -----
+    let final_graph = engine.graph();
+    let fresh = Engine::new(Arc::clone(&final_graph));
+    let agreements = requests
+        .iter()
+        .filter(|request| {
+            engine.execute(request).expect("valid").result
+                == fresh.execute(request).expect("valid").result
+        })
+        .count();
     println!(
-        "\nswapped maintained index into the live engine (generation {} -> {}):",
-        fresh[0].meta.generation, generation
+        "\nmaintained engine vs from-scratch engine on the final graph: {agreements}/{} \
+         queries byte-identical",
+        requests.len()
     );
-    println!("maintained vs freshly built index: {agreements}/{} queries agree", queries.len());
+
+    // --- 4. The low-level handle is still there for external indexes. ------
+    // `swap_index` publishes an externally built tree for the current graph
+    // (fresh cache, new generation) — the escape hatch apply_updates is
+    // built on.
+    let generation = engine.swap_index(Arc::new(build_advanced(&final_graph, true)));
+    println!("swap_index published an externally built index as generation {generation}");
 }

@@ -92,12 +92,12 @@ pub mod prelude {
     pub use acq_core::QueryBatch;
     pub use acq_core::{
         AcqAlgorithm, AcqQuery, AcqResult, AttributedCommunity, Engine, EngineBuilder,
-        ExecutionMeta, Executor, QueryError, QuerySpec, Request, Response, Variant1Query,
-        Variant2Query,
+        ExecutionMeta, Executor, QueryError, QuerySpec, Request, Response, UpdateReport,
+        UpdateStrategy, Variant1Query, Variant2Query,
     };
     pub use acq_graph::{
-        paper_figure3_graph, AttributedGraph, GraphBuilder, KeywordId, KeywordSet, VertexId,
-        VertexSubset,
+        paper_figure3_graph, AppliedDelta, AttributedGraph, GraphBuilder, GraphDelta, KeywordId,
+        KeywordSet, VertexId, VertexSubset,
     };
     pub use acq_kcore::{CoreDecomposition, SharedDecomposition};
 }

@@ -105,6 +105,105 @@ fn a_batch_runs_entirely_on_one_generation() {
 }
 
 #[test]
+fn apply_updates_under_load_keeps_queries_consistent() {
+    // The live-update shape: a writer feeds delta batches through
+    // `Engine::apply_updates` while readers hammer queries. Every query must
+    // succeed on *some* coherent generation (graph+index+cache snapshot),
+    // generations must be observed in publication order, and when the dust
+    // settles the engine answers exactly like a from-scratch engine over the
+    // final graph.
+    let graph = Arc::new(attributed_community_search::datagen::generate(
+        &attributed_community_search::datagen::tiny(),
+    ));
+    let engine = Engine::new(Arc::clone(&graph));
+    let queries: Vec<Request> = graph
+        .vertices()
+        .filter(|&v| CoreDecomposition::compute(&graph).core_number(v) >= 3)
+        .take(6)
+        .map(|v| Request::community(v).k(3))
+        .collect();
+    assert!(!queries.is_empty());
+
+    // A toggle schedule: each batch flips a few edges (insert if absent,
+    // remove if present is expressed as two one-delta batches around it) and
+    // churns a keyword.
+    let pairs: Vec<(VertexId, VertexId)> = {
+        let vs: Vec<VertexId> = graph.vertices().collect();
+        (0..10)
+            .map(|i| (vs[i % vs.len()], vs[(i * 7 + 3) % vs.len()]))
+            .filter(|(a, b)| a != b)
+            .collect()
+    };
+    const ROUNDS: usize = 8;
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            let mut batches = 0u64;
+            for round in 0..ROUNDS {
+                let current = engine.graph();
+                let deltas: Vec<GraphDelta> = pairs
+                    .iter()
+                    .map(|&(u, v)| {
+                        if current.has_edge(u, v) {
+                            GraphDelta::remove_edge(u, v)
+                        } else {
+                            GraphDelta::insert_edge(u, v)
+                        }
+                    })
+                    .chain(std::iter::once(GraphDelta::add_keyword(
+                        pairs[round % pairs.len()].0,
+                        "churn",
+                    )))
+                    .collect();
+                engine.apply_updates(&deltas).expect("valid deltas");
+                batches += 1;
+            }
+            stop.store(true, Ordering::Release);
+            batches
+        });
+
+        let mut readers = Vec::new();
+        for _ in 0..4 {
+            readers.push(scope.spawn(|| {
+                let mut last_generation = 0u64;
+                let mut rounds = 0usize;
+                while !stop.load(Ordering::Acquire) || rounds < 3 {
+                    for request in &queries {
+                        let response =
+                            engine.execute(request).expect("updates must not break queries");
+                        assert!(
+                            response.meta.generation >= last_generation,
+                            "generation went backwards: {} after {}",
+                            response.meta.generation,
+                            last_generation
+                        );
+                        last_generation = response.meta.generation;
+                    }
+                    rounds += 1;
+                }
+            }));
+        }
+
+        let batches = writer.join().expect("writer thread");
+        for reader in readers {
+            reader.join().expect("reader thread");
+        }
+        assert_eq!(engine.generation(), 1 + batches, "every update batch published once");
+    });
+
+    // Post-conditions: the published graph reflects the final toggle state,
+    // and the maintained engine agrees with a from-scratch rebuild on it.
+    let final_graph = engine.graph();
+    let fresh = Engine::new(Arc::clone(&final_graph));
+    for request in &queries {
+        let live = engine.execute(request).unwrap();
+        let rebuilt = fresh.execute(request).unwrap();
+        assert_eq!(live.result, rebuilt.result, "maintained state must equal a rebuild");
+    }
+}
+
+#[test]
 fn swapped_in_maintained_index_serves_the_updated_graph() {
     // The dynamic-maintenance shape this handle exists for: the graph gains
     // an edge, the index is maintained off to the side, and the swap
