@@ -18,6 +18,7 @@
 use crate::exec::lru::LruCache;
 use acq_cltree::{ClTree, NodeId};
 use acq_graph::{AttributedGraph, KeywordId, VertexId, VertexSubset};
+use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -69,7 +70,10 @@ enum CacheValue {
 }
 
 /// Point-in-time counters describing how a cache has been used.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// Serialisable so a serving front-end can export the counters verbatim
+/// (see the `Metrics` frame of `acq-server` and `docs/PROTOCOL.md`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,

@@ -30,6 +30,7 @@ use crate::query::QueryError;
 use crate::request::{execute_on, Executor, Request, Response};
 use acq_cltree::{build_advanced, maintenance, ClTree, NodeId};
 use acq_graph::{AppliedDelta, AttributedGraph, GraphDelta, GraphError};
+use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::sync::{Arc, Mutex, RwLock};
 
@@ -47,7 +48,10 @@ struct GraphGeneration {
 }
 
 /// Which maintenance path [`Engine::apply_updates`] took for a delta batch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Serialisable (as the variant name string) so an [`UpdateReport`] can be
+/// returned over the wire by a serving front-end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum UpdateStrategy {
     /// Every delta went through the incremental kernels and the CL-tree
     /// skeleton was kept verbatim: node ids stayed stable and untouched
@@ -65,8 +69,9 @@ pub enum UpdateStrategy {
     FullRebuild,
 }
 
-/// What one [`Engine::apply_updates`] call did.
-#[derive(Debug, Clone, PartialEq)]
+/// What one [`Engine::apply_updates`] call did. Serialisable — this is the
+/// wire shape an `acq-server` `Update` frame answers with.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct UpdateReport {
     /// The generation number the update published.
     pub generation: u64,

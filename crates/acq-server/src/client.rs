@@ -1,0 +1,226 @@
+//! A minimal blocking client for the framed protocol.
+//!
+//! [`Client`] wraps one TCP connection and exposes one method per request
+//! frame kind. It is deliberately synchronous — one outstanding request per
+//! call — except for [`Client::query_batch`], which writes every query frame
+//! before reading any response so the server's per-connection batcher can
+//! coalesce them into a single `execute_batch` call.
+
+use crate::frame::{
+    read_frame, write_frame, Frame, FrameError, FrameKind, WireError, DEFAULT_MAX_FRAME_LEN,
+};
+use acq_core::{Request, Response, UpdateReport};
+use acq_graph::GraphDelta;
+use acq_metrics::serving::MetricsSnapshot;
+use std::fmt;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (connect, read or write).
+    Io(io::Error),
+    /// An incoming frame could not be decoded.
+    Frame(FrameError),
+    /// The server answered with an [`Error`](FrameKind::Error) frame.
+    Remote(WireError),
+    /// The server broke the protocol: wrong response kind, mismatched
+    /// request id, connection closed mid-conversation, or an undecodable
+    /// response payload.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Frame(e) => write!(f, "bad frame from server: {e}"),
+            ClientError::Remote(e) => write!(f, "server error {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+/// A blocking connection to an `acq-server`.
+///
+/// ```no_run
+/// use acq_core::Request;
+/// use acq_graph::VertexId;
+/// use acq_server::Client;
+///
+/// let mut client = Client::connect("127.0.0.1:7878").unwrap();
+/// client.ping().unwrap();
+/// let response = client.query(&Request::community(VertexId(0)).k(2)).unwrap();
+/// println!("{} communities", response.result.communities.len());
+/// ```
+pub struct Client {
+    writer: BufWriter<TcpStream>,
+    reader: BufReader<TcpStream>,
+    next_id: u64,
+    max_frame_len: u32,
+}
+
+impl fmt::Debug for Client {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Client").field("next_id", &self.next_id).finish_non_exhaustive()
+    }
+}
+
+impl Client {
+    /// Connects to a server, accepting response frames up to the default
+    /// 1 MiB bound.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ClientError> {
+        Self::connect_with_max_frame_len(addr, DEFAULT_MAX_FRAME_LEN)
+    }
+
+    /// Connects with an explicit bound on accepted response frames.
+    pub fn connect_with_max_frame_len<A: ToSocketAddrs>(
+        addr: A,
+        max_frame_len: u32,
+    ) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let read_half = stream.try_clone()?;
+        Ok(Self {
+            writer: BufWriter::new(stream),
+            reader: BufReader::new(read_half),
+            next_id: 1,
+            max_frame_len,
+        })
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Reads the next frame, insisting the stream is still open.
+    fn read_response(&mut self) -> Result<Frame, ClientError> {
+        read_frame(&mut self.reader, self.max_frame_len)?
+            .ok_or_else(|| ClientError::Protocol("server closed the connection".to_string()))
+    }
+
+    /// Reads one response frame for `id` and decodes it as `kind`; an error
+    /// frame becomes [`ClientError::Remote`].
+    fn expect(&mut self, id: u64, kind: FrameKind) -> Result<Frame, ClientError> {
+        let frame = self.read_response()?;
+        if frame.request_id != id {
+            return Err(ClientError::Protocol(format!(
+                "response for request {} while waiting on {id}",
+                frame.request_id
+            )));
+        }
+        if frame.kind == FrameKind::Error {
+            return Err(ClientError::Remote(decode_payload::<WireError>(&frame)?));
+        }
+        if frame.kind != kind {
+            return Err(ClientError::Protocol(format!(
+                "expected a {kind:?} frame, got {:?}",
+                frame.kind
+            )));
+        }
+        Ok(frame)
+    }
+
+    /// Liveness probe: sends `Ping`, waits for the matching `Pong`.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let id = self.fresh_id();
+        write_frame(&mut self.writer, &Frame::control(FrameKind::Ping, id))?;
+        self.expect(id, FrameKind::Pong)?;
+        Ok(())
+    }
+
+    /// Executes one query on the server's current generation snapshot.
+    pub fn query(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let id = self.fresh_id();
+        let payload = encode_payload(request)?;
+        write_frame(&mut self.writer, &Frame::new(FrameKind::Query, id, payload))?;
+        decode_payload(&self.expect(id, FrameKind::QueryOk)?)
+    }
+
+    /// Sends every query before reading any response, letting the server
+    /// batch them into one `execute_batch` call. Per-query failures (an
+    /// error frame) are returned in place, in request order.
+    pub fn query_batch(
+        &mut self,
+        requests: &[Request],
+    ) -> Result<Vec<Result<Response, WireError>>, ClientError> {
+        let mut ids = Vec::with_capacity(requests.len());
+        for request in requests {
+            let id = self.fresh_id();
+            let payload = encode_payload(request)?;
+            write_frame(&mut self.writer, &Frame::new(FrameKind::Query, id, payload))?;
+            ids.push(id);
+        }
+        let mut responses = Vec::with_capacity(ids.len());
+        for id in ids {
+            let frame = self.read_response()?;
+            if frame.request_id != id {
+                return Err(ClientError::Protocol(format!(
+                    "response for request {} while waiting on {id}",
+                    frame.request_id
+                )));
+            }
+            responses.push(match frame.kind {
+                FrameKind::QueryOk => Ok(decode_payload::<Response>(&frame)?),
+                FrameKind::Error => Err(decode_payload::<WireError>(&frame)?),
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "expected a QueryOk frame, got {other:?}"
+                    )))
+                }
+            });
+        }
+        Ok(responses)
+    }
+
+    /// Submits a delta batch to the transactor and waits for its report.
+    pub fn update(&mut self, deltas: &[GraphDelta]) -> Result<UpdateReport, ClientError> {
+        let id = self.fresh_id();
+        let payload = encode_payload(&deltas.to_vec())?;
+        write_frame(&mut self.writer, &Frame::new(FrameKind::Update, id, payload))?;
+        decode_payload(&self.expect(id, FrameKind::UpdateOk)?)
+    }
+
+    /// Fetches the server's counters.
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, ClientError> {
+        let id = self.fresh_id();
+        write_frame(&mut self.writer, &Frame::control(FrameKind::Metrics, id))?;
+        decode_payload(&self.expect(id, FrameKind::MetricsOk)?)
+    }
+
+    /// Sends a raw frame and returns the next incoming frame verbatim. For
+    /// tests and tooling that poke at the protocol itself.
+    pub fn round_trip_raw(&mut self, frame: &Frame) -> Result<Option<Frame>, ClientError> {
+        write_frame(&mut self.writer, frame)?;
+        Ok(read_frame(&mut self.reader, self.max_frame_len)?)
+    }
+}
+
+fn encode_payload<T: serde::Serialize>(value: &T) -> Result<Vec<u8>, ClientError> {
+    serde_json::to_string(value)
+        .map(String::into_bytes)
+        .map_err(|e| ClientError::Protocol(format!("request does not encode: {e}")))
+}
+
+fn decode_payload<T: serde::Deserialize>(frame: &Frame) -> Result<T, ClientError> {
+    let text = std::str::from_utf8(&frame.payload)
+        .map_err(|e| ClientError::Protocol(format!("response payload is not UTF-8: {e}")))?;
+    serde_json::from_str(text)
+        .map_err(|e| ClientError::Protocol(format!("response payload does not decode: {e}")))
+}

@@ -1,0 +1,131 @@
+//! Lock-free server counters behind the `Metrics` frame.
+//!
+//! [`ServerMetrics`] is the live, atomically updated half; a `Metrics` frame
+//! snapshots it into the serde-able
+//! [`ServerCounters`](acq_metrics::serving::ServerCounters) /
+//! [`MetricsSnapshot`](acq_metrics::serving::MetricsSnapshot) wire shapes
+//! defined in `acq-metrics`.
+
+use acq_core::exec::CacheStats;
+use acq_core::{UpdateReport, UpdateStrategy};
+use acq_metrics::serving::{CacheCounters, ServerCounters, UpdateCounters};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The server's cumulative counters. All methods are callable from any
+/// thread; `Relaxed` ordering is enough because the counters are only ever
+/// read as a monitoring snapshot, never used for synchronisation.
+#[derive(Debug, Default)]
+pub(crate) struct ServerMetrics {
+    pub connections_accepted: AtomicU64,
+    pub connections_open: AtomicU64,
+    pub frames_received: AtomicU64,
+    pub frames_sent: AtomicU64,
+    pub queries_served: AtomicU64,
+    pub query_errors: AtomicU64,
+    pub batches_executed: AtomicU64,
+    pub max_batch: AtomicU64,
+    pub updates_applied: AtomicU64,
+    pub deltas_applied: AtomicU64,
+    pub update_errors: AtomicU64,
+    pub protocol_errors: AtomicU64,
+    pub admission_rejections: AtomicU64,
+}
+
+impl ServerMetrics {
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn bump(counter: &AtomicU64) {
+        Self::add(counter, 1);
+    }
+
+    /// Records a batch handed to `execute_batch`, tracking the maximum.
+    pub fn record_batch(&self, len: u64) {
+        Self::bump(&self.batches_executed);
+        self.max_batch.fetch_max(len, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy in the wire shape.
+    pub fn snapshot(&self) -> ServerCounters {
+        ServerCounters {
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_open: self.connections_open.load(Ordering::Relaxed),
+            frames_received: self.frames_received.load(Ordering::Relaxed),
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            queries_served: self.queries_served.load(Ordering::Relaxed),
+            query_errors: self.query_errors.load(Ordering::Relaxed),
+            batches_executed: self.batches_executed.load(Ordering::Relaxed),
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+            updates_applied: self.updates_applied.load(Ordering::Relaxed),
+            deltas_applied: self.deltas_applied.load(Ordering::Relaxed),
+            update_errors: self.update_errors.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            admission_rejections: self.admission_rejections.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Mirrors the engine's [`CacheStats`] into the dependency-light wire shape.
+pub(crate) fn cache_counters(stats: CacheStats) -> CacheCounters {
+    CacheCounters {
+        hits: stats.hits,
+        misses: stats.misses,
+        evictions: stats.evictions,
+        carried: stats.carried,
+        dropped: stats.dropped,
+    }
+}
+
+/// Mirrors an [`UpdateReport`] into the wire shape (strategy as its name).
+pub(crate) fn update_counters(report: &UpdateReport) -> UpdateCounters {
+    UpdateCounters {
+        generation: report.generation,
+        deltas_applied: report.deltas_applied as u64,
+        strategy: match report.strategy {
+            UpdateStrategy::IncrementalStableSkeleton => "IncrementalStableSkeleton",
+            UpdateStrategy::IncrementalRebuiltSkeleton => "IncrementalRebuiltSkeleton",
+            UpdateStrategy::FullRebuild => "FullRebuild",
+        }
+        .to_string(),
+        subcore_touched: report.subcore_touched as u64,
+        touched_fraction: report.touched_fraction,
+        cache_carried: report.cache_carried,
+        cache_dropped: report.cache_dropped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let m = ServerMetrics::default();
+        ServerMetrics::bump(&m.queries_served);
+        ServerMetrics::add(&m.deltas_applied, 3);
+        m.record_batch(5);
+        m.record_batch(2);
+        let s = m.snapshot();
+        assert_eq!(s.queries_served, 1);
+        assert_eq!(s.deltas_applied, 3);
+        assert_eq!(s.batches_executed, 2);
+        assert_eq!(s.max_batch, 5);
+    }
+
+    #[test]
+    fn update_counters_carry_the_strategy_name() {
+        let report = UpdateReport {
+            generation: 4,
+            deltas_applied: 2,
+            strategy: UpdateStrategy::FullRebuild,
+            subcore_touched: 11,
+            touched_fraction: 0.5,
+            cache_carried: 0,
+            cache_dropped: 7,
+        };
+        let u = update_counters(&report);
+        assert_eq!(u.strategy, "FullRebuild");
+        assert_eq!(u.cache_dropped, 7);
+    }
+}

@@ -1,0 +1,548 @@
+//! The server: accept loop, per-connection read batching, admission control.
+//!
+//! Topology (see `ARCHITECTURE.md`, "Serving layer", for the full diagram):
+//!
+//! * **Accept loop** — [`ServerConfig::accept_threads`] threads (default one
+//!   per core) share one `TcpListener` and spawn a reader + worker thread
+//!   pair per connection.
+//! * **Read path** — the reader decodes frames and pushes `Query` requests
+//!   into a bounded per-connection queue; the worker drains whatever has
+//!   accumulated and hands it to [`Executor::execute_batch`] as **one**
+//!   batch, so a bursty client is automatically batched against a single
+//!   generation snapshot. Responses are written in request order.
+//! * **Write path** — `Update` frames are forwarded to the single
+//!   transactor thread; readers never apply deltas.
+//! * **Admission control** — three bounds, each answered with a
+//!   `backpressure`/`oversize-frame` error instead of an unbounded queue:
+//!   the frame-size bound, the per-connection queue bound, and the global
+//!   in-flight query bound.
+
+use crate::frame::{
+    codes, read_frame, write_frame, Frame, FrameError, FrameKind, WireError, DEFAULT_MAX_FRAME_LEN,
+};
+use crate::metrics::{cache_counters, ServerMetrics};
+use crate::transactor::{last_update_counters, Transactor, WriteJob};
+use acq_core::{Engine, Executor, Request, UpdateReport};
+use acq_graph::GraphDelta;
+use acq_metrics::serving::MetricsSnapshot;
+use std::collections::VecDeque;
+use std::io::{self, BufReader};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Tuning knobs of a [`Server`]. All bounds are admission control: when one
+/// is hit the server answers with an error frame instead of queueing without
+/// limit (see `docs/OPERATIONS.md` for guidance on setting them).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Accept-loop threads sharing the listener; `0` (default) means one per
+    /// available core.
+    pub accept_threads: usize,
+    /// Largest accepted frame (length-prefix bound) in bytes. Oversize
+    /// frames are rejected before their payload is read and the connection
+    /// is closed (framing is lost).
+    pub max_frame_len: u32,
+    /// Global bound on queries admitted to `execute_batch` across all
+    /// connections; excess queries receive a `backpressure` error.
+    pub max_in_flight: usize,
+    /// Per-connection bound on decoded-but-not-yet-executed queries; when
+    /// full, further queries receive a `backpressure` error immediately.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            accept_threads: 0,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            max_in_flight: 1024,
+            queue_capacity: 256,
+        }
+    }
+}
+
+/// The serving front-end. [`Server::bind`] starts the accept loop and the
+/// transactor and returns a [`ServerHandle`] for introspection and shutdown.
+///
+/// ```no_run
+/// use acq_core::Engine;
+/// use acq_server::{Server, ServerConfig};
+/// use std::sync::Arc;
+///
+/// let engine = Arc::new(Engine::new(Arc::new(acq_graph::paper_figure3_graph())));
+/// let handle = Server::bind("127.0.0.1:7878", engine, ServerConfig::default()).unwrap();
+/// println!("listening on {}", handle.local_addr());
+/// # handle.shutdown();
+/// ```
+#[derive(Debug)]
+pub struct Server;
+
+/// Shared state every server thread hangs off.
+struct Shared {
+    engine: Arc<Engine>,
+    metrics: Arc<ServerMetrics>,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    /// Queries currently inside `execute_batch`, across all connections.
+    in_flight: AtomicUsize,
+    last_update: Arc<Mutex<Option<UpdateReport>>>,
+    /// Clones of every live connection stream keyed by connection id, for
+    /// shutdown. A connection deregisters (and `shutdown`s the socket, so
+    /// no lingering clone keeps it half-open) when its reader exits.
+    conn_streams: Mutex<Vec<(u64, TcpStream)>>,
+    conn_handles: Mutex<Vec<JoinHandle<()>>>,
+    next_conn_id: AtomicU64,
+}
+
+/// A running server: its address, metrics, and the means to stop it.
+/// Dropping the handle shuts the server down (threads joined).
+#[derive(Debug)]
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_handles: Vec<JoinHandle<()>>,
+    transactor: Transactor,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared").field("config", &self.config).finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Debug for Transactor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Transactor").finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds `addr`, spawns the accept threads and the transactor, and
+    /// returns the running server's handle. Use port 0 to let the OS pick a
+    /// free port (read it back from [`ServerHandle::local_addr`]).
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        engine: Arc<Engine>,
+        config: ServerConfig,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let metrics = Arc::new(ServerMetrics::default());
+        let transactor = Transactor::spawn(Arc::clone(&engine), Arc::clone(&metrics));
+        let shared = Arc::new(Shared {
+            engine,
+            metrics,
+            config: config.clone(),
+            shutdown: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            last_update: transactor.last_update(),
+            conn_streams: Mutex::new(Vec::new()),
+            conn_handles: Mutex::new(Vec::new()),
+            next_conn_id: AtomicU64::new(0),
+        });
+
+        let accept_threads = if config.accept_threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            config.accept_threads
+        };
+        let mut accept_handles = Vec::with_capacity(accept_threads);
+        for i in 0..accept_threads {
+            let listener = listener.try_clone()?;
+            let shared = Arc::clone(&shared);
+            let tx = transactor.sender();
+            accept_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("acq-accept-{i}"))
+                    .spawn(move || accept_loop(&listener, &shared, &tx))
+                    .expect("failed to spawn an accept thread"),
+            );
+        }
+        Ok(ServerHandle { local_addr, shared, accept_handles, transactor })
+    }
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The same snapshot a `Metrics` frame answers with, taken in-process.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        snapshot(&self.shared)
+    }
+
+    /// Stops accepting, closes every connection, joins every thread (the
+    /// transactor applies already-queued writes first).
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake each blocked `accept` with a throwaway connection.
+        for _ in 0..self.accept_handles.len() {
+            let _ = TcpStream::connect(self.local_addr);
+        }
+        for handle in self.accept_handles.drain(..) {
+            let _ = handle.join();
+        }
+        // No accept thread is left, so the connection registry is final.
+        for (_, stream) in self.shared.conn_streams.lock().expect("registry poisoned").drain(..) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        let handles: Vec<_> =
+            std::mem::take(&mut *self.shared.conn_handles.lock().expect("registry poisoned"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+        self.transactor.shutdown();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, tx: &Sender<WriteJob>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        ServerMetrics::bump(&shared.metrics.connections_accepted);
+        ServerMetrics::bump(&shared.metrics.connections_open);
+        let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            shared.conn_streams.lock().expect("registry poisoned").push((conn_id, clone));
+        }
+        let shared_conn = Arc::clone(shared);
+        let tx = tx.clone();
+        let handle = std::thread::Builder::new()
+            .name("acq-conn".to_string())
+            .spawn(move || {
+                connection_loop(stream, &shared_conn, &tx);
+                // Deregister and `shutdown` the socket: a dup'd clone (the
+                // registry's, or one held by an in-flight transactor reply)
+                // would otherwise keep it open and the peer would never see
+                // EOF.
+                let mut streams = shared_conn.conn_streams.lock().expect("registry poisoned");
+                if let Some(pos) = streams.iter().position(|(id, _)| *id == conn_id) {
+                    let (_, stream) = streams.swap_remove(pos);
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+                drop(streams);
+                shared_conn.metrics.connections_open.fetch_sub(1, Ordering::Relaxed);
+            })
+            .expect("failed to spawn a connection thread");
+        shared.conn_handles.lock().expect("registry poisoned").push(handle);
+    }
+}
+
+/// The write half of a connection: a mutex over a stream clone, shared by
+/// the reader (pongs, errors, metrics), the connection worker (query
+/// responses) and the transactor (update reports).
+pub(crate) struct ConnectionWriter {
+    stream: Mutex<TcpStream>,
+    metrics: Arc<ServerMetrics>,
+}
+
+impl ConnectionWriter {
+    /// Writes one frame under the lock, counting it.
+    pub fn send(&self, frame: &Frame) -> io::Result<()> {
+        let mut stream = self.stream.lock().expect("connection writer poisoned");
+        write_frame(&mut *stream, frame)?;
+        ServerMetrics::bump(&self.metrics.frames_sent);
+        Ok(())
+    }
+
+    fn send_error(&self, request_id: u64, code: &str, message: &str) -> io::Result<()> {
+        let payload = serde_json::to_string(&WireError::new(code, message))
+            .expect("WireError serialises")
+            .into_bytes();
+        self.send(&Frame::new(FrameKind::Error, request_id, payload))
+    }
+}
+
+/// Pending queries of one connection, drained by its worker in FIFO order.
+struct Queue {
+    pending: VecDeque<(u64, Request)>,
+    closed: bool,
+}
+
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, tx: &Sender<WriteJob>) {
+    let Ok(write_half) = stream.try_clone() else { return };
+    let writer = Arc::new(ConnectionWriter {
+        stream: Mutex::new(write_half),
+        metrics: Arc::clone(&shared.metrics),
+    });
+    let queue =
+        Arc::new((Mutex::new(Queue { pending: VecDeque::new(), closed: false }), Condvar::new()));
+
+    let worker = {
+        let queue = Arc::clone(&queue);
+        let writer = Arc::clone(&writer);
+        let shared = Arc::clone(shared);
+        std::thread::Builder::new()
+            .name("acq-conn-worker".to_string())
+            .spawn(move || worker_loop(&queue, &writer, &shared))
+            .expect("failed to spawn a connection worker")
+    };
+
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_frame(&mut reader, shared.config.max_frame_len) {
+            Ok(None) => break,
+            Ok(Some(frame)) => {
+                ServerMetrics::bump(&shared.metrics.frames_received);
+                if !handle_frame(frame, shared, &writer, &queue, tx) {
+                    break;
+                }
+            }
+            Err(error) => {
+                ServerMetrics::bump(&shared.metrics.protocol_errors);
+                let keep_going = report_frame_error(&error, &writer);
+                if !keep_going {
+                    break;
+                }
+            }
+        }
+    }
+
+    // Stop the worker: close the queue (pending queries still drain) and
+    // wake it; then release the write half.
+    {
+        let (lock, cvar) = &*queue;
+        lock.lock().expect("queue poisoned").closed = true;
+        cvar.notify_all();
+    }
+    let _ = worker.join();
+}
+
+/// Answers a frame-decode error; returns whether the connection survives.
+fn report_frame_error(error: &FrameError, writer: &ConnectionWriter) -> bool {
+    match error {
+        FrameError::UnknownKind { code, request_id } => {
+            let _ = writer.send_error(
+                *request_id,
+                codes::UNKNOWN_KIND,
+                &format!("unknown frame kind {code:#04x}"),
+            );
+            true
+        }
+        FrameError::TooLarge { declared, max } => {
+            let _ = writer.send_error(
+                0,
+                codes::OVERSIZE_FRAME,
+                &format!("frame declares {declared} bytes, bound is {max}; closing"),
+            );
+            false
+        }
+        FrameError::TooShort { declared } => {
+            let _ = writer.send_error(
+                0,
+                codes::MALFORMED_FRAME,
+                &format!("frame declares {declared} bytes, below the envelope size; closing"),
+            );
+            false
+        }
+        FrameError::UnsupportedVersion(version) => {
+            let _ = writer.send_error(
+                0,
+                codes::UNSUPPORTED_VERSION,
+                &format!("protocol version {version} is not supported; closing"),
+            );
+            false
+        }
+        FrameError::Truncated | FrameError::Io(_) => false,
+    }
+}
+
+/// Dispatches one decoded frame; returns whether the connection survives.
+fn handle_frame(
+    frame: Frame,
+    shared: &Arc<Shared>,
+    writer: &Arc<ConnectionWriter>,
+    queue: &Arc<(Mutex<Queue>, Condvar)>,
+    tx: &Sender<WriteJob>,
+) -> bool {
+    let id = frame.request_id;
+    match frame.kind {
+        FrameKind::Ping => writer.send(&Frame::control(FrameKind::Pong, id)).is_ok(),
+        FrameKind::Metrics => {
+            let payload = serde_json::to_string(&snapshot(shared))
+                .expect("MetricsSnapshot serialises")
+                .into_bytes();
+            writer.send(&Frame::new(FrameKind::MetricsOk, id, payload)).is_ok()
+        }
+        FrameKind::Query => match decode_json::<Request>(&frame.payload) {
+            Ok(request) => {
+                let (lock, cvar) = &**queue;
+                let mut q = lock.lock().expect("queue poisoned");
+                if q.pending.len() >= shared.config.queue_capacity {
+                    drop(q);
+                    ServerMetrics::bump(&shared.metrics.admission_rejections);
+                    writer
+                        .send_error(id, codes::BACKPRESSURE, "per-connection queue full; retry")
+                        .is_ok()
+                } else {
+                    q.pending.push_back((id, request));
+                    cvar.notify_one();
+                    true
+                }
+            }
+            Err(message) => {
+                ServerMetrics::bump(&shared.metrics.protocol_errors);
+                writer.send_error(id, codes::MALFORMED_PAYLOAD, &message).is_ok()
+            }
+        },
+        FrameKind::Update => match decode_json::<Vec<GraphDelta>>(&frame.payload) {
+            Ok(deltas) => {
+                let job = WriteJob { deltas, request_id: id, writer: Arc::clone(writer) };
+                if tx.send(job).is_err() {
+                    writer
+                        .send_error(id, codes::SHUTTING_DOWN, "transactor is shutting down")
+                        .is_ok()
+                } else {
+                    true
+                }
+            }
+            Err(message) => {
+                ServerMetrics::bump(&shared.metrics.protocol_errors);
+                writer.send_error(id, codes::MALFORMED_PAYLOAD, &message).is_ok()
+            }
+        },
+        // A client sent a server-only kind: answer and keep the connection.
+        FrameKind::QueryOk
+        | FrameKind::UpdateOk
+        | FrameKind::MetricsOk
+        | FrameKind::Pong
+        | FrameKind::Error => {
+            ServerMetrics::bump(&shared.metrics.protocol_errors);
+            writer
+                .send_error(id, codes::UNKNOWN_KIND, "response frame kinds are server-to-client")
+                .is_ok()
+        }
+    }
+}
+
+/// Drains the connection's queue into batches and executes them. One
+/// iteration takes *everything* that accumulated while the previous batch
+/// ran — that is the per-connection batching: under load, the batch grows
+/// and per-query overhead amortises; when idle, batches degenerate to size 1.
+fn worker_loop(
+    queue: &Arc<(Mutex<Queue>, Condvar)>,
+    writer: &Arc<ConnectionWriter>,
+    shared: &Arc<Shared>,
+) {
+    loop {
+        let batch: Vec<(u64, Request)> = {
+            let (lock, cvar) = &**queue;
+            let mut q = lock.lock().expect("queue poisoned");
+            while q.pending.is_empty() && !q.closed {
+                q = cvar.wait(q).expect("queue poisoned");
+            }
+            if q.pending.is_empty() && q.closed {
+                return;
+            }
+            q.pending.drain(..).collect()
+        };
+
+        // Global admission: reserve up to `max_in_flight` slots; the
+        // unadmitted tail is answered with backpressure, preserving FIFO
+        // fairness within the connection.
+        let admitted = reserve_in_flight(shared, batch.len());
+        for (id, _) in &batch[admitted..] {
+            ServerMetrics::bump(&shared.metrics.admission_rejections);
+            let _ = writer.send_error(*id, codes::BACKPRESSURE, "server at max in-flight; retry");
+        }
+        if admitted == 0 {
+            continue;
+        }
+
+        let run = &batch[..admitted];
+        shared.metrics.record_batch(run.len() as u64);
+        let requests: Vec<Request> = run.iter().map(|(_, r)| r.clone()).collect();
+        let results = shared.engine.execute_batch(&requests);
+        shared.in_flight.fetch_sub(admitted, Ordering::SeqCst);
+
+        for ((id, _), result) in run.iter().zip(results) {
+            let frame = match result {
+                Ok(response) => {
+                    ServerMetrics::bump(&shared.metrics.queries_served);
+                    match serde_json::to_string(&response) {
+                        Ok(json) => Frame::new(FrameKind::QueryOk, *id, json.into_bytes()),
+                        Err(e) => {
+                            let _ =
+                                writer.send_error(*id, codes::MALFORMED_PAYLOAD, &e.to_string());
+                            return;
+                        }
+                    }
+                }
+                Err(query_error) => {
+                    ServerMetrics::bump(&shared.metrics.query_errors);
+                    let payload = serde_json::to_string(&WireError::new(
+                        codes::INVALID_QUERY,
+                        query_error.to_string(),
+                    ))
+                    .expect("WireError serialises")
+                    .into_bytes();
+                    Frame::new(FrameKind::Error, *id, payload)
+                }
+            };
+            if writer.send(&frame).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+fn reserve_in_flight(shared: &Shared, wanted: usize) -> usize {
+    let max = shared.config.max_in_flight;
+    loop {
+        let current = shared.in_flight.load(Ordering::SeqCst);
+        let admit = wanted.min(max.saturating_sub(current));
+        if admit == 0 {
+            return 0;
+        }
+        if shared
+            .in_flight
+            .compare_exchange(current, current + admit, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            return admit;
+        }
+    }
+}
+
+/// The `Metrics` frame body: server counters + engine cache counters +
+/// generation + the transactor's last update.
+fn snapshot(shared: &Shared) -> MetricsSnapshot {
+    MetricsSnapshot {
+        server: shared.metrics.snapshot(),
+        cache: cache_counters(shared.engine.cache_stats()),
+        generation: shared.engine.generation(),
+        last_update: last_update_counters(&shared.last_update),
+    }
+}
+
+fn decode_json<T: serde::Deserialize>(payload: &[u8]) -> Result<T, String> {
+    let text = std::str::from_utf8(payload).map_err(|e| format!("payload is not UTF-8: {e}"))?;
+    serde_json::from_str(text).map_err(|e| format!("payload does not decode: {e}"))
+}

@@ -1,0 +1,115 @@
+//! The serialized write path: one transactor thread owns every mutation.
+//!
+//! All `Update` frames — from every connection — funnel into a single
+//! `mpsc` channel drained by one thread that calls
+//! [`Engine::apply_updates`](acq_core::Engine::apply_updates). This is the
+//! classic transactor split: writes are serialized (so concurrent update
+//! batches can never stage against the same base generation), while reads
+//! keep fanning out over published generation snapshots and never block on a
+//! writer — the engine's `RwLock` is held only for the pointer swap that
+//! publishes a staged generation.
+//!
+//! The transactor answers each update on the submitting connection itself
+//! (an `UpdateOk` frame carrying the serde-ed `UpdateReport`, or an error
+//! frame), so connection readers stay free to keep decoding queries while a
+//! write is in flight.
+
+use crate::frame::{codes, Frame, FrameKind, WireError};
+use crate::metrics::{update_counters, ServerMetrics};
+use crate::server::ConnectionWriter;
+use acq_core::{Engine, UpdateReport};
+use acq_graph::GraphDelta;
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// One queued write: the decoded delta batch plus everything needed to
+/// answer the submitting connection.
+pub(crate) struct WriteJob {
+    pub deltas: Vec<GraphDelta>,
+    pub request_id: u64,
+    pub writer: Arc<ConnectionWriter>,
+}
+
+/// Handle to the single write-applying thread.
+pub(crate) struct Transactor {
+    tx: Option<Sender<WriteJob>>,
+    handle: Option<JoinHandle<()>>,
+    last: Arc<Mutex<Option<UpdateReport>>>,
+}
+
+impl Transactor {
+    /// Spawns the transactor thread for `engine`.
+    pub fn spawn(engine: Arc<Engine>, metrics: Arc<ServerMetrics>) -> Self {
+        let (tx, rx) = channel::<WriteJob>();
+        let last = Arc::new(Mutex::new(None));
+        let last_writer = Arc::clone(&last);
+        let handle = std::thread::Builder::new()
+            .name("acq-transactor".to_string())
+            .spawn(move || {
+                // The loop ends when every sender is dropped (server shutdown).
+                while let Ok(job) = rx.recv() {
+                    let reply = match engine.apply_updates(&job.deltas) {
+                        Ok(report) => {
+                            ServerMetrics::bump(&metrics.updates_applied);
+                            ServerMetrics::add(
+                                &metrics.deltas_applied,
+                                report.deltas_applied as u64,
+                            );
+                            *last_writer.lock().expect("last-update lock poisoned") =
+                                Some(report.clone());
+                            match serde_json::to_string(&report) {
+                                Ok(json) => Frame::new(
+                                    FrameKind::UpdateOk,
+                                    job.request_id,
+                                    json.into_bytes(),
+                                ),
+                                Err(e) => error_frame(job.request_id, &e.to_string()),
+                            }
+                        }
+                        Err(e) => {
+                            ServerMetrics::bump(&metrics.update_errors);
+                            error_frame(job.request_id, &e.to_string())
+                        }
+                    };
+                    // A vanished connection is not the transactor's problem.
+                    let _ = job.writer.send(&reply);
+                }
+            })
+            .expect("failed to spawn the transactor thread");
+        Self { tx: Some(tx), handle: Some(handle), last }
+    }
+
+    /// A sender connections submit [`WriteJob`]s through.
+    pub fn sender(&self) -> Sender<WriteJob> {
+        self.tx.as_ref().expect("transactor already shut down").clone()
+    }
+
+    /// The most recent successfully applied update, for metrics snapshots.
+    pub fn last_update(&self) -> Arc<Mutex<Option<UpdateReport>>> {
+        Arc::clone(&self.last)
+    }
+
+    /// Drops the channel and joins the thread; pending jobs are applied
+    /// first (the channel drains before `recv` errors).
+    pub fn shutdown(&mut self) {
+        drop(self.tx.take());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Snapshot helper: the last update in wire-counter form.
+pub(crate) fn last_update_counters(
+    last: &Mutex<Option<UpdateReport>>,
+) -> Option<acq_metrics::serving::UpdateCounters> {
+    last.lock().expect("last-update lock poisoned").as_ref().map(update_counters)
+}
+
+fn error_frame(request_id: u64, message: &str) -> Frame {
+    let payload = serde_json::to_string(&WireError::new(codes::INVALID_UPDATE, message))
+        .expect("WireError serialises")
+        .into_bytes();
+    Frame::new(FrameKind::Error, request_id, payload)
+}

@@ -13,8 +13,15 @@
 //! * Structural statistics (average member degree, fraction of members with
 //!   degree ≥ k, community size) and distinct-keyword counts, used for
 //!   Figure 8(c,d), Figure 12 and Table 4.
+//!
+//! Beyond the paper's measures, the [`serving`] module defines the
+//! operational counters of the serving layer (`acq-server`): the
+//! [`serving::MetricsSnapshot`] wire shape answered by a `Metrics` frame and
+//! its plain-text dump.
 
 #![deny(missing_docs)]
+
+pub mod serving;
 
 use acq_graph::{AttributedGraph, KeywordId, VertexId};
 use std::collections::HashSet;

@@ -1,0 +1,100 @@
+//! A remote client session against a running `serve` example.
+//!
+//! Connects to `127.0.0.1:7878` (override with `ACQ_SERVE_ADDR`), retrying
+//! for a few seconds so it can be launched back-to-back with the server.
+//! Then it exercises every frame kind — ping, a single query, a batch of
+//! queries, an update through the transactor, and a metrics scrape — and
+//! **exits non-zero** if any step fails or the scraped counters are zero,
+//! which is what the CI `server-smoke` job asserts.
+//!
+//! ```text
+//! cargo run --example serve &
+//! cargo run --example remote_query
+//! ```
+
+use attributed_community_search::prelude::*;
+use attributed_community_search::server::Client;
+
+fn connect_with_retry(addr: &str) -> Client {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        match Client::connect(addr) {
+            Ok(client) => return client,
+            Err(e) => {
+                if std::time::Instant::now() > deadline {
+                    eprintln!("could not connect to {addr}: {e}");
+                    std::process::exit(1);
+                }
+                std::thread::sleep(std::time::Duration::from_millis(200));
+            }
+        }
+    }
+}
+
+fn main() {
+    let addr = std::env::var("ACQ_SERVE_ADDR").unwrap_or_else(|_| "127.0.0.1:7878".to_string());
+    let mut client = connect_with_retry(&addr);
+
+    // 1. Liveness.
+    client.ping().expect("ping answered");
+    println!("ping: ok");
+
+    // 2. One query: the paper's Section 3 example (q = A = vertex 0, k = 2).
+    let response = client.query(&Request::community(VertexId(0)).k(2)).expect("query answered");
+    let ac = &response.result.communities[0];
+    println!(
+        "community of vertex 0 (k=2): {} members, label size {}, algorithm {}, generation {}",
+        ac.vertices.len(),
+        response.result.label_size,
+        response.meta.algorithm,
+        response.meta.generation
+    );
+    assert!(!ac.vertices.is_empty(), "the paper's example community is non-empty");
+
+    // 3. A pipelined batch — sent before any response is read, so the
+    //    server's per-connection batcher can run it as one execute_batch.
+    let batch: Vec<Request> = (0..8u32).map(|v| Request::community(VertexId(v)).k(1)).collect();
+    let answers = client.query_batch(&batch).expect("batch answered");
+    let ok = answers.iter().filter(|a| a.is_ok()).count();
+    println!("batch of {}: {} ok, {} rejected", batch.len(), ok, answers.len() - ok);
+    assert_eq!(ok, batch.len(), "every batched query succeeds on the toy graph");
+
+    // 4. A write through the transactor: a new edge E–B (not in the paper
+    //    graph), then remove it again so repeated runs stay idempotent.
+    let report = client
+        .update(&[GraphDelta::InsertEdge { u: VertexId(4), v: VertexId(1) }])
+        .expect("update applied");
+    println!(
+        "update: generation {}, {} deltas, strategy {:?}",
+        report.generation, report.deltas_applied, report.strategy
+    );
+    let report = client
+        .update(&[GraphDelta::RemoveEdge { u: VertexId(4), v: VertexId(1) }])
+        .expect("revert applied");
+    println!("revert: generation {}", report.generation);
+
+    // 5. Query the post-update generation twice: the first run warms the
+    //    index cache (a miss), the second hits it. The cache is
+    //    per-generation — the updates above dropped the old one — so this is
+    //    what makes the scraped CacheStats non-zero.
+    let warm = client.query(&Request::community(VertexId(0)).k(2)).expect("warming query");
+    let hit = client.query(&Request::community(VertexId(0)).k(2)).expect("cached query");
+    println!(
+        "cache warm-up: misses {} then hits {} (generation {})",
+        warm.meta.cache_misses, hit.meta.cache_hits, hit.meta.generation
+    );
+    assert!(warm.meta.cache_misses > 0, "first post-update query must miss");
+    assert!(hit.meta.cache_hits > 0, "repeated query must hit the cache");
+
+    // 6. Scrape the counters and hold the smoke-test line: everything this
+    //    session did must be visible in the metrics frame.
+    let snapshot = client.metrics().expect("metrics answered");
+    print!("{}", snapshot.render_text());
+    let s = &snapshot.server;
+    assert!(s.queries_served >= 11, "queries_served={}", s.queries_served);
+    assert!(s.updates_applied >= 2, "updates_applied={}", s.updates_applied);
+    assert!(s.batches_executed >= 1, "batches_executed={}", s.batches_executed);
+    assert!(snapshot.cache.hits + snapshot.cache.misses > 0, "the engine cache saw no traffic");
+    assert!(snapshot.generation >= 3, "generation={}", snapshot.generation);
+    println!("remote_query: all assertions passed");
+}

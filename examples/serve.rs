@@ -1,0 +1,58 @@
+//! Serve the paper's Figure 3 graph over the framed TCP protocol.
+//!
+//! Binds an `acq-server` on `127.0.0.1:7878` (override with `ACQ_SERVE_ADDR`)
+//! and keeps serving until killed. Setting `ACQ_SERVE_SECONDS=<n>` makes the
+//! process shut the server down cleanly after `n` seconds — that is how the
+//! CI smoke job bounds the run. Pair it with the `remote_query` example:
+//!
+//! ```text
+//! cargo run --example serve &
+//! cargo run --example remote_query
+//! ```
+//!
+//! The wire format is specified in `docs/PROTOCOL.md`; tuning knobs and the
+//! metrics dump are covered in `docs/OPERATIONS.md`.
+
+use attributed_community_search::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let addr = std::env::var("ACQ_SERVE_ADDR").unwrap_or_else(|_| "127.0.0.1:7878".to_string());
+    let graph = Arc::new(paper_figure3_graph());
+    println!(
+        "serving the Figure 3 graph: {} vertices, {} edges, {} keywords",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.dictionary().len()
+    );
+
+    let engine = Arc::new(Engine::new(graph));
+    let config = ServerConfig::default();
+    let server = Server::bind(&addr, engine, config).expect("bind the serve address");
+    println!("listening on {} (protocol v1, see docs/PROTOCOL.md)", server.local_addr());
+
+    match std::env::var("ACQ_SERVE_SECONDS").ok().and_then(|s| s.parse::<u64>().ok()) {
+        Some(seconds) => {
+            println!("auto-shutdown in {seconds}s (ACQ_SERVE_SECONDS)");
+            std::thread::sleep(std::time::Duration::from_secs(seconds));
+            let snapshot = server.metrics_snapshot();
+            server.shutdown();
+            println!("--- final metrics dump ---");
+            print!("{}", snapshot.render_text());
+        }
+        None => {
+            // Serve forever; the accept threads own the process.
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(60));
+                let s = server.metrics_snapshot().server;
+                println!(
+                    "[minute] connections={} queries={} updates={} errors={}",
+                    s.connections_accepted,
+                    s.queries_served,
+                    s.updates_applied,
+                    s.query_errors + s.update_errors + s.protocol_errors
+                );
+            }
+        }
+    }
+}

@@ -17,7 +17,8 @@
 //! | [`cltree`] | the CL-tree index (basic/advanced construction, maintenance) |
 //! | [`acq`] | the ACQ problem, the `basic-g`/`basic-w`/`Inc-S`/`Inc-T`/`Dec` algorithms, variants, and the unified [`Request`](acq::Request)/[`Executor`](acq::Executor) surface served by the owning [`Engine`](acq::Engine) and the batch layer ([`BatchEngine`](acq::exec::BatchEngine)) |
 //! | [`baselines`] | Global, Local, CODICIL-style detection, star-pattern GPM |
-//! | [`metrics`] | CMF, CPJ, MF and structural cohesion measures |
+//! | [`metrics`] | CMF, CPJ, MF and structural cohesion measures; metrics wire shapes |
+//! | [`server`] | framed TCP serving front-end: [`Server`](server::Server), transactor write path, [`Client`](server::Client) (see `docs/PROTOCOL.md`) |
 //! | [`datagen`] | synthetic dataset profiles, generator, workloads, case study |
 //!
 //! ## Quick start
@@ -80,6 +81,7 @@ pub use acq_fpm as fpm;
 pub use acq_graph as graph;
 pub use acq_kcore as kcore;
 pub use acq_metrics as metrics;
+pub use acq_server as server;
 pub use acq_unionfind as unionfind;
 
 /// The most commonly used items, importable with a single `use`.
@@ -100,4 +102,6 @@ pub mod prelude {
         KeywordSet, VertexId, VertexSubset,
     };
     pub use acq_kcore::{CoreDecomposition, SharedDecomposition};
+    pub use acq_metrics::serving::MetricsSnapshot;
+    pub use acq_server::{Client, Server, ServerConfig, ServerHandle};
 }
