@@ -1,0 +1,64 @@
+//! CRC-32 (the IEEE 802.3 polynomial, reflected form `0xEDB88320`) — the
+//! checksum guarding every [`DeltaLog`](crate::DeltaLog) record and snapshot.
+//!
+//! Hand-rolled because the build environment is offline (no `crc32fast`); the
+//! standard byte-at-a-time table method is plenty for log records, whose cost
+//! is dominated by JSON encoding and `fsync` anyway.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// The 256-entry lookup table, computed at compile time.
+static TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// The CRC-32 of `bytes`, with the conventional `0xFFFFFFFF` init and final
+/// inversion (so `crc32(b"123456789") == 0xCBF43926`, the standard check
+/// value).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_standard_check_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn a_single_flipped_bit_changes_the_checksum() {
+        let base = b"hello, durable world".to_vec();
+        let reference = crc32(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut corrupt = base.clone();
+                corrupt[byte] ^= 1 << bit;
+                assert_ne!(crc32(&corrupt), reference, "flip at byte {byte} bit {bit}");
+            }
+        }
+    }
+}

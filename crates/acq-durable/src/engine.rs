@@ -1,0 +1,308 @@
+//! [`DurableEngine`] — the log-then-apply wrapper around
+//! [`acq_core::Engine`].
+//!
+//! Every write goes through [`DurableEngine::log_and_apply`]: the batch is
+//! appended to the [`DeltaLog`] and fsynced **before**
+//! [`Engine::apply_updates`] runs, so a batch whose report the caller has
+//! seen is guaranteed to survive a crash. Reads go straight to the inner
+//! engine (it is lock-free for readers); only writers serialize on the log.
+
+use crate::log::{DeltaLog, RecoveredLog};
+use crate::storage::{FsStorage, Storage};
+use acq_core::{Engine, Executor, QueryError, Request, Response, UpdateReport};
+use acq_graph::{AttributedGraph, GraphDelta, GraphError};
+use std::io;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Tuning for [`DurableEngine::open`].
+#[derive(Debug, Clone, Copy)]
+pub struct DurableOptions {
+    /// Compact (snapshot + truncate the log) after this many logged records.
+    /// `0` disables automatic compaction. Defaults to 64.
+    pub compact_every: u64,
+    /// Forwarded to [`acq_core::EngineBuilder::cache_capacity`] when set.
+    pub cache_capacity: Option<usize>,
+    /// Forwarded to [`acq_core::EngineBuilder::threads`] when set.
+    pub threads: Option<usize>,
+    /// Forwarded to [`acq_core::EngineBuilder::rebuild_threshold`] when set.
+    pub rebuild_threshold: Option<f64>,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        Self { compact_every: 64, cache_capacity: None, threads: None, rebuild_threshold: None }
+    }
+}
+
+/// Why a durable write failed.
+#[derive(Debug)]
+pub enum DurableError {
+    /// The log append or sync failed — the batch is **not** durable and was
+    /// not applied.
+    Io(io::Error),
+    /// The engine rejected the batch (validation); the log entry was rolled
+    /// back, so nothing was acknowledged.
+    Graph(GraphError),
+}
+
+impl std::fmt::Display for DurableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurableError::Io(e) => write!(f, "durability failure: {e}"),
+            DurableError::Graph(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {}
+
+impl From<io::Error> for DurableError {
+    fn from(e: io::Error) -> Self {
+        DurableError::Io(e)
+    }
+}
+
+impl From<GraphError> for DurableError {
+    fn from(e: GraphError) -> Self {
+        DurableError::Graph(e)
+    }
+}
+
+/// What [`DurableEngine::open`] found and did during recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// A verified snapshot was loaded as the base graph.
+    pub snapshot_loaded: bool,
+    /// A snapshot was present but corrupt and was discarded.
+    pub snapshot_discarded: bool,
+    /// Log records replayed into the engine.
+    pub records_replayed: u64,
+    /// Recovered records the engine refused to re-apply (skipped; this is
+    /// only reachable when the base graph does not match the log's history).
+    pub batches_skipped: u64,
+    /// Trailing log bytes dropped as torn or corrupt.
+    pub truncated_bytes: u64,
+    /// Engine generation after replay.
+    pub generation: u64,
+}
+
+/// Counters for the durability layer, mirrored into the server's metrics
+/// snapshot. All values are since-open except `snapshot_bytes` (current).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// Record bytes appended to the log.
+    pub log_bytes_appended: u64,
+    /// Records appended to the log.
+    pub log_records_appended: u64,
+    /// Records replayed from the log at open.
+    pub records_replayed: u64,
+    /// Trailing bytes truncated from the log at open.
+    pub recovery_truncated_bytes: u64,
+    /// Recovery actions that discarded data (log truncations + discarded
+    /// snapshots).
+    pub recovery_truncations: u64,
+    /// Completed compactions.
+    pub compactions: u64,
+    /// Compaction attempts that failed (the log remains authoritative).
+    pub compaction_failures: u64,
+    /// Wall-clock duration of the last completed compaction, in µs.
+    pub last_compaction_micros: u64,
+    /// Size of the current snapshot file in bytes.
+    pub snapshot_bytes: u64,
+}
+
+struct DurableInner {
+    log: DeltaLog,
+    compact_every: u64,
+    /// Records appended (or replayed) since the last compaction.
+    records_since_compaction: u64,
+    records_replayed: u64,
+    recovery_truncated_bytes: u64,
+    recovery_truncations: u64,
+    compactions: u64,
+    compaction_failures: u64,
+    last_compaction_micros: u64,
+}
+
+/// A crash-safe [`Engine`]: a write-ahead [`DeltaLog`] in front of the
+/// in-memory generation machinery.
+///
+/// All writes **must** go through [`log_and_apply`](Self::log_and_apply) —
+/// applying updates directly on [`engine`](Self::engine) would fork the
+/// in-memory state away from the log. Reads ([`Executor`] or
+/// [`engine`](Self::engine)) are unaffected by the log and never block on
+/// writers.
+pub struct DurableEngine {
+    engine: Arc<Engine>,
+    inner: Mutex<DurableInner>,
+}
+
+impl std::fmt::Debug for DurableEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableEngine").finish_non_exhaustive()
+    }
+}
+
+impl DurableEngine {
+    /// Opens the durable state under `storage`, recovering: verify the
+    /// snapshot (falling back to `base_graph` if absent or corrupt), replay
+    /// the valid log suffix, and build a ready-to-serve engine.
+    pub fn open(
+        storage: Box<dyn Storage>,
+        base_graph: Arc<AttributedGraph>,
+        options: DurableOptions,
+    ) -> io::Result<(Self, RecoveryReport)> {
+        let (log, recovered) = DeltaLog::open(storage)?;
+        let RecoveredLog { snapshot, snapshot_discarded, batches, truncated_bytes, .. } = recovered;
+        let snapshot_loaded = snapshot.is_some();
+        let graph = snapshot.map(Arc::new).unwrap_or(base_graph);
+
+        let mut builder = Engine::builder(graph);
+        if let Some(capacity) = options.cache_capacity {
+            builder = builder.cache_capacity(capacity);
+        }
+        if let Some(threads) = options.threads {
+            builder = builder.threads(threads);
+        }
+        if let Some(fraction) = options.rebuild_threshold {
+            builder = builder.rebuild_threshold(fraction);
+        }
+        let engine = Arc::new(builder.build());
+
+        let records_in_log = batches.len() as u64;
+        let mut replayed = 0u64;
+        let mut skipped = 0u64;
+        for batch in &batches {
+            // A batch that no longer applies (only possible when the base
+            // graph diverged from the logged history) is skipped, not fatal:
+            // recovery must always yield a serving engine.
+            match engine.apply_updates(batch) {
+                Ok(_) => replayed += 1,
+                Err(_) => skipped += 1,
+            }
+        }
+
+        let report = RecoveryReport {
+            snapshot_loaded,
+            snapshot_discarded,
+            records_replayed: replayed,
+            batches_skipped: skipped,
+            truncated_bytes,
+            generation: engine.generation(),
+        };
+        let inner = DurableInner {
+            log,
+            compact_every: options.compact_every,
+            records_since_compaction: records_in_log,
+            records_replayed: replayed,
+            recovery_truncated_bytes: truncated_bytes,
+            recovery_truncations: u64::from(truncated_bytes > 0) + u64::from(snapshot_discarded),
+            compactions: 0,
+            compaction_failures: 0,
+            last_compaction_micros: 0,
+        };
+        Ok((Self { engine, inner: Mutex::new(inner) }, report))
+    }
+
+    /// [`open`](Self::open) over a real directory.
+    pub fn open_dir(
+        dir: impl AsRef<Path>,
+        base_graph: Arc<AttributedGraph>,
+        options: DurableOptions,
+    ) -> io::Result<(Self, RecoveryReport)> {
+        Self::open(Box::new(FsStorage::open(dir)?), base_graph, options)
+    }
+
+    /// The wrapped engine, for reads and serving. Do **not** write to it
+    /// directly; see the type docs.
+    pub fn engine(&self) -> Arc<Engine> {
+        Arc::clone(&self.engine)
+    }
+
+    /// Logs the batch (append + fsync), then applies it to the engine. The
+    /// returned report means the batch is durable: it will be replayed by
+    /// any future [`open`](Self::open) of the same storage.
+    ///
+    /// On [`DurableError::Io`] the batch is neither durable nor applied; on
+    /// [`DurableError::Graph`] (validation) the log record is rolled back.
+    pub fn log_and_apply(&self, deltas: &[GraphDelta]) -> Result<UpdateReport, DurableError> {
+        let mut inner = self.inner.lock().unwrap();
+        let seq = inner.log.append(deltas)?;
+        match self.engine.apply_updates(deltas) {
+            Ok(report) => {
+                inner.records_since_compaction += 1;
+                if inner.compact_every > 0 && inner.records_since_compaction >= inner.compact_every
+                {
+                    Self::compact_locked(&self.engine, &mut inner, seq);
+                }
+                Ok(report)
+            }
+            Err(e) => {
+                // Best effort: a stranded record would be skipped on replay
+                // anyway (it fails apply deterministically), so a rollback
+                // failure does not change what recovery rebuilds.
+                let _ = inner.log.rollback_last();
+                Err(DurableError::Graph(e))
+            }
+        }
+    }
+
+    /// Forces a compaction now: snapshot the current graph, truncate the
+    /// log. Returns whether the snapshot was installed.
+    pub fn compact(&self) -> io::Result<()> {
+        let mut inner = self.inner.lock().unwrap();
+        let seq = inner.log.last_seq();
+        let before = inner.compaction_failures;
+        Self::compact_locked(&self.engine, &mut inner, seq);
+        if inner.compaction_failures > before {
+            Err(io::Error::other("snapshot installation failed"))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn compact_locked(engine: &Engine, inner: &mut DurableInner, seq: u64) {
+        let started = Instant::now();
+        let graph = engine.graph();
+        match inner.log.install_snapshot(&graph, seq) {
+            Ok(()) => {
+                inner.records_since_compaction = 0;
+                inner.compactions += 1;
+                inner.last_compaction_micros = started.elapsed().as_micros() as u64;
+            }
+            Err(_) => {
+                // The log is still complete, so nothing is lost — the next
+                // trigger retries.
+                inner.compaction_failures += 1;
+            }
+        }
+    }
+
+    /// Current durability counters.
+    pub fn stats(&self) -> DurabilityStats {
+        let inner = self.inner.lock().unwrap();
+        DurabilityStats {
+            log_bytes_appended: inner.log.bytes_appended(),
+            log_records_appended: inner.log.records_appended(),
+            records_replayed: inner.records_replayed,
+            recovery_truncated_bytes: inner.recovery_truncated_bytes,
+            recovery_truncations: inner.recovery_truncations,
+            compactions: inner.compactions,
+            compaction_failures: inner.compaction_failures,
+            last_compaction_micros: inner.last_compaction_micros,
+            snapshot_bytes: inner.log.snapshot_bytes(),
+        }
+    }
+}
+
+impl Executor for DurableEngine {
+    fn execute(&self, request: &Request) -> Result<Response, QueryError> {
+        self.engine.execute(request)
+    }
+
+    fn execute_batch(&self, requests: &[Request]) -> Vec<Result<Response, QueryError>> {
+        self.engine.execute_batch(requests)
+    }
+}

@@ -1,0 +1,274 @@
+//! Fault-injecting [`Storage`] for the recovery test suite.
+//!
+//! [`FaultyStorage`] wraps a [`MemStorage`] "disk" and injects failures at
+//! scripted points:
+//!
+//! * **torn writes** — a crash budget in bytes ([`crash_after_bytes`]
+//!   (FaultyStorage::crash_after_bytes)): the write that would exceed the
+//!   budget persists only its prefix up to the budget, then fails, and every
+//!   later operation fails too (the process is "dead");
+//! * **short reads** — a file's reads return only a prefix;
+//! * **flipped bytes** — a file's reads see one bit inverted;
+//! * **I/O errors** — reads of a file, or all syncs, fail outright.
+//!
+//! The wrapped [`MemStorage`] plays the role of the platters: after a
+//! scripted crash, a test "reboots" by taking [`disk`](FaultyStorage::disk)
+//! (the surviving bytes) and opening a fresh log over them.
+
+use crate::storage::{MemStorage, Storage};
+use std::collections::HashMap;
+use std::io;
+use std::sync::{Arc, Mutex};
+
+/// How reads of one file misbehave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadFault {
+    /// Reads return only the first `n` bytes — the on-disk view a torn
+    /// write or a lost tail leaves behind.
+    Short(usize),
+    /// Reads see the bit at this index (byte `i / 8`, bit `i % 8`) inverted.
+    /// The underlying bytes are untouched.
+    FlipBit(u64),
+    /// Reads fail with an I/O error.
+    Error,
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    /// Total bytes this storage may persist before the scripted crash.
+    crash_after: Option<u64>,
+    /// Bytes persisted so far (appends and atomic writes).
+    written: u64,
+    /// Set once the crash point is hit; everything fails afterwards.
+    crashed: bool,
+    read_faults: HashMap<String, ReadFault>,
+    fail_syncs: bool,
+}
+
+fn crashed_error() -> io::Error {
+    io::Error::new(io::ErrorKind::BrokenPipe, "injected fault: storage crashed")
+}
+
+/// A [`Storage`] wrapper that injects scripted faults. Clones share both the
+/// disk and the fault state.
+#[derive(Debug, Clone, Default)]
+pub struct FaultyStorage {
+    inner: MemStorage,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultyStorage {
+    /// A fault-free storage over an empty disk. Faults are scripted with the
+    /// setters below.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scripts a crash once `budget` total bytes have been persisted: the
+    /// write crossing the budget keeps only its prefix (a torn write), then
+    /// this storage fails every subsequent operation.
+    pub fn crash_after_bytes(&self, budget: u64) {
+        self.state.lock().unwrap().crash_after = Some(budget);
+    }
+
+    /// Scripts a read fault for `name`.
+    pub fn set_read_fault(&self, name: &str, fault: ReadFault) {
+        self.state.lock().unwrap().read_faults.insert(name.to_string(), fault);
+    }
+
+    /// Makes every [`sync`](Storage::sync) fail (data already appended stays
+    /// on the disk — the classic "write succeeded, fsync didn't" case).
+    pub fn fail_syncs(&self, fail: bool) {
+        self.state.lock().unwrap().fail_syncs = fail;
+    }
+
+    /// Clears all scripted faults and revives a crashed storage — the test
+    /// equivalent of a reboot reusing the same device.
+    pub fn heal(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.crash_after = None;
+        state.crashed = false;
+        state.read_faults.clear();
+        state.fail_syncs = false;
+    }
+
+    /// Total bytes persisted so far.
+    pub fn written(&self) -> u64 {
+        self.state.lock().unwrap().written
+    }
+
+    /// Whether the scripted crash point has been hit.
+    pub fn crashed(&self) -> bool {
+        self.state.lock().unwrap().crashed
+    }
+
+    /// The surviving disk — hand a clone of this to a fresh log to model a
+    /// post-crash reopen.
+    pub fn disk(&self) -> MemStorage {
+        self.inner.clone()
+    }
+
+    /// Persists as much of `bytes` as the crash budget allows via `persist`.
+    /// Returns `Ok(())` if the whole write fit, the crash error otherwise.
+    fn guarded_write(
+        &mut self,
+        bytes: &[u8],
+        persist: impl FnOnce(&mut MemStorage, &[u8]) -> io::Result<()>,
+    ) -> io::Result<()> {
+        let keep = {
+            let mut state = self.state.lock().unwrap();
+            if state.crashed {
+                return Err(crashed_error());
+            }
+            match state.crash_after {
+                Some(budget) if state.written + bytes.len() as u64 > budget => {
+                    let keep = (budget - state.written.min(budget)) as usize;
+                    state.written += keep as u64;
+                    state.crashed = true;
+                    Some(keep)
+                }
+                _ => {
+                    state.written += bytes.len() as u64;
+                    None
+                }
+            }
+        };
+        match keep {
+            None => persist(&mut self.inner, bytes),
+            Some(keep) => {
+                persist(&mut self.inner, &bytes[..keep])?;
+                Err(crashed_error())
+            }
+        }
+    }
+}
+
+impl Storage for FaultyStorage {
+    fn read(&self, name: &str) -> io::Result<Option<Vec<u8>>> {
+        let fault = {
+            let state = self.state.lock().unwrap();
+            if state.crashed {
+                return Err(crashed_error());
+            }
+            state.read_faults.get(name).copied()
+        };
+        let bytes = self.inner.read(name)?;
+        match (fault, bytes) {
+            (Some(ReadFault::Error), _) => {
+                Err(io::Error::new(io::ErrorKind::InvalidData, "injected fault: read error"))
+            }
+            (Some(ReadFault::Short(n)), Some(mut bytes)) => {
+                bytes.truncate(n);
+                Ok(Some(bytes))
+            }
+            (Some(ReadFault::FlipBit(bit)), Some(mut bytes)) => {
+                let byte = (bit / 8) as usize;
+                if byte < bytes.len() {
+                    bytes[byte] ^= 1 << (bit % 8);
+                }
+                Ok(Some(bytes))
+            }
+            (_, bytes) => Ok(bytes),
+        }
+    }
+
+    fn append(&mut self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        self.guarded_write(bytes, |inner, kept| inner.append(name, kept))
+    }
+
+    fn sync(&mut self, name: &str) -> io::Result<()> {
+        {
+            let state = self.state.lock().unwrap();
+            if state.crashed {
+                return Err(crashed_error());
+            }
+            if state.fail_syncs {
+                return Err(io::Error::other("injected fault: sync failed"));
+            }
+        }
+        self.inner.sync(name)
+    }
+
+    fn truncate(&mut self, name: &str, len: u64) -> io::Result<()> {
+        if self.state.lock().unwrap().crashed {
+            return Err(crashed_error());
+        }
+        self.inner.truncate(name, len)
+    }
+
+    fn write_atomic(&mut self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        // A torn atomic write strands its prefix in the temporary sibling;
+        // the destination keeps its old contents — exactly the guarantee a
+        // real write-temp + rename gives across a crash.
+        let tmp = format!("{name}.tmp");
+        self.guarded_write(bytes, |inner, kept| {
+            if kept.len() == bytes.len() {
+                inner.write_atomic(name, kept)
+            } else {
+                inner.write_atomic(&tmp, kept)
+            }
+        })
+    }
+
+    fn remove(&mut self, name: &str) -> io::Result<()> {
+        if self.state.lock().unwrap().crashed {
+            return Err(crashed_error());
+        }
+        self.inner.remove(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_torn_write_persists_exactly_the_budgeted_prefix() {
+        let mut storage = FaultyStorage::new();
+        storage.crash_after_bytes(5);
+        storage.append("f", b"abc").unwrap();
+        let err = storage.append("f", b"defg").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        assert!(storage.crashed());
+        assert_eq!(storage.disk().contents("f"), Some(b"abcde".to_vec()));
+        // Dead storage fails everything, including reads and syncs.
+        assert!(storage.read("f").is_err());
+        assert!(storage.sync("f").is_err());
+        assert!(storage.append("f", b"x").is_err());
+    }
+
+    #[test]
+    fn a_write_ending_exactly_on_the_budget_survives() {
+        let mut storage = FaultyStorage::new();
+        storage.crash_after_bytes(3);
+        storage.append("f", b"abc").unwrap();
+        assert!(!storage.crashed());
+        let _ = storage.append("f", b"d").unwrap_err();
+        assert_eq!(storage.disk().contents("f"), Some(b"abc".to_vec()));
+    }
+
+    #[test]
+    fn read_faults_shape_the_observed_bytes_without_touching_the_disk() {
+        let mut storage = FaultyStorage::new();
+        storage.append("f", b"abcdef").unwrap();
+        storage.set_read_fault("f", ReadFault::Short(2));
+        assert_eq!(storage.read("f").unwrap(), Some(b"ab".to_vec()));
+        storage.set_read_fault("f", ReadFault::FlipBit(8));
+        assert_eq!(storage.read("f").unwrap(), Some(b"accdef".to_vec()));
+        storage.set_read_fault("f", ReadFault::Error);
+        assert!(storage.read("f").is_err());
+        assert_eq!(storage.disk().contents("f"), Some(b"abcdef".to_vec()));
+        storage.heal();
+        assert_eq!(storage.read("f").unwrap(), Some(b"abcdef".to_vec()));
+    }
+
+    #[test]
+    fn a_torn_atomic_write_leaves_the_old_file_intact() {
+        let mut storage = FaultyStorage::new();
+        storage.write_atomic("snap", b"old").unwrap();
+        storage.crash_after_bytes(5);
+        let _ = storage.write_atomic("snap", b"brand new contents").unwrap_err();
+        assert_eq!(storage.disk().contents("snap"), Some(b"old".to_vec()));
+        assert_eq!(storage.disk().contents("snap.tmp"), Some(b"br".to_vec()));
+    }
+}

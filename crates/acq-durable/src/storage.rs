@@ -1,0 +1,239 @@
+//! The storage abstraction under the delta log.
+//!
+//! [`DeltaLog`](crate::DeltaLog) never touches the filesystem directly; it
+//! goes through the object-safe [`Storage`] trait, so the same log code runs
+//! against a real directory ([`FsStorage`]), an in-memory map for tests
+//! ([`MemStorage`]), or the fault-injecting wrapper
+//! ([`FaultyStorage`](crate::FaultyStorage)) that the recovery proptests use
+//! to simulate torn writes, short reads, flipped bytes and I/O errors.
+//!
+//! The trait is deliberately whole-file oriented (read everything, append,
+//! truncate, atomic replace): the log is append-only and recovery reads the
+//! file once on open, so positional reads buy nothing and would triple the
+//! fault-injection surface.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// A named-file byte store with the primitives the log needs.
+///
+/// Durability contract: bytes are guaranteed on stable storage only after a
+/// successful [`sync`](Storage::sync) (or [`write_atomic`](Storage::write_atomic),
+/// which syncs internally). An `append` without a `sync` may be lost — or
+/// partially kept — by a crash.
+pub trait Storage: Send {
+    /// The full contents of `name`, or `None` if the file does not exist.
+    fn read(&self, name: &str) -> io::Result<Option<Vec<u8>>>;
+
+    /// Appends `bytes` to `name`, creating it if absent.
+    fn append(&mut self, name: &str, bytes: &[u8]) -> io::Result<()>;
+
+    /// Forces previously appended bytes of `name` to stable storage.
+    fn sync(&mut self, name: &str) -> io::Result<()>;
+
+    /// Shrinks `name` to `len` bytes and syncs. Recovery uses this to drop
+    /// trailing garbage after a torn write.
+    fn truncate(&mut self, name: &str, len: u64) -> io::Result<()>;
+
+    /// Replaces `name` with `bytes` atomically: the full contents are written
+    /// to a temporary sibling, synced, then renamed over `name`. A crash at
+    /// any point leaves either the old file or the new one, never a mix.
+    fn write_atomic(&mut self, name: &str, bytes: &[u8]) -> io::Result<()>;
+
+    /// Deletes `name`; succeeds if it is already absent.
+    fn remove(&mut self, name: &str) -> io::Result<()>;
+}
+
+/// [`Storage`] over a real directory. Every `name` is a file directly under
+/// `root` (created on construction).
+#[derive(Debug)]
+pub struct FsStorage {
+    root: PathBuf,
+}
+
+impl FsStorage {
+    /// Opens (creating if needed) the directory `root`.
+    pub fn open(root: impl AsRef<Path>) -> io::Result<Self> {
+        let root = root.as_ref().to_path_buf();
+        std::fs::create_dir_all(&root)?;
+        Ok(Self { root })
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+
+    /// Best-effort directory sync, so a rename/create is itself durable.
+    /// Ignored on platforms where opening a directory for sync is
+    /// unsupported.
+    fn sync_dir(&self) {
+        if let Ok(dir) = File::open(&self.root) {
+            let _ = dir.sync_all();
+        }
+    }
+}
+
+impl Storage for FsStorage {
+    fn read(&self, name: &str) -> io::Result<Option<Vec<u8>>> {
+        match std::fs::read(self.path(name)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn append(&mut self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        let mut file = OpenOptions::new().create(true).append(true).open(self.path(name))?;
+        file.write_all(bytes)
+    }
+
+    fn sync(&mut self, name: &str) -> io::Result<()> {
+        match File::open(self.path(name)) {
+            Ok(file) => file.sync_all(),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn truncate(&mut self, name: &str, len: u64) -> io::Result<()> {
+        let file = OpenOptions::new().write(true).open(self.path(name))?;
+        file.set_len(len)?;
+        file.sync_all()
+    }
+
+    fn write_atomic(&mut self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        let tmp = self.path(&format!("{name}.tmp"));
+        {
+            let mut file = File::create(&tmp)?;
+            file.write_all(bytes)?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, self.path(name))?;
+        self.sync_dir();
+        Ok(())
+    }
+
+    fn remove(&mut self, name: &str) -> io::Result<()> {
+        match std::fs::remove_file(self.path(name)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// In-memory [`Storage`] for tests. Clones share the same underlying map, so
+/// a test can keep a handle to "the disk", hand a clone to a [`crate::DeltaLog`]
+/// (crate::DeltaLog), and later reopen from the surviving bytes or corrupt
+/// them in place.
+#[derive(Debug, Clone, Default)]
+pub struct MemStorage {
+    files: Arc<Mutex<HashMap<String, Vec<u8>>>>,
+}
+
+impl MemStorage {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of the current contents of `name`, if present.
+    pub fn contents(&self, name: &str) -> Option<Vec<u8>> {
+        self.files.lock().unwrap().get(name).cloned()
+    }
+
+    /// Replaces the contents of `name` wholesale (test setup).
+    pub fn insert(&self, name: &str, bytes: Vec<u8>) {
+        self.files.lock().unwrap().insert(name.to_string(), bytes);
+    }
+
+    /// Mutates the stored bytes of `name` in place — the corruption hook the
+    /// recovery tests use for bit flips and truncations. Panics if the file
+    /// does not exist (a corruption test targeting a missing file is a bug).
+    pub fn corrupt(&self, name: &str, f: impl FnOnce(&mut Vec<u8>)) {
+        let mut files = self.files.lock().unwrap();
+        let bytes = files.get_mut(name).unwrap_or_else(|| panic!("no file `{name}` to corrupt"));
+        f(bytes);
+    }
+
+    /// The stored size of `name` in bytes (0 if absent).
+    pub fn len(&self, name: &str) -> u64 {
+        self.files.lock().unwrap().get(name).map_or(0, |b| b.len() as u64)
+    }
+
+    /// Whether the store holds no files at all.
+    pub fn is_empty(&self) -> bool {
+        self.files.lock().unwrap().is_empty()
+    }
+}
+
+impl Storage for MemStorage {
+    fn read(&self, name: &str) -> io::Result<Option<Vec<u8>>> {
+        Ok(self.contents(name))
+    }
+
+    fn append(&mut self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        self.files.lock().unwrap().entry(name.to_string()).or_default().extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&mut self, _name: &str) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn truncate(&mut self, name: &str, len: u64) -> io::Result<()> {
+        if let Some(bytes) = self.files.lock().unwrap().get_mut(name) {
+            bytes.truncate(len as usize);
+        }
+        Ok(())
+    }
+
+    fn write_atomic(&mut self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        self.insert(name, bytes.to_vec());
+        Ok(())
+    }
+
+    fn remove(&mut self, name: &str) -> io::Result<()> {
+        self.files.lock().unwrap().remove(name);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_storage_clones_share_the_same_files() {
+        let mut a = MemStorage::new();
+        let b = a.clone();
+        a.append("f", b"xyz").unwrap();
+        assert_eq!(b.contents("f"), Some(b"xyz".to_vec()));
+        b.corrupt("f", |bytes| bytes[0] = b'a');
+        assert_eq!(a.contents("f"), Some(b"ayz".to_vec()));
+    }
+
+    #[test]
+    fn fs_storage_round_trips_append_truncate_and_atomic_replace() {
+        let dir = std::env::temp_dir().join(format!("acq-fs-storage-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut fs = FsStorage::open(&dir).unwrap();
+        assert_eq!(fs.read("log").unwrap(), None);
+        fs.append("log", b"abc").unwrap();
+        fs.append("log", b"def").unwrap();
+        fs.sync("log").unwrap();
+        assert_eq!(fs.read("log").unwrap(), Some(b"abcdef".to_vec()));
+        fs.truncate("log", 4).unwrap();
+        assert_eq!(fs.read("log").unwrap(), Some(b"abcd".to_vec()));
+        fs.write_atomic("snap", b"snapshot bytes").unwrap();
+        assert_eq!(fs.read("snap").unwrap(), Some(b"snapshot bytes".to_vec()));
+        assert_eq!(fs.read("snap.tmp").unwrap(), None, "temp file renamed away");
+        fs.remove("snap").unwrap();
+        fs.remove("snap").unwrap();
+        assert_eq!(fs.read("snap").unwrap(), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -157,6 +157,10 @@ pub mod codes {
     pub const INVALID_QUERY: &str = "invalid-query";
     /// The delta batch failed validation (`GraphError`); nothing was applied.
     pub const INVALID_UPDATE: &str = "invalid-update";
+    /// On a durable server, the delta log could not persist the batch
+    /// (append or fsync failed). Nothing was applied or acknowledged; the
+    /// batch may be retried once the storage recovers.
+    pub const DURABILITY: &str = "durability-error";
     /// Admission control rejected the query: the per-connection queue or the
     /// global in-flight bound is full. Back off and retry.
     pub const BACKPRESSURE: &str = "backpressure";

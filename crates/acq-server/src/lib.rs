@@ -11,7 +11,12 @@
 //! * The **transactor** — every `Update` frame, from every connection,
 //!   funnels through one serialized thread that owns
 //!   [`Engine::apply_updates`](acq_core::Engine::apply_updates); reads never
-//!   block on writers.
+//!   block on writers. On a durable server
+//!   ([`Server::bind_durable`](server::Server::bind_durable)) the transactor
+//!   routes through
+//!   [`DurableEngine::log_and_apply`](acq_durable::DurableEngine::log_and_apply),
+//!   so every acknowledged update is fsynced to the delta log first (see
+//!   `docs/DURABILITY.md`).
 //! * [`Client`] — a minimal blocking client speaking the same frames.
 //! * The `Metrics` frame — exports the server's counters together with the
 //!   engine's [`CacheStats`](acq_core::exec::CacheStats) and last

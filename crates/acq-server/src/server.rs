@@ -20,9 +20,10 @@
 use crate::frame::{
     codes, read_frame, write_frame, Frame, FrameError, FrameKind, WireError, DEFAULT_MAX_FRAME_LEN,
 };
-use crate::metrics::{cache_counters, ServerMetrics};
-use crate::transactor::{last_update_counters, Transactor, WriteJob};
+use crate::metrics::{cache_counters, durability_counters, ServerMetrics};
+use crate::transactor::{last_update_counters, Transactor, WriteApply, WriteJob};
 use acq_core::{Engine, Executor, Request, UpdateReport};
+use acq_durable::DurableEngine;
 use acq_graph::GraphDelta;
 use acq_metrics::serving::MetricsSnapshot;
 use std::collections::VecDeque;
@@ -83,6 +84,9 @@ pub struct Server;
 /// Shared state every server thread hangs off.
 struct Shared {
     engine: Arc<Engine>,
+    /// Set on durable servers; the transactor writes through it, and the
+    /// `Metrics` frame reports its counters.
+    durable: Option<Arc<DurableEngine>>,
     metrics: Arc<ServerMetrics>,
     config: ServerConfig,
     shutdown: AtomicBool,
@@ -128,12 +132,41 @@ impl Server {
         engine: Arc<Engine>,
         config: ServerConfig,
     ) -> io::Result<ServerHandle> {
+        Self::bind_inner(addr, engine, None, config)
+    }
+
+    /// Like [`bind`](Self::bind), but writes go through the durable engine's
+    /// log-then-apply path: every acknowledged `UpdateOk` is fsynced to the
+    /// delta log before it is applied, so it survives a `kill -9`. Reads are
+    /// served by the wrapped in-memory engine exactly as on a volatile
+    /// server, and the `Metrics` frame additionally reports the durability
+    /// counters.
+    pub fn bind_durable<A: ToSocketAddrs>(
+        addr: A,
+        durable: Arc<DurableEngine>,
+        config: ServerConfig,
+    ) -> io::Result<ServerHandle> {
+        let engine = durable.engine();
+        Self::bind_inner(addr, engine, Some(durable), config)
+    }
+
+    fn bind_inner<A: ToSocketAddrs>(
+        addr: A,
+        engine: Arc<Engine>,
+        durable: Option<Arc<DurableEngine>>,
+        config: ServerConfig,
+    ) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let metrics = Arc::new(ServerMetrics::default());
-        let transactor = Transactor::spawn(Arc::clone(&engine), Arc::clone(&metrics));
+        let apply = match &durable {
+            Some(durable) => WriteApply::Durable(Arc::clone(durable)),
+            None => WriteApply::Volatile(Arc::clone(&engine)),
+        };
+        let transactor = Transactor::spawn(apply, Arc::clone(&metrics));
         let shared = Arc::new(Shared {
             engine,
+            durable,
             metrics,
             config: config.clone(),
             shutdown: AtomicBool::new(false),
@@ -532,13 +565,15 @@ fn reserve_in_flight(shared: &Shared, wanted: usize) -> usize {
 }
 
 /// The `Metrics` frame body: server counters + engine cache counters +
-/// generation + the transactor's last update.
+/// generation + the transactor's last update + durability counters (durable
+/// servers only).
 fn snapshot(shared: &Shared) -> MetricsSnapshot {
     MetricsSnapshot {
         server: shared.metrics.snapshot(),
         cache: cache_counters(shared.engine.cache_stats()),
         generation: shared.engine.generation(),
         last_update: last_update_counters(&shared.last_update),
+        durability: shared.durable.as_ref().map(|d| durability_counters(d.stats())),
     }
 }
 

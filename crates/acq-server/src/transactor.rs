@@ -13,15 +13,45 @@
 //! (an `UpdateOk` frame carrying the serde-ed `UpdateReport`, or an error
 //! frame), so connection readers stay free to keep decoding queries while a
 //! write is in flight.
+//!
+//! On a durable server ([`Server::bind_durable`](crate::Server::bind_durable))
+//! the transactor routes through
+//! [`DurableEngine::log_and_apply`](acq_durable::DurableEngine::log_and_apply)
+//! instead: the batch is appended to the delta log and fsynced **before** it
+//! is applied, so an `UpdateOk` the client has read is guaranteed to survive
+//! a crash.
 
 use crate::frame::{codes, Frame, FrameKind, WireError};
 use crate::metrics::{update_counters, ServerMetrics};
 use crate::server::ConnectionWriter;
 use acq_core::{Engine, UpdateReport};
+use acq_durable::{DurableEngine, DurableError};
 use acq_graph::GraphDelta;
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+
+/// How the transactor applies a batch: straight to the in-memory engine, or
+/// log-then-apply through a durable one.
+pub(crate) enum WriteApply {
+    Volatile(Arc<Engine>),
+    Durable(Arc<DurableEngine>),
+}
+
+impl WriteApply {
+    /// Applies one batch, mapping failures to `(wire code, message)`.
+    fn apply(&self, deltas: &[GraphDelta]) -> Result<UpdateReport, (&'static str, String)> {
+        match self {
+            WriteApply::Volatile(engine) => {
+                engine.apply_updates(deltas).map_err(|e| (codes::INVALID_UPDATE, e.to_string()))
+            }
+            WriteApply::Durable(durable) => durable.log_and_apply(deltas).map_err(|e| match e {
+                DurableError::Graph(g) => (codes::INVALID_UPDATE, g.to_string()),
+                DurableError::Io(io) => (codes::DURABILITY, format!("batch not persisted: {io}")),
+            }),
+        }
+    }
+}
 
 /// One queued write: the decoded delta batch plus everything needed to
 /// answer the submitting connection.
@@ -39,8 +69,8 @@ pub(crate) struct Transactor {
 }
 
 impl Transactor {
-    /// Spawns the transactor thread for `engine`.
-    pub fn spawn(engine: Arc<Engine>, metrics: Arc<ServerMetrics>) -> Self {
+    /// Spawns the transactor thread for the given write path.
+    pub fn spawn(apply: WriteApply, metrics: Arc<ServerMetrics>) -> Self {
         let (tx, rx) = channel::<WriteJob>();
         let last = Arc::new(Mutex::new(None));
         let last_writer = Arc::clone(&last);
@@ -49,7 +79,7 @@ impl Transactor {
             .spawn(move || {
                 // The loop ends when every sender is dropped (server shutdown).
                 while let Ok(job) = rx.recv() {
-                    let reply = match engine.apply_updates(&job.deltas) {
+                    let reply = match apply.apply(&job.deltas) {
                         Ok(report) => {
                             ServerMetrics::bump(&metrics.updates_applied);
                             ServerMetrics::add(
@@ -64,12 +94,16 @@ impl Transactor {
                                     job.request_id,
                                     json.into_bytes(),
                                 ),
-                                Err(e) => error_frame(job.request_id, &e.to_string()),
+                                Err(e) => error_frame(
+                                    job.request_id,
+                                    codes::INVALID_UPDATE,
+                                    &e.to_string(),
+                                ),
                             }
                         }
-                        Err(e) => {
+                        Err((code, message)) => {
                             ServerMetrics::bump(&metrics.update_errors);
-                            error_frame(job.request_id, &e.to_string())
+                            error_frame(job.request_id, code, &message)
                         }
                     };
                     // A vanished connection is not the transactor's problem.
@@ -107,8 +141,8 @@ pub(crate) fn last_update_counters(
     last.lock().expect("last-update lock poisoned").as_ref().map(update_counters)
 }
 
-fn error_frame(request_id: u64, message: &str) -> Frame {
-    let payload = serde_json::to_string(&WireError::new(codes::INVALID_UPDATE, message))
+fn error_frame(request_id: u64, code: &str, message: &str) -> Frame {
+    let payload = serde_json::to_string(&WireError::new(code, message))
         .expect("WireError serialises")
         .into_bytes();
     Frame::new(FrameKind::Error, request_id, payload)

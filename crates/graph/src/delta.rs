@@ -105,7 +105,7 @@ impl GraphDelta {
 /// and index maintenance: an `EdgeInserted(u, v)` means the edge is now
 /// present and was not before, which is exactly the precondition of the
 /// subcore maintenance kernels.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AppliedDelta {
     /// The edge `{u, v}` was inserted (it was previously absent).
     EdgeInserted(VertexId, VertexId),
@@ -140,6 +140,28 @@ mod tests {
                 keywords: vec!["x".into(), "y".into()]
             }
         );
+    }
+
+    #[test]
+    fn applied_deltas_round_trip_through_json() {
+        let applied = vec![
+            AppliedDelta::EdgeInserted(VertexId(0), VertexId(1)),
+            AppliedDelta::EdgeRemoved(VertexId(2), VertexId(3)),
+            AppliedDelta::KeywordAdded(VertexId(4), KeywordId(7)),
+            AppliedDelta::KeywordRemoved(VertexId(5), KeywordId(8)),
+            AppliedDelta::VertexInserted(VertexId(6)),
+        ];
+        for delta in applied {
+            let json = serde_json::to_string(&delta).unwrap();
+            let restored: AppliedDelta = serde_json::from_str(&json).unwrap();
+            assert_eq!(restored, delta, "{json}");
+        }
+        // The externally tagged tuple encoding is part of the wire contract.
+        let json =
+            serde_json::to_string(&AppliedDelta::EdgeInserted(VertexId(1), VertexId(2))).unwrap();
+        assert_eq!(json, r#"{"EdgeInserted":[1,2]}"#);
+        let json = serde_json::to_string(&AppliedDelta::VertexInserted(VertexId(9))).unwrap();
+        assert_eq!(json, r#"{"VertexInserted":9}"#);
     }
 
     #[test]

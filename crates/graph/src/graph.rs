@@ -48,7 +48,11 @@ impl Deserialize for AttributedGraph {
         let neighbors: Vec<VertexId> = field(value, "neighbors")?;
         let keywords: Vec<KeywordSet> = field(value, "keywords")?;
         let labels: Vec<Option<String>> = field(value, "labels")?;
-        let dictionary: KeywordDictionary = field(value, "dictionary")?;
+        let mut dictionary: KeywordDictionary = field(value, "dictionary")?;
+        // The term → id lookup is `#[serde(skip)]`; without this rebuild a
+        // deserialized graph would treat every keyword delta as an unknown
+        // term (a silent no-op on replay).
+        dictionary.rebuild_lookup();
         // Validate the CSR shape before rebuilding derived structures, so a
         // malformed payload is an error instead of a panic.
         let n = keywords.len();
@@ -1067,6 +1071,22 @@ mod tests {
         assert_eq!(g2.keyword_set(a), g.keyword_set(a));
         assert_eq!(g2.adjacency_row(a), g.adjacency_row(a), "bitmap rows are rebuilt identically");
         assert!(!json.contains("adjacency"), "derived bitmap stays off the wire");
+
+        // The term → id lookup must be rebuilt on deserialization: keyword
+        // deltas replayed against a loaded snapshot resolve terms through
+        // `dictionary().get`, and a no-op lookup would silently drop them.
+        for (id, term) in g.dictionary().iter() {
+            assert_eq!(g2.dictionary().get(term), Some(id), "lookup lost for `{term}`");
+        }
+        let v = VertexId(4);
+        let term = g.dictionary().terms_of(g.keyword_set(v)).next().unwrap().to_string();
+        let g3 = g2
+            .apply_deltas(&[GraphDelta::RemoveKeyword { vertex: v, term: term.clone() }])
+            .unwrap();
+        assert!(
+            g3.keyword_set(v).len() < g2.keyword_set(v).len(),
+            "RemoveKeyword(`{term}`) was a no-op on the deserialized graph"
+        );
     }
 
     #[test]

@@ -99,8 +99,35 @@ pub struct UpdateCounters {
     pub cache_dropped: u64,
 }
 
+/// Counters of the durability layer (delta log + snapshot compaction),
+/// mirrored from `acq_durable::DurabilityStats` so this crate stays
+/// dependency-light. Present only when the server runs a durable engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DurabilityCounters {
+    /// Record bytes appended (and fsynced) to the delta log since open.
+    pub log_bytes_appended: u64,
+    /// Records appended to the delta log since open.
+    pub log_records_appended: u64,
+    /// Log records replayed into the engine at open.
+    pub records_replayed: u64,
+    /// Trailing log bytes truncated as torn or corrupt at open.
+    pub recovery_truncated_bytes: u64,
+    /// Recovery actions that discarded data (log truncations plus discarded
+    /// snapshots).
+    pub recovery_truncations: u64,
+    /// Completed snapshot compactions since open.
+    pub compactions: u64,
+    /// Compaction attempts that failed (the log stays authoritative).
+    pub compaction_failures: u64,
+    /// Wall-clock duration of the last completed compaction, in µs.
+    pub last_compaction_micros: u64,
+    /// Size of the current snapshot file in bytes.
+    pub snapshot_bytes: u64,
+}
+
 /// Everything a `Metrics` frame reports: server counters, engine cache
-/// counters, the published generation number, and the last update (if any).
+/// counters, the published generation number, the last update (if any), and
+/// the durability counters (if the server is durable).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
     /// Frame/connection/admission counters of the server.
@@ -111,6 +138,8 @@ pub struct MetricsSnapshot {
     pub generation: u64,
     /// The most recent transactor update, if one has been applied.
     pub last_update: Option<UpdateCounters>,
+    /// Delta-log and compaction counters; `None` on a volatile server.
+    pub durability: Option<DurabilityCounters>,
 }
 
 impl MetricsSnapshot {
@@ -153,6 +182,21 @@ impl MetricsSnapshot {
             let _ = writeln!(out, "acq_last_update_cache_carried {}", u.cache_carried);
             let _ = writeln!(out, "acq_last_update_cache_dropped {}", u.cache_dropped);
         }
+        if let Some(d) = &self.durability {
+            for (name, value) in [
+                ("acq_log_bytes_appended", d.log_bytes_appended),
+                ("acq_log_records_appended", d.log_records_appended),
+                ("acq_log_records_replayed", d.records_replayed),
+                ("acq_recovery_truncated_bytes", d.recovery_truncated_bytes),
+                ("acq_recovery_truncations", d.recovery_truncations),
+                ("acq_compactions", d.compactions),
+                ("acq_compaction_failures", d.compaction_failures),
+                ("acq_last_compaction_micros", d.last_compaction_micros),
+                ("acq_snapshot_bytes", d.snapshot_bytes),
+            ] {
+                let _ = writeln!(out, "{name} {value}");
+            }
+        }
         out
     }
 }
@@ -189,6 +233,17 @@ mod tests {
                 cache_carried: 4,
                 cache_dropped: 1,
             }),
+            durability: Some(DurabilityCounters {
+                log_bytes_appended: 4096,
+                log_records_appended: 12,
+                records_replayed: 3,
+                recovery_truncated_bytes: 17,
+                recovery_truncations: 1,
+                compactions: 2,
+                compaction_failures: 0,
+                last_compaction_micros: 850,
+                snapshot_bytes: 2048,
+            }),
         }
     }
 
@@ -198,6 +253,10 @@ mod tests {
         assert!(text.contains("acq_queries_served 30\n"));
         assert!(text.contains("acq_cache_hit_rate 0.6667\n"));
         assert!(text.contains("acq_last_update_strategy IncrementalStableSkeleton\n"));
+        assert!(text.contains("acq_log_bytes_appended 4096\n"));
+        assert!(text.contains("acq_log_records_replayed 3\n"));
+        assert!(text.contains("acq_recovery_truncations 1\n"));
+        assert!(text.contains("acq_last_compaction_micros 850\n"));
         // Flat `name value` lines only: every line splits into exactly two
         // whitespace-separated fields.
         for line in text.lines() {
@@ -217,6 +276,11 @@ mod tests {
         let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, cold);
         assert!(back.last_update.is_none());
+        assert!(back.durability.is_none());
+        assert!(
+            !cold.render_text().contains("acq_log_"),
+            "volatile servers must not emit durability lines"
+        );
     }
 
     #[test]

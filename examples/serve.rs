@@ -10,8 +10,16 @@
 //! cargo run --example remote_query
 //! ```
 //!
+//! **Durable mode**: set `ACQ_SERVE_DIR=<path>` to put a crash-safe delta
+//! log under that directory. Every acknowledged update is fsynced before it
+//! is applied, and a restart pointing at the same directory replays the log
+//! (snapshot + valid record suffix) before serving — this is what the CI
+//! `recovery-smoke` job `kill -9`s and restarts. `ACQ_SERVE_COMPACT_EVERY`
+//! overrides the compaction cadence (records between snapshots; 0 disables).
+//!
 //! The wire format is specified in `docs/PROTOCOL.md`; tuning knobs and the
-//! metrics dump are covered in `docs/OPERATIONS.md`.
+//! metrics dump are covered in `docs/OPERATIONS.md`; the log format and
+//! recovery semantics in `docs/DURABILITY.md`.
 
 use attributed_community_search::prelude::*;
 use std::sync::Arc;
@@ -26,9 +34,32 @@ fn main() {
         graph.dictionary().len()
     );
 
-    let engine = Arc::new(Engine::new(graph));
     let config = ServerConfig::default();
-    let server = Server::bind(&addr, engine, config).expect("bind the serve address");
+    let server = match std::env::var("ACQ_SERVE_DIR") {
+        Ok(dir) => {
+            let mut options = DurableOptions::default();
+            if let Some(every) =
+                std::env::var("ACQ_SERVE_COMPACT_EVERY").ok().and_then(|s| s.parse::<u64>().ok())
+            {
+                options.compact_every = every;
+            }
+            let (durable, recovery) =
+                DurableEngine::open_dir(&dir, graph, options).expect("open the durable state");
+            println!(
+                "durable mode: dir={dir} snapshot_loaded={} records_replayed={} \
+                 truncated_bytes={} generation={}",
+                recovery.snapshot_loaded,
+                recovery.records_replayed,
+                recovery.truncated_bytes,
+                recovery.generation
+            );
+            Server::bind_durable(&addr, Arc::new(durable), config).expect("bind the serve address")
+        }
+        Err(_) => {
+            let engine = Arc::new(Engine::new(graph));
+            Server::bind(&addr, engine, config).expect("bind the serve address")
+        }
+    };
     println!("listening on {} (protocol v1, see docs/PROTOCOL.md)", server.local_addr());
 
     match std::env::var("ACQ_SERVE_SECONDS").ok().and_then(|s| s.parse::<u64>().ok()) {

@@ -1,0 +1,72 @@
+//! Stream a sequence of writes at a running `serve` example.
+//!
+//! Connects to `127.0.0.1:7878` (override with `ACQ_SERVE_ADDR`), retrying
+//! for a few seconds, then submits `ACQ_STREAM_COUNT` (default 10 000)
+//! single-delta update batches — each inserting one fresh keyword-tagged
+//! vertex — and counts how many the server acknowledges before the
+//! connection dies.
+//!
+//! The CI `recovery-smoke` job runs this against a **durable** server and
+//! `kill -9`s the server mid-stream: the stream then ends with a transport
+//! error, which is expected. The example exits non-zero only if *nothing*
+//! was acknowledged (the server never took a write at all); otherwise it
+//! prints the acknowledged count and exits zero. Every acknowledged update
+//! was fsynced to the delta log before the `UpdateOk` frame was sent (see
+//! `docs/DURABILITY.md`), so the restarted server must replay at least that
+//! prefix.
+//!
+//! The inserted vertices are isolated (degree zero), so they never change
+//! the answer to any community query the `remote_query` example asserts on.
+
+use attributed_community_search::prelude::*;
+use attributed_community_search::server::Client;
+
+fn connect_with_retry(addr: &str) -> Client {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        match Client::connect(addr) {
+            Ok(client) => return client,
+            Err(e) => {
+                if std::time::Instant::now() > deadline {
+                    eprintln!("could not connect to {addr}: {e}");
+                    std::process::exit(1);
+                }
+                std::thread::sleep(std::time::Duration::from_millis(200));
+            }
+        }
+    }
+}
+
+fn main() {
+    let addr = std::env::var("ACQ_SERVE_ADDR").unwrap_or_else(|_| "127.0.0.1:7878".to_string());
+    let count = std::env::var("ACQ_STREAM_COUNT")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(10_000);
+    let mut client = connect_with_retry(&addr);
+    println!("streaming {count} vertex-insert updates to {addr}");
+
+    let mut acked: u64 = 0;
+    for i in 0..count {
+        let delta = GraphDelta::insert_vertex(None, &["stream"]);
+        match client.update(&[delta]) {
+            Ok(report) => {
+                acked += 1;
+                if acked.is_multiple_of(500) {
+                    println!("acked {acked} updates (generation {})", report.generation);
+                }
+            }
+            Err(e) => {
+                // The recovery-smoke job kills the server mid-stream; a
+                // transport error here is the expected end of the run.
+                println!("stream ended after {acked} acked updates (attempt {i}): {e}");
+                break;
+            }
+        }
+    }
+    println!("write_stream: {acked} updates acknowledged");
+    if acked == 0 {
+        eprintln!("write_stream: the server never acknowledged a write");
+        std::process::exit(1);
+    }
+}

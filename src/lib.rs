@@ -19,6 +19,7 @@
 //! | [`baselines`] | Global, Local, CODICIL-style detection, star-pattern GPM |
 //! | [`metrics`] | CMF, CPJ, MF and structural cohesion measures; metrics wire shapes |
 //! | [`server`] | framed TCP serving front-end: [`Server`](server::Server), transactor write path, [`Client`](server::Client) (see `docs/PROTOCOL.md`) |
+//! | [`durable`] | crash-safe delta log, snapshot compaction, [`DurableEngine`](durable::DurableEngine) replay recovery (see `docs/DURABILITY.md`) |
 //! | [`datagen`] | synthetic dataset profiles, generator, workloads, case study |
 //!
 //! ## Quick start
@@ -77,6 +78,7 @@ pub use acq_baselines as baselines;
 pub use acq_cltree as cltree;
 pub use acq_core as acq;
 pub use acq_datagen as datagen;
+pub use acq_durable as durable;
 pub use acq_fpm as fpm;
 pub use acq_graph as graph;
 pub use acq_kcore as kcore;
@@ -97,6 +99,7 @@ pub mod prelude {
         ExecutionMeta, Executor, QueryError, QuerySpec, Request, Response, UpdateReport,
         UpdateStrategy, Variant1Query, Variant2Query,
     };
+    pub use acq_durable::{DurableEngine, DurableOptions, RecoveryReport};
     pub use acq_graph::{
         paper_figure3_graph, AppliedDelta, AttributedGraph, GraphBuilder, GraphDelta, KeywordId,
         KeywordSet, VertexId, VertexSubset,

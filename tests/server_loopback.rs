@@ -204,6 +204,94 @@ fn queries_under_a_write_stream_replay_byte_identical() {
     }
 }
 
+#[test]
+fn a_restarted_durable_server_answers_byte_identical_to_an_unrestarted_one() {
+    let dir = std::env::temp_dir().join(format!("acq-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let base = Arc::new(paper_figure3_graph());
+
+    // Writes the restart must preserve: edge and keyword churn plus a new
+    // vertex, with a cadence that makes compaction fold some batches into
+    // the snapshot while others stay in the log as replayable records.
+    let batches: Vec<Vec<GraphDelta>> = vec![
+        vec![GraphDelta::InsertEdge { u: VertexId(4), v: VertexId(3) }],
+        vec![GraphDelta::AddKeyword { vertex: VertexId(4), term: "y".to_string() }],
+        vec![GraphDelta::InsertVertex { label: None, keywords: vec!["x".to_string()] }],
+        vec![GraphDelta::InsertEdge { u: VertexId(5), v: VertexId(0) }],
+        vec![GraphDelta::RemoveKeyword { vertex: VertexId(4), term: "y".to_string() }],
+    ];
+    let options = DurableOptions { compact_every: 3, ..DurableOptions::default() };
+
+    // Phase 1: a durable server takes the writes, answers some queries, and
+    // shuts down cleanly.
+    let first_run: Vec<String> = {
+        let (durable, report) =
+            DurableEngine::open_dir(&dir, Arc::clone(&base), options).expect("open durable dir");
+        assert_eq!(report.records_replayed, 0, "a fresh directory has nothing to replay");
+        let server =
+            Server::bind_durable("127.0.0.1:0", Arc::new(durable), ServerConfig::default())
+                .expect("bind durable loopback");
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        for (i, batch) in batches.iter().enumerate() {
+            let report = client.update(batch).expect("durable update acknowledged");
+            assert_eq!(report.generation, 2 + i as u64);
+        }
+        let answers = request_mix(&base)
+            .iter()
+            .map(|r| result_bytes(&client.query(r).expect("query answered")))
+            .collect();
+        let snapshot = server.metrics_snapshot();
+        let durability = snapshot.durability.expect("durable server exports durability counters");
+        assert_eq!(durability.log_records_appended, batches.len() as u64);
+        assert!(durability.log_bytes_appended > 0);
+        assert!(durability.compactions >= 1, "compact_every=3 over 5 batches must compact");
+        server.shutdown();
+        answers
+    };
+
+    // Phase 2: a new process image opens the same directory. Recovery loads
+    // the snapshot and replays only the records it does not cover.
+    let restarted: Vec<String> = {
+        let (durable, report) =
+            DurableEngine::open_dir(&dir, Arc::clone(&base), options).expect("reopen durable dir");
+        assert!(report.snapshot_loaded, "compaction installed a snapshot");
+        assert!(
+            report.records_replayed > 0 && report.records_replayed < batches.len() as u64,
+            "replay should cover exactly the post-snapshot records, got {}",
+            report.records_replayed
+        );
+        assert_eq!(report.batches_skipped, 0);
+        let server =
+            Server::bind_durable("127.0.0.1:0", Arc::new(durable), ServerConfig::default())
+                .expect("rebind durable loopback");
+        let mut client = Client::connect(server.local_addr()).expect("reconnect");
+        let answers = request_mix(&base)
+            .iter()
+            .map(|r| result_bytes(&client.query(r).expect("query answered after restart")))
+            .collect();
+        let snapshot = server.metrics_snapshot();
+        let durability = snapshot.durability.expect("durability counters after restart");
+        assert!(durability.records_replayed > 0);
+        server.shutdown();
+        answers
+    };
+
+    // The reference: an engine that never restarted — it simply applied
+    // every acknowledged batch in order.
+    let reference = Engine::new(Arc::clone(&base));
+    for batch in &batches {
+        reference.apply_updates(batch).expect("reference applies");
+    }
+    let expected: Vec<String> = request_mix(&base)
+        .iter()
+        .map(|r| result_bytes(&reference.execute(r).expect("reference executes")))
+        .collect();
+    assert_eq!(first_run, expected, "pre-restart durable answers diverged");
+    assert_eq!(restarted, expected, "post-restart answers must be byte-identical");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// One long-lived server for the malformed-frame tests: `max_frame_len` is
 /// tiny so oversize rejection is cheap to trigger. A `static` handle is never
 /// dropped, so the server outlives every test in the binary.

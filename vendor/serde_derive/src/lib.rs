@@ -7,10 +7,12 @@
 //! * `#[serde(transparent)]` newtype structs (one unnamed field), which also
 //!   get a `JsonKey` impl so they can be used as map keys;
 //! * enums whose variants are unit variants (serialized as the variant name
-//!   string) or have named fields (serialized externally tagged, as
-//!   `{"Variant": {fields...}}`);
-//! * generic parameters, tuple enum variants and other serde attributes are
-//!   **not** supported and produce a compile error.
+//!   string), have named fields (serialized externally tagged, as
+//!   `{"Variant": {fields...}}`), or have unnamed fields (externally tagged as
+//!   `{"Variant": value}` for a single field and `{"Variant": [a, b, ...]}`
+//!   otherwise, matching real serde's newtype/tuple variant encoding);
+//! * generic parameters and other serde attributes are **not** supported and
+//!   produce a compile error.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -34,8 +36,17 @@ enum Kind {
 #[derive(Debug)]
 struct Variant {
     name: String,
-    /// `None` for a unit variant, field `(name, skipped)` pairs otherwise.
-    fields: Option<Vec<(String, bool)>>,
+    fields: VariantFields,
+}
+
+#[derive(Debug)]
+enum VariantFields {
+    /// `Variant` — serialized as the bare variant name string.
+    Unit,
+    /// `Variant { a: A, b: B }` — field `(name, skipped)` pairs.
+    Named(Vec<(String, bool)>),
+    /// `Variant(A, B)` — this many unnamed fields.
+    Tuple(usize),
 }
 
 /// Splits leading attributes off a token cursor, returning whether any of
@@ -141,12 +152,13 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
         let fields = match tokens.get(pos) {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
                 pos += 1;
-                Some(parse_named_fields(g.stream()))
+                VariantFields::Named(parse_named_fields(g.stream()))
             }
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
-                panic!("serde stand-in: tuple enum variants are not supported ({name})")
+                pos += 1;
+                VariantFields::Tuple(count_tuple_fields(g.stream()))
             }
-            _ => None,
+            _ => VariantFields::Unit,
         };
         match tokens.get(pos) {
             None => {}
@@ -268,10 +280,29 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             for variant in variants {
                 let vname = &variant.name;
                 match &variant.fields {
-                    None => arms.push_str(&format!(
+                    VariantFields::Unit => arms.push_str(&format!(
                         "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),\n"
                     )),
-                    Some(fields) => {
+                    VariantFields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => ::serde::Value::Object(::std::vec![(\n\
+                             \"{vname}\".to_string(), ::serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    VariantFields::Tuple(count) => {
+                        let bindings: Vec<String> =
+                            (0..*count).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = bindings
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![(\n\
+                                 \"{vname}\".to_string(),\n\
+                                 ::serde::Value::Array(::std::vec![{}]))]),\n",
+                            bindings.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
                         let bindings: Vec<String> = fields
                             .iter()
                             .map(|(f, skip)| if *skip { format!("{f}: _") } else { f.clone() })
@@ -349,8 +380,10 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             ));
         }
         (Kind::Enum(variants), false) => {
-            let units: Vec<&Variant> = variants.iter().filter(|v| v.fields.is_none()).collect();
-            let structs: Vec<&Variant> = variants.iter().filter(|v| v.fields.is_some()).collect();
+            let units: Vec<&Variant> =
+                variants.iter().filter(|v| matches!(v.fields, VariantFields::Unit)).collect();
+            let structs: Vec<&Variant> =
+                variants.iter().filter(|v| !matches!(v.fields, VariantFields::Unit)).collect();
             let mut arms = String::new();
             if !units.is_empty() {
                 let mut unit_arms = String::new();
@@ -372,25 +405,50 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                 let mut tag_arms = String::new();
                 for variant in &structs {
                     let vname = &variant.name;
-                    let mut body = String::new();
-                    for (field, skip) in variant.fields.as_ref().expect("struct variant") {
-                        if *skip {
-                            body.push_str(&format!(
-                                "{field}: ::std::default::Default::default(),\n"
+                    match &variant.fields {
+                        VariantFields::Unit => unreachable!("unit variants filtered out"),
+                        VariantFields::Tuple(1) => tag_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok(\n\
+                                 {name}::{vname}(::serde::Deserialize::from_value(__inner)?)),\n"
+                        )),
+                        VariantFields::Tuple(count) => {
+                            let items: Vec<String> = (0..*count)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__items[{i}])?")
+                                })
+                                .collect();
+                            tag_arms.push_str(&format!(
+                                "\"{vname}\" => match __inner {{\n\
+                                     ::serde::Value::Array(__items) if __items.len() == {count} =>\n\
+                                         ::std::result::Result::Ok({name}::{vname}({})),\n\
+                                     _ => ::std::result::Result::Err(::serde::Error::custom(\n\
+                                         \"expected a {count}-element array for {name}::{vname}\")),\n\
+                                 }},\n",
+                                items.join(", ")
                             ));
-                        } else {
-                            body.push_str(&format!(
-                                "{field}: match __inner.get_field(\"{field}\") {{\n\
-                                     ::std::option::Option::Some(v) => ::serde::Deserialize::from_value(v)?,\n\
-                                     ::std::option::Option::None => return ::std::result::Result::Err(\n\
-                                         ::serde::Error::custom(\"missing field `{field}` in {name}::{vname}\")),\n\
-                                 }},\n"
+                        }
+                        VariantFields::Named(fields) => {
+                            let mut body = String::new();
+                            for (field, skip) in fields {
+                                if *skip {
+                                    body.push_str(&format!(
+                                        "{field}: ::std::default::Default::default(),\n"
+                                    ));
+                                } else {
+                                    body.push_str(&format!(
+                                        "{field}: match __inner.get_field(\"{field}\") {{\n\
+                                             ::std::option::Option::Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+                                             ::std::option::Option::None => return ::std::result::Result::Err(\n\
+                                                 ::serde::Error::custom(\"missing field `{field}` in {name}::{vname}\")),\n\
+                                         }},\n"
+                                    ));
+                                }
+                            }
+                            tag_arms.push_str(&format!(
+                                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{ {body} }}),\n"
                             ));
                         }
                     }
-                    tag_arms.push_str(&format!(
-                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{ {body} }}),\n"
-                    ));
                 }
                 arms.push_str(&format!(
                     "::serde::Value::Object(__tagged) if __tagged.len() == 1 => {{\n\
