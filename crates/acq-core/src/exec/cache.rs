@@ -18,9 +18,9 @@
 use crate::exec::lru::LruCache;
 use acq_cltree::{ClTree, NodeId};
 use acq_graph::{AttributedGraph, KeywordId, VertexId, VertexSubset};
+use acq_sync::sync::atomic::{AtomicU64, Ordering};
+use acq_sync::sync::{Arc, Mutex};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
 
 /// Cache key: which CL-tree subtree, which degree bound, which keyword set.
 ///
@@ -383,6 +383,44 @@ mod tests {
         let disabled = IndexCache::disabled();
         let (carried, dropped) = disabled.carry_from(&old, |_| true);
         assert_eq!((carried, dropped), (0, 2));
+    }
+
+    #[test]
+    fn carry_from_preserves_recency_so_eviction_hits_the_cold_entry() {
+        // Regression pin: `carry_from` must reproduce the old cache's
+        // LRU→MRU order in the new cache, not just its contents. If the
+        // iteration order regressed (e.g. to insertion order), the first
+        // post-swap eviction would throw out the *hottest* entry.
+        let g = paper_figure3_graph();
+        let index = build_advanced(&g, true);
+        let a = g.vertex_by_label("A").unwrap();
+        let node1 = index.locate_core(a, 1).unwrap();
+        let node2 = index.locate_core(a, 2).unwrap();
+        let node3 = index.locate_core(a, 3).unwrap();
+
+        let old = IndexCache::with_capacity(2);
+        let hot = old.subtree_vertices(&index, node1, 1);
+        let cold = old.subtree_vertices(&index, node2, 2);
+        // Touch the k=1 entry so recency is (k=2 cold, k=1 hot) — the
+        // reverse of insertion order, which is what makes the pin bite.
+        assert!(Arc::ptr_eq(&hot, &old.subtree_vertices(&index, node1, 1)));
+
+        let fresh = IndexCache::with_capacity(2);
+        let (carried, dropped) = fresh.carry_from(&old, |_| true);
+        assert_eq!((carried, dropped), (2, 0));
+
+        // One new entry through the full cache must evict the cold one.
+        fresh.subtree_vertices(&index, node3, 3);
+        assert_eq!(fresh.stats().evictions, 1);
+        assert!(
+            Arc::ptr_eq(&hot, &fresh.subtree_vertices(&index, node1, 1)),
+            "the recently used entry must survive the post-carry eviction"
+        );
+        let recomputed = fresh.subtree_vertices(&index, node2, 2);
+        assert!(
+            !Arc::ptr_eq(&cold, &recomputed),
+            "the least recently used entry is the one that was evicted"
+        );
     }
 
     #[test]

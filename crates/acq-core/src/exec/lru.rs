@@ -240,6 +240,50 @@ mod tests {
         assert_eq!(replay.insert(4, "d"), Some((2, "b")), "2 is still the LRU entry");
     }
 
+    /// The slab/list/map invariants a pointer-based LRU would need `unsafe`
+    /// (and `// SAFETY:` obligations) to uphold, checked dynamically: the
+    /// `prev`/`next` chains are exact mirrors, `map` and `free` partition
+    /// the live slab, and every live slot holds a value.
+    fn assert_structural_invariants(cache: &LruCache<u64, u64>) {
+        let lru_to_mru: Vec<u64> = cache.iter().map(|(k, _)| *k).collect();
+        assert_eq!(lru_to_mru.len(), cache.len(), "list length disagrees with the map");
+        let mut mru_to_lru: Vec<u64> =
+            std::iter::successors(cache.head, |&slot| cache.slots[slot].next)
+                .map(|slot| cache.slots[slot].key)
+                .collect();
+        mru_to_lru.reverse();
+        assert_eq!(lru_to_mru, mru_to_lru, "prev and next chains disagree");
+        assert!(cache.len() <= cache.capacity(), "capacity bound violated");
+        for (key, &slot) in &cache.map {
+            assert_eq!(&cache.slots[slot].key, key, "map points at a slot with another key");
+            assert!(cache.slots[slot].value.is_some(), "live slot lost its value");
+            assert!(!cache.free.contains(&slot), "slot is both live and free");
+        }
+        for &slot in &cache.free {
+            assert!(cache.slots[slot].value.is_none(), "freed slot still holds a value");
+        }
+        assert_eq!(
+            cache.map.len() + cache.free.len(),
+            cache.slots.len(),
+            "map and free list must partition the slab"
+        );
+    }
+
+    #[test]
+    fn slab_list_and_map_stay_consistent_under_churn() {
+        let mut cache = LruCache::new(4);
+        for step in 0u64..500 {
+            let key = (step * step + step / 3) % 11;
+            if step % 3 == 0 {
+                cache.get(&key);
+            } else {
+                cache.insert(key, step);
+            }
+            assert_structural_invariants(&cache);
+        }
+        assert_eq!(cache.len(), 4, "churn across 11 keys keeps a capacity-4 cache full");
+    }
+
     #[test]
     fn capacity_zero_stores_nothing() {
         let mut cache = LruCache::new(0);

@@ -20,7 +20,7 @@
 
 mod cache;
 mod lru;
-pub(crate) mod pool;
+pub mod pool;
 
 pub use cache::{CacheKey, CacheKind, CacheStats, IndexCache};
 pub use lru::LruCache;
@@ -32,7 +32,7 @@ use crate::variants::{Variant1Query, Variant2Query};
 use acq_cltree::{build_advanced, ClTree};
 use acq_graph::AttributedGraph;
 use acq_kcore::SharedDecomposition;
-use std::sync::Arc;
+use acq_sync::sync::Arc;
 
 /// Default LRU bound for the shared index cache (entries, not bytes; each
 /// entry is one `Arc`'d vertex list or pool).
@@ -119,7 +119,7 @@ impl FromIterator<(AcqQuery, AcqAlgorithm)> for QueryBatch {
 /// use acq_core::exec::BatchEngine;
 /// use acq_core::{Executor, Request};
 /// use acq_graph::paper_figure3_graph;
-/// use std::sync::Arc;
+/// use acq_sync::sync::Arc;
 ///
 /// let graph = Arc::new(paper_figure3_graph());
 /// let engine = BatchEngine::new(Arc::clone(&graph)).with_threads(2);

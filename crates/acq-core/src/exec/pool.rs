@@ -6,15 +6,15 @@
 //! slot matching its input index — so the output order is always the input
 //! order, no matter how the items are scheduled across threads.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use acq_sync::sync::atomic::{AtomicUsize, Ordering};
+use acq_sync::sync::Mutex;
 
 /// Resolves a configured worker count for a batch of `batch_len` items:
 /// `0` means one worker per available core, and no more workers than items
 /// are ever used.
-pub(crate) fn effective_threads(configured: usize, batch_len: usize) -> usize {
+pub fn effective_threads(configured: usize, batch_len: usize) -> usize {
     let configured = if configured == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        acq_sync::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     } else {
         configured
     };
@@ -27,7 +27,7 @@ pub(crate) fn effective_threads(configured: usize, batch_len: usize) -> usize {
 /// sequential map on the calling thread — no threads are spawned, which is
 /// what makes single-threaded batch runs exactly equivalent to a query loop.
 /// Worker panics propagate to the caller when the scope joins.
-pub(crate) fn map_ordered<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+pub fn map_ordered<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
@@ -41,7 +41,7 @@ where
 
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
+    acq_sync::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);

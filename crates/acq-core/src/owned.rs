@@ -30,9 +30,9 @@ use crate::query::QueryError;
 use crate::request::{execute_on, Executor, Request, Response};
 use acq_cltree::{build_advanced, maintenance, ClTree, NodeId};
 use acq_graph::{AppliedDelta, AttributedGraph, GraphDelta, GraphError};
+use acq_sync::sync::{Arc, Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
-use std::sync::{Arc, Mutex, RwLock};
 
 /// One published generation: the graph, the index built for exactly that
 /// graph, the cache scoped to that index, and the generation number stamped

@@ -11,9 +11,9 @@ use crate::log::{DeltaLog, RecoveredLog};
 use crate::storage::{FsStorage, Storage};
 use acq_core::{Engine, Executor, QueryError, Request, Response, UpdateReport};
 use acq_graph::{AttributedGraph, GraphDelta, GraphError};
+use acq_sync::sync::{Arc, Mutex, PoisonError};
 use std::io;
 use std::path::Path;
-use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Tuning for [`DurableEngine::open`].
@@ -115,6 +115,14 @@ pub struct DurabilityStats {
 
 struct DurableInner {
     log: DeltaLog,
+    /// Set while a writer is inside the log-then-apply critical section and
+    /// cleared on the way out. A panic mid-write leaves it set, and every
+    /// later write is refused: the in-memory log cursor may no longer match
+    /// the bytes on disk, so acknowledging against it could promise
+    /// durability the disk does not have. This is the crate's own poison
+    /// bit — unlike `std` mutex poisoning it survives poison-tolerant
+    /// locking and is observable under the model checker.
+    wedged: bool,
     compact_every: u64,
     /// Records appended (or replayed) since the last compaction.
     records_since_compaction: u64,
@@ -194,6 +202,7 @@ impl DurableEngine {
         };
         let inner = DurableInner {
             log,
+            wedged: false,
             compact_every: options.compact_every,
             records_since_compaction: records_in_log,
             records_replayed: replayed,
@@ -227,15 +236,35 @@ impl DurableEngine {
     ///
     /// On [`DurableError::Io`] the batch is neither durable nor applied; on
     /// [`DurableError::Graph`] (validation) the log record is rolled back.
+    /// A write that panicked mid-log leaves the log **wedged**: every later
+    /// `log_and_apply` returns [`DurableError::Io`] instead of acknowledging
+    /// (see `DurableInner::wedged`). Reads and [`stats`](Self::stats) keep
+    /// working; recovery via a fresh [`open`](Self::open) is the way back.
     pub fn log_and_apply(&self, deltas: &[GraphDelta]) -> Result<UpdateReport, DurableError> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if inner.wedged {
+            return Err(DurableError::Io(wedged_error()));
+        }
+        inner.wedged = true;
+        let outcome = Self::log_and_apply_locked(&self.engine, &mut inner, deltas);
+        // Not reached when the critical section unwinds: the flag stays set
+        // and the log never acknowledges another write.
+        inner.wedged = false;
+        outcome
+    }
+
+    fn log_and_apply_locked(
+        engine: &Engine,
+        inner: &mut DurableInner,
+        deltas: &[GraphDelta],
+    ) -> Result<UpdateReport, DurableError> {
         let seq = inner.log.append(deltas)?;
-        match self.engine.apply_updates(deltas) {
+        match engine.apply_updates(deltas) {
             Ok(report) => {
                 inner.records_since_compaction += 1;
                 if inner.compact_every > 0 && inner.records_since_compaction >= inner.compact_every
                 {
-                    Self::compact_locked(&self.engine, &mut inner, seq);
+                    Self::compact_locked(engine, inner, seq);
                 }
                 Ok(report)
             }
@@ -252,7 +281,10 @@ impl DurableEngine {
     /// Forces a compaction now: snapshot the current graph, truncate the
     /// log. Returns whether the snapshot was installed.
     pub fn compact(&self) -> io::Result<()> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if inner.wedged {
+            return Err(wedged_error());
+        }
         let seq = inner.log.last_seq();
         let before = inner.compaction_failures;
         Self::compact_locked(&self.engine, &mut inner, seq);
@@ -282,7 +314,9 @@ impl DurableEngine {
 
     /// Current durability counters.
     pub fn stats(&self) -> DurabilityStats {
-        let inner = self.inner.lock().unwrap();
+        // Tolerant read: the counters must stay observable even after a
+        // writer died (that is exactly when an operator wants them).
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         DurabilityStats {
             log_bytes_appended: inner.log.bytes_appended(),
             log_records_appended: inner.log.records_appended(),
@@ -295,6 +329,13 @@ impl DurableEngine {
             snapshot_bytes: inner.log.snapshot_bytes(),
         }
     }
+}
+
+fn wedged_error() -> io::Error {
+    io::Error::other(
+        "delta log wedged: an earlier write panicked mid-log, so the in-memory log cursor may \
+         not match the bytes on disk; refusing to acknowledge writes (reopen to recover)",
+    )
 }
 
 impl Executor for DurableEngine {

@@ -16,9 +16,9 @@
 //! (the surviving bytes) and opening a fresh log over them.
 
 use crate::storage::{MemStorage, Storage};
+use acq_sync::sync::{Arc, Mutex, PoisonError};
 use std::collections::HashMap;
 use std::io;
-use std::sync::{Arc, Mutex};
 
 /// How reads of one file misbehave.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,24 +68,28 @@ impl FaultyStorage {
     /// write crossing the budget keeps only its prefix (a torn write), then
     /// this storage fails every subsequent operation.
     pub fn crash_after_bytes(&self, budget: u64) {
-        self.state.lock().unwrap().crash_after = Some(budget);
+        self.state.lock().unwrap_or_else(PoisonError::into_inner).crash_after = Some(budget);
     }
 
     /// Scripts a read fault for `name`.
     pub fn set_read_fault(&self, name: &str, fault: ReadFault) {
-        self.state.lock().unwrap().read_faults.insert(name.to_string(), fault);
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .read_faults
+            .insert(name.to_string(), fault);
     }
 
     /// Makes every [`sync`](Storage::sync) fail (data already appended stays
     /// on the disk — the classic "write succeeded, fsync didn't" case).
     pub fn fail_syncs(&self, fail: bool) {
-        self.state.lock().unwrap().fail_syncs = fail;
+        self.state.lock().unwrap_or_else(PoisonError::into_inner).fail_syncs = fail;
     }
 
     /// Clears all scripted faults and revives a crashed storage — the test
     /// equivalent of a reboot reusing the same device.
     pub fn heal(&self) {
-        let mut state = self.state.lock().unwrap();
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         state.crash_after = None;
         state.crashed = false;
         state.read_faults.clear();
@@ -94,12 +98,12 @@ impl FaultyStorage {
 
     /// Total bytes persisted so far.
     pub fn written(&self) -> u64 {
-        self.state.lock().unwrap().written
+        self.state.lock().unwrap_or_else(PoisonError::into_inner).written
     }
 
     /// Whether the scripted crash point has been hit.
     pub fn crashed(&self) -> bool {
-        self.state.lock().unwrap().crashed
+        self.state.lock().unwrap_or_else(PoisonError::into_inner).crashed
     }
 
     /// The surviving disk — hand a clone of this to a fresh log to model a
@@ -116,7 +120,7 @@ impl FaultyStorage {
         persist: impl FnOnce(&mut MemStorage, &[u8]) -> io::Result<()>,
     ) -> io::Result<()> {
         let keep = {
-            let mut state = self.state.lock().unwrap();
+            let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
             if state.crashed {
                 return Err(crashed_error());
             }
@@ -146,7 +150,7 @@ impl FaultyStorage {
 impl Storage for FaultyStorage {
     fn read(&self, name: &str) -> io::Result<Option<Vec<u8>>> {
         let fault = {
-            let state = self.state.lock().unwrap();
+            let state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
             if state.crashed {
                 return Err(crashed_error());
             }
@@ -178,7 +182,7 @@ impl Storage for FaultyStorage {
 
     fn sync(&mut self, name: &str) -> io::Result<()> {
         {
-            let state = self.state.lock().unwrap();
+            let state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
             if state.crashed {
                 return Err(crashed_error());
             }
@@ -190,7 +194,7 @@ impl Storage for FaultyStorage {
     }
 
     fn truncate(&mut self, name: &str, len: u64) -> io::Result<()> {
-        if self.state.lock().unwrap().crashed {
+        if self.state.lock().unwrap_or_else(PoisonError::into_inner).crashed {
             return Err(crashed_error());
         }
         self.inner.truncate(name, len)
@@ -211,7 +215,7 @@ impl Storage for FaultyStorage {
     }
 
     fn remove(&mut self, name: &str) -> io::Result<()> {
-        if self.state.lock().unwrap().crashed {
+        if self.state.lock().unwrap_or_else(PoisonError::into_inner).crashed {
             return Err(crashed_error());
         }
         self.inner.remove(name)

@@ -81,17 +81,23 @@ fn frame_record(seq: u64, payload: &[u8]) -> Vec<u8> {
 /// past-EOF length, checksum mismatch.
 fn decode_frame_at(bytes: &[u8], pos: usize) -> Option<(u64, &[u8], usize)> {
     let header = bytes.get(pos..pos + 8)?;
-    let len = u32::from_be_bytes(header[0..4].try_into().unwrap());
+    let len = u32::from_be_bytes(read_array::<4>(header, 0)?);
     if !(8..=MAX_RECORD_LEN).contains(&len) {
         return None;
     }
-    let stored_crc = u32::from_be_bytes(header[4..8].try_into().unwrap());
+    let stored_crc = u32::from_be_bytes(read_array::<4>(header, 4)?);
     let body = bytes.get(pos + 8..pos + 8 + len as usize)?;
     if crc32(body) != stored_crc {
         return None;
     }
-    let seq = u64::from_be_bytes(body[0..8].try_into().unwrap());
+    let seq = u64::from_be_bytes(read_array::<8>(body, 0)?);
     Some((seq, &body[8..], pos + 8 + len as usize))
+}
+
+/// Checked fixed-size read: `None` instead of a panic when `bytes` is too
+/// short, keeping every decode defect on the single "torn tail" path.
+fn read_array<const N: usize>(bytes: &[u8], at: usize) -> Option<[u8; N]> {
+    bytes.get(at..at + N)?.try_into().ok()
 }
 
 /// Decodes a payload as a delta batch; `None` on any decode failure.

@@ -12,11 +12,11 @@
 //! file once on open, so positional reads buy nothing and would triple the
 //! fault-injection surface.
 
+use acq_sync::sync::{Arc, Mutex, PoisonError};
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
 
 /// A named-file byte store with the primitives the log needs.
 ///
@@ -142,31 +142,35 @@ impl MemStorage {
 
     /// A copy of the current contents of `name`, if present.
     pub fn contents(&self, name: &str) -> Option<Vec<u8>> {
-        self.files.lock().unwrap().get(name).cloned()
+        self.files.lock().unwrap_or_else(PoisonError::into_inner).get(name).cloned()
     }
 
     /// Replaces the contents of `name` wholesale (test setup).
     pub fn insert(&self, name: &str, bytes: Vec<u8>) {
-        self.files.lock().unwrap().insert(name.to_string(), bytes);
+        self.files.lock().unwrap_or_else(PoisonError::into_inner).insert(name.to_string(), bytes);
     }
 
     /// Mutates the stored bytes of `name` in place — the corruption hook the
     /// recovery tests use for bit flips and truncations. Panics if the file
     /// does not exist (a corruption test targeting a missing file is a bug).
     pub fn corrupt(&self, name: &str, f: impl FnOnce(&mut Vec<u8>)) {
-        let mut files = self.files.lock().unwrap();
-        let bytes = files.get_mut(name).unwrap_or_else(|| panic!("no file `{name}` to corrupt"));
+        let mut files = self.files.lock().unwrap_or_else(PoisonError::into_inner);
+        let bytes = files.get_mut(name).unwrap_or_else(|| panic!("no file `{name}` to corrupt")); // lint: allow(panic: documented test-harness contract)
         f(bytes);
     }
 
     /// The stored size of `name` in bytes (0 if absent).
     pub fn len(&self, name: &str) -> u64 {
-        self.files.lock().unwrap().get(name).map_or(0, |b| b.len() as u64)
+        self.files
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(name)
+            .map_or(0, |b| b.len() as u64)
     }
 
     /// Whether the store holds no files at all.
     pub fn is_empty(&self) -> bool {
-        self.files.lock().unwrap().is_empty()
+        self.files.lock().unwrap_or_else(PoisonError::into_inner).is_empty()
     }
 }
 
@@ -176,7 +180,12 @@ impl Storage for MemStorage {
     }
 
     fn append(&mut self, name: &str, bytes: &[u8]) -> io::Result<()> {
-        self.files.lock().unwrap().entry(name.to_string()).or_default().extend_from_slice(bytes);
+        self.files
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(name.to_string())
+            .or_default()
+            .extend_from_slice(bytes);
         Ok(())
     }
 
@@ -185,7 +194,8 @@ impl Storage for MemStorage {
     }
 
     fn truncate(&mut self, name: &str, len: u64) -> io::Result<()> {
-        if let Some(bytes) = self.files.lock().unwrap().get_mut(name) {
+        if let Some(bytes) = self.files.lock().unwrap_or_else(PoisonError::into_inner).get_mut(name)
+        {
             bytes.truncate(len as usize);
         }
         Ok(())
@@ -197,7 +207,7 @@ impl Storage for MemStorage {
     }
 
     fn remove(&mut self, name: &str) -> io::Result<()> {
-        self.files.lock().unwrap().remove(name);
+        self.files.lock().unwrap_or_else(PoisonError::into_inner).remove(name);
         Ok(())
     }
 }

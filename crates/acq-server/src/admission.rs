@@ -1,0 +1,127 @@
+//! Global admission control: the in-flight query gauge.
+//!
+//! Every connection worker reserves slots here before handing a batch to
+//! `execute_batch`; the tail that does not fit is answered with a
+//! `backpressure` error instead of queueing without bound. The reservation
+//! is RAII: slots return to the gauge when the [`Reservation`] drops, **even
+//! if the batch execution panics** — a leaked slot would otherwise shrink
+//! the server's capacity permanently, until enough leaks pin it at zero and
+//! every query is refused.
+//!
+//! The gauge is a single CAS loop over one counter, so it is cheap enough to
+//! sit on the per-batch hot path, and its protocol is small enough to model
+//! check exhaustively (see `tests/model_protocols.rs`).
+
+use acq_sync::sync::atomic::{AtomicUsize, Ordering};
+
+/// Bounded count of queries currently inside `execute_batch`, across all
+/// connections.
+#[derive(Debug)]
+pub struct InFlightGauge {
+    max: usize,
+    current: AtomicUsize,
+}
+
+impl InFlightGauge {
+    /// A gauge admitting at most `max` queries at once.
+    pub const fn new(max: usize) -> Self {
+        InFlightGauge { max, current: AtomicUsize::new(0) }
+    }
+
+    /// Reserves up to `wanted` slots, admitting as many as fit under the
+    /// bound (possibly zero). The returned reservation releases its slots on
+    /// drop.
+    pub fn reserve(&self, wanted: usize) -> Reservation<'_> {
+        loop {
+            let current = self.current.load(Ordering::SeqCst);
+            let admitted = wanted.min(self.max.saturating_sub(current));
+            if admitted == 0 {
+                return Reservation { gauge: self, admitted: 0 };
+            }
+            if self
+                .current
+                .compare_exchange(current, current + admitted, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return Reservation { gauge: self, admitted };
+            }
+        }
+    }
+
+    /// Queries currently admitted.
+    pub fn in_flight(&self) -> usize {
+        self.current.load(Ordering::SeqCst)
+    }
+
+    /// The configured admission bound.
+    pub fn max(&self) -> usize {
+        self.max
+    }
+}
+
+/// Slots held out of an [`InFlightGauge`]; returned on drop.
+#[derive(Debug)]
+pub struct Reservation<'a> {
+    gauge: &'a InFlightGauge,
+    admitted: usize,
+}
+
+impl Reservation<'_> {
+    /// How many of the requested slots were admitted.
+    pub fn admitted(&self) -> usize {
+        self.admitted
+    }
+}
+
+impl Drop for Reservation<'_> {
+    fn drop(&mut self) {
+        if self.admitted > 0 {
+            self.gauge.current.fetch_sub(self.admitted, Ordering::SeqCst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_up_to_the_bound_and_releases_on_drop() {
+        let gauge = InFlightGauge::new(4);
+        let a = gauge.reserve(3);
+        assert_eq!(a.admitted(), 3);
+        let b = gauge.reserve(3);
+        assert_eq!(b.admitted(), 1, "only one slot left under the bound");
+        let c = gauge.reserve(1);
+        assert_eq!(c.admitted(), 0, "gauge is full");
+        assert_eq!(gauge.in_flight(), 4);
+        drop(b);
+        assert_eq!(gauge.in_flight(), 3);
+        let d = gauge.reserve(5);
+        assert_eq!(d.admitted(), 1);
+        drop(a);
+        drop(c);
+        drop(d);
+        assert_eq!(gauge.in_flight(), 0, "every admitted slot came back");
+    }
+
+    #[test]
+    fn zero_slot_reservation_is_inert() {
+        let gauge = InFlightGauge::new(0);
+        let r = gauge.reserve(10);
+        assert_eq!(r.admitted(), 0);
+        drop(r);
+        assert_eq!(gauge.in_flight(), 0);
+    }
+
+    #[test]
+    fn slots_return_even_when_the_holder_panics() {
+        let gauge = InFlightGauge::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _r = gauge.reserve(2);
+            panic!("batch execution died");
+        }));
+        assert!(result.is_err());
+        assert_eq!(gauge.in_flight(), 0, "RAII returns the slots during unwind");
+    }
+}

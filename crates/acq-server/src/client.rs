@@ -117,7 +117,7 @@ impl Client {
 
     /// Reads one response frame for `id` and decodes it as `kind`; an error
     /// frame becomes [`ClientError::Remote`].
-    fn expect(&mut self, id: u64, kind: FrameKind) -> Result<Frame, ClientError> {
+    fn expect_kind(&mut self, id: u64, kind: FrameKind) -> Result<Frame, ClientError> {
         let frame = self.read_response()?;
         if frame.request_id != id {
             return Err(ClientError::Protocol(format!(
@@ -141,7 +141,7 @@ impl Client {
     pub fn ping(&mut self) -> Result<(), ClientError> {
         let id = self.fresh_id();
         write_frame(&mut self.writer, &Frame::control(FrameKind::Ping, id))?;
-        self.expect(id, FrameKind::Pong)?;
+        self.expect_kind(id, FrameKind::Pong)?;
         Ok(())
     }
 
@@ -150,7 +150,7 @@ impl Client {
         let id = self.fresh_id();
         let payload = encode_payload(request)?;
         write_frame(&mut self.writer, &Frame::new(FrameKind::Query, id, payload))?;
-        decode_payload(&self.expect(id, FrameKind::QueryOk)?)
+        decode_payload(&self.expect_kind(id, FrameKind::QueryOk)?)
     }
 
     /// Sends every query before reading any response, letting the server
@@ -194,14 +194,14 @@ impl Client {
         let id = self.fresh_id();
         let payload = encode_payload(&deltas.to_vec())?;
         write_frame(&mut self.writer, &Frame::new(FrameKind::Update, id, payload))?;
-        decode_payload(&self.expect(id, FrameKind::UpdateOk)?)
+        decode_payload(&self.expect_kind(id, FrameKind::UpdateOk)?)
     }
 
     /// Fetches the server's counters.
     pub fn metrics(&mut self) -> Result<MetricsSnapshot, ClientError> {
         let id = self.fresh_id();
         write_frame(&mut self.writer, &Frame::control(FrameKind::Metrics, id))?;
-        decode_payload(&self.expect(id, FrameKind::MetricsOk)?)
+        decode_payload(&self.expect_kind(id, FrameKind::MetricsOk)?)
     }
 
     /// Sends a raw frame and returns the next incoming frame verbatim. For

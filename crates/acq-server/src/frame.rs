@@ -135,6 +135,22 @@ impl fmt::Display for WireError {
     }
 }
 
+/// Serialises a [`WireError`] into an error-frame payload. Serialisation of
+/// this two-string struct cannot fail in practice; if it ever does, a
+/// hand-assembled payload carrying the same code is sent instead of
+/// panicking inside a server thread.
+pub fn error_payload(code: &str, message: impl Into<String>) -> Vec<u8> {
+    let error = WireError::new(code, message);
+    serde_json::to_string(&error).map(String::into_bytes).unwrap_or_else(|_| {
+        format!("{{\"code\":\"{code}\",\"message\":\"error serialisation failed\"}}").into_bytes()
+    })
+}
+
+/// An [`FrameKind::Error`] frame carrying `code` and `message`.
+pub fn error_frame(request_id: u64, code: &str, message: impl Into<String>) -> Frame {
+    Frame::new(FrameKind::Error, request_id, error_payload(code, message))
+}
+
 /// The `code` values an error frame may carry (see `docs/PROTOCOL.md`).
 pub mod codes {
     /// The frame's JSON payload did not decode into the expected shape.
@@ -282,7 +298,11 @@ pub fn read_frame<R: Read>(reader: &mut R, max_len: u32) -> Result<Option<Frame>
     })?;
     let version = block[0];
     let kind_code = block[1];
-    let request_id = u64::from_be_bytes(block[2..10].try_into().expect("8 bytes"));
+    let request_id = match block[2..10].try_into() {
+        Ok(bytes) => u64::from_be_bytes(bytes),
+        // Unreachable: `block` holds `declared >= ENVELOPE_LEN = 10` bytes.
+        Err(_) => return Err(FrameError::Truncated),
+    };
     if version != PROTOCOL_VERSION {
         return Err(FrameError::UnsupportedVersion(version));
     }

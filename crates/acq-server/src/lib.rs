@@ -41,15 +41,18 @@
 
 #![deny(missing_docs)]
 
+pub mod admission;
 pub mod client;
 pub mod frame;
-mod metrics;
+pub mod metrics;
 pub mod server;
-mod transactor;
+pub mod transactor;
 
+pub use admission::{InFlightGauge, Reservation};
 pub use client::{Client, ClientError};
 pub use frame::{
     codes, encode, read_frame, write_frame, Frame, FrameError, FrameKind, WireError,
     DEFAULT_MAX_FRAME_LEN, ENVELOPE_LEN, PROTOCOL_VERSION,
 };
 pub use server::{Server, ServerConfig, ServerHandle};
+pub use transactor::{ReplySink, Transactor, WriteApply, WriteJob};

@@ -10,33 +10,48 @@ use acq_core::exec::CacheStats;
 use acq_core::{UpdateReport, UpdateStrategy};
 use acq_durable::DurabilityStats;
 use acq_metrics::serving::{CacheCounters, DurabilityCounters, ServerCounters, UpdateCounters};
-use std::sync::atomic::{AtomicU64, Ordering};
+use acq_sync::sync::atomic::{AtomicU64, Ordering};
 
 /// The server's cumulative counters. All methods are callable from any
 /// thread; `Relaxed` ordering is enough because the counters are only ever
 /// read as a monitoring snapshot, never used for synchronisation.
 #[derive(Debug, Default)]
-pub(crate) struct ServerMetrics {
+pub struct ServerMetrics {
+    /// Connections the accept loop has taken.
     pub connections_accepted: AtomicU64,
+    /// Connections currently being served.
     pub connections_open: AtomicU64,
+    /// Frames decoded off client sockets.
     pub frames_received: AtomicU64,
+    /// Frames written to client sockets.
     pub frames_sent: AtomicU64,
+    /// Queries answered with a `QueryOk`.
     pub queries_served: AtomicU64,
+    /// Queries answered with an `invalid-query` error.
     pub query_errors: AtomicU64,
+    /// Batches handed to `execute_batch`.
     pub batches_executed: AtomicU64,
+    /// Largest batch handed to `execute_batch`.
     pub max_batch: AtomicU64,
+    /// Update batches acknowledged with an `UpdateOk`.
     pub updates_applied: AtomicU64,
+    /// Individual deltas inside acknowledged batches.
     pub deltas_applied: AtomicU64,
+    /// Update batches answered with an error frame.
     pub update_errors: AtomicU64,
+    /// Malformed frames / payloads received.
     pub protocol_errors: AtomicU64,
+    /// Queries refused with `backpressure` by either admission bound.
     pub admission_rejections: AtomicU64,
 }
 
 impl ServerMetrics {
+    /// Adds `n` to a counter.
     pub fn add(counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Increments a counter.
     pub fn bump(counter: &AtomicU64) {
         Self::add(counter, 1);
     }

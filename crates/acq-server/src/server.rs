@@ -17,22 +17,33 @@
 //!   the frame-size bound, the per-connection queue bound, and the global
 //!   in-flight query bound.
 
+use crate::admission::InFlightGauge;
 use crate::frame::{
-    codes, read_frame, write_frame, Frame, FrameError, FrameKind, WireError, DEFAULT_MAX_FRAME_LEN,
+    codes, error_payload, read_frame, write_frame, Frame, FrameError, FrameKind,
+    DEFAULT_MAX_FRAME_LEN,
 };
 use crate::metrics::{cache_counters, durability_counters, ServerMetrics};
-use crate::transactor::{last_update_counters, Transactor, WriteApply, WriteJob};
+use crate::transactor::{last_update_counters, ReplySink, Transactor, WriteApply, WriteJob};
 use acq_core::{Engine, Executor, Request, UpdateReport};
 use acq_durable::DurableEngine;
 use acq_graph::GraphDelta;
 use acq_metrics::serving::MetricsSnapshot;
+use acq_sync::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use acq_sync::sync::mpsc::Sender;
+use acq_sync::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use acq_sync::thread::JoinHandle;
 use std::collections::VecDeque;
 use std::io::{self, BufReader};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::Sender;
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+
+/// Locks a mutex, proceeding with the data even when a peer thread panicked
+/// while holding it. Every structure guarded this way (the connection
+/// registries, the per-connection queue, the shared writer) tolerates a torn
+/// peer update, and shutdown in particular must still be able to close
+/// sockets and join threads after a worker died.
+fn lock_tolerant<T: ?Sized>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Tuning knobs of a [`Server`]. All bounds are admission control: when one
 /// is hit the server answers with an error frame instead of queueing without
@@ -90,8 +101,9 @@ struct Shared {
     metrics: Arc<ServerMetrics>,
     config: ServerConfig,
     shutdown: AtomicBool,
-    /// Queries currently inside `execute_batch`, across all connections.
-    in_flight: AtomicUsize,
+    /// Bounded count of queries currently inside `execute_batch`, across all
+    /// connections.
+    in_flight: InFlightGauge,
     last_update: Arc<Mutex<Option<UpdateReport>>>,
     /// Clones of every live connection stream keyed by connection id, for
     /// shutdown. A connection deregisters (and `shutdown`s the socket, so
@@ -163,14 +175,14 @@ impl Server {
             Some(durable) => WriteApply::Durable(Arc::clone(durable)),
             None => WriteApply::Volatile(Arc::clone(&engine)),
         };
-        let transactor = Transactor::spawn(apply, Arc::clone(&metrics));
+        let transactor = Transactor::spawn(apply, Arc::clone(&metrics))?;
         let shared = Arc::new(Shared {
             engine,
             durable,
             metrics,
             config: config.clone(),
             shutdown: AtomicBool::new(false),
-            in_flight: AtomicUsize::new(0),
+            in_flight: InFlightGauge::new(config.max_in_flight),
             last_update: transactor.last_update(),
             conn_streams: Mutex::new(Vec::new()),
             conn_handles: Mutex::new(Vec::new()),
@@ -178,7 +190,7 @@ impl Server {
         });
 
         let accept_threads = if config.accept_threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            acq_sync::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
         } else {
             config.accept_threads
         };
@@ -188,10 +200,9 @@ impl Server {
             let shared = Arc::clone(&shared);
             let tx = transactor.sender();
             accept_handles.push(
-                std::thread::Builder::new()
+                acq_sync::thread::Builder::new()
                     .name(format!("acq-accept-{i}"))
-                    .spawn(move || accept_loop(&listener, &shared, &tx))
-                    .expect("failed to spawn an accept thread"),
+                    .spawn(move || accept_loop(&listener, &shared, &tx))?,
             );
         }
         Ok(ServerHandle { local_addr, shared, accept_handles, transactor })
@@ -226,12 +237,14 @@ impl ServerHandle {
         for handle in self.accept_handles.drain(..) {
             let _ = handle.join();
         }
-        // No accept thread is left, so the connection registry is final.
-        for (_, stream) in self.shared.conn_streams.lock().expect("registry poisoned").drain(..) {
+        // No accept thread is left, so the connection registry is final. The
+        // tolerant lock matters here: shutdown must close every socket and
+        // join every thread even if a connection thread died holding a
+        // registry lock.
+        for (_, stream) in lock_tolerant(&self.shared.conn_streams).drain(..) {
             let _ = stream.shutdown(Shutdown::Both);
         }
-        let handles: Vec<_> =
-            std::mem::take(&mut *self.shared.conn_handles.lock().expect("registry poisoned"));
+        let handles: Vec<_> = std::mem::take(&mut *lock_tolerant(&self.shared.conn_handles));
         for handle in handles {
             let _ = handle.join();
         }
@@ -263,28 +276,39 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, tx: &Sender<WriteJo
         ServerMetrics::bump(&shared.metrics.connections_open);
         let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
         if let Ok(clone) = stream.try_clone() {
-            shared.conn_streams.lock().expect("registry poisoned").push((conn_id, clone));
+            lock_tolerant(&shared.conn_streams).push((conn_id, clone));
         }
         let shared_conn = Arc::clone(shared);
         let tx = tx.clone();
-        let handle = std::thread::Builder::new()
-            .name("acq-conn".to_string())
-            .spawn(move || {
+        let spawned =
+            acq_sync::thread::Builder::new().name("acq-conn".to_string()).spawn(move || {
                 connection_loop(stream, &shared_conn, &tx);
                 // Deregister and `shutdown` the socket: a dup'd clone (the
                 // registry's, or one held by an in-flight transactor reply)
                 // would otherwise keep it open and the peer would never see
                 // EOF.
-                let mut streams = shared_conn.conn_streams.lock().expect("registry poisoned");
+                let mut streams = lock_tolerant(&shared_conn.conn_streams);
                 if let Some(pos) = streams.iter().position(|(id, _)| *id == conn_id) {
                     let (_, stream) = streams.swap_remove(pos);
                     let _ = stream.shutdown(Shutdown::Both);
                 }
                 drop(streams);
                 shared_conn.metrics.connections_open.fetch_sub(1, Ordering::Relaxed);
-            })
-            .expect("failed to spawn a connection thread");
-        shared.conn_handles.lock().expect("registry poisoned").push(handle);
+            });
+        match spawned {
+            Ok(handle) => lock_tolerant(&shared.conn_handles).push(handle),
+            Err(_) => {
+                // Could not spawn a serving thread (resource exhaustion):
+                // drop the connection instead of crashing the accept loop.
+                let mut streams = lock_tolerant(&shared.conn_streams);
+                if let Some(pos) = streams.iter().position(|(id, _)| *id == conn_id) {
+                    let (_, stream) = streams.swap_remove(pos);
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+                drop(streams);
+                shared.metrics.connections_open.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
     }
 }
 
@@ -297,19 +321,26 @@ pub(crate) struct ConnectionWriter {
 }
 
 impl ConnectionWriter {
-    /// Writes one frame under the lock, counting it.
+    /// Writes one frame under the lock, counting it. The lock is
+    /// poison-tolerant: a frame is either fully written or abandoned with
+    /// the connection, so a panicking peer cannot leave a torn frame behind,
+    /// and the other threads sharing the writer (reader, worker, transactor)
+    /// must keep answering during shutdown regardless.
     pub fn send(&self, frame: &Frame) -> io::Result<()> {
-        let mut stream = self.stream.lock().expect("connection writer poisoned");
+        let mut stream = lock_tolerant(&self.stream);
         write_frame(&mut *stream, frame)?;
         ServerMetrics::bump(&self.metrics.frames_sent);
         Ok(())
     }
 
     fn send_error(&self, request_id: u64, code: &str, message: &str) -> io::Result<()> {
-        let payload = serde_json::to_string(&WireError::new(code, message))
-            .expect("WireError serialises")
-            .into_bytes();
-        self.send(&Frame::new(FrameKind::Error, request_id, payload))
+        self.send(&Frame::new(FrameKind::Error, request_id, error_payload(code, message)))
+    }
+}
+
+impl ReplySink for ConnectionWriter {
+    fn send(&self, frame: &Frame) -> io::Result<()> {
+        ConnectionWriter::send(self, frame)
     }
 }
 
@@ -328,14 +359,16 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, tx: &Sender<WriteJob
     let queue =
         Arc::new((Mutex::new(Queue { pending: VecDeque::new(), closed: false }), Condvar::new()));
 
-    let worker = {
+    let Ok(worker) = ({
         let queue = Arc::clone(&queue);
         let writer = Arc::clone(&writer);
         let shared = Arc::clone(shared);
-        std::thread::Builder::new()
+        acq_sync::thread::Builder::new()
             .name("acq-conn-worker".to_string())
             .spawn(move || worker_loop(&queue, &writer, &shared))
-            .expect("failed to spawn a connection worker")
+    }) else {
+        // No worker means no way to answer queries: drop the connection.
+        return;
     };
 
     let mut reader = BufReader::new(stream);
@@ -362,7 +395,7 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, tx: &Sender<WriteJob
     // wake it; then release the write half.
     {
         let (lock, cvar) = &*queue;
-        lock.lock().expect("queue poisoned").closed = true;
+        lock_tolerant(lock).closed = true;
         cvar.notify_all();
     }
     let _ = worker.join();
@@ -418,16 +451,22 @@ fn handle_frame(
     let id = frame.request_id;
     match frame.kind {
         FrameKind::Ping => writer.send(&Frame::control(FrameKind::Pong, id)).is_ok(),
-        FrameKind::Metrics => {
-            let payload = serde_json::to_string(&snapshot(shared))
-                .expect("MetricsSnapshot serialises")
-                .into_bytes();
-            writer.send(&Frame::new(FrameKind::MetricsOk, id, payload)).is_ok()
-        }
+        FrameKind::Metrics => match serde_json::to_string(&snapshot(shared)) {
+            Ok(payload) => {
+                writer.send(&Frame::new(FrameKind::MetricsOk, id, payload.into_bytes())).is_ok()
+            }
+            Err(e) => writer
+                .send_error(
+                    id,
+                    codes::MALFORMED_PAYLOAD,
+                    &format!("snapshot not serialisable: {e}"),
+                )
+                .is_ok(),
+        },
         FrameKind::Query => match decode_json::<Request>(&frame.payload) {
             Ok(request) => {
                 let (lock, cvar) = &**queue;
-                let mut q = lock.lock().expect("queue poisoned");
+                let mut q = lock_tolerant(lock);
                 if q.pending.len() >= shared.config.queue_capacity {
                     drop(q);
                     ServerMetrics::bump(&shared.metrics.admission_rejections);
@@ -447,7 +486,8 @@ fn handle_frame(
         },
         FrameKind::Update => match decode_json::<Vec<GraphDelta>>(&frame.payload) {
             Ok(deltas) => {
-                let job = WriteJob { deltas, request_id: id, writer: Arc::clone(writer) };
+                let sink: Arc<dyn ReplySink> = Arc::<ConnectionWriter>::clone(writer);
+                let job = WriteJob { deltas, request_id: id, writer: sink };
                 if tx.send(job).is_err() {
                     writer
                         .send_error(id, codes::SHUTTING_DOWN, "transactor is shutting down")
@@ -487,9 +527,9 @@ fn worker_loop(
     loop {
         let batch: Vec<(u64, Request)> = {
             let (lock, cvar) = &**queue;
-            let mut q = lock.lock().expect("queue poisoned");
+            let mut q = lock_tolerant(lock);
             while q.pending.is_empty() && !q.closed {
-                q = cvar.wait(q).expect("queue poisoned");
+                q = cvar.wait(q).unwrap_or_else(PoisonError::into_inner);
             }
             if q.pending.is_empty() && q.closed {
                 return;
@@ -499,8 +539,11 @@ fn worker_loop(
 
         // Global admission: reserve up to `max_in_flight` slots; the
         // unadmitted tail is answered with backpressure, preserving FIFO
-        // fairness within the connection.
-        let admitted = reserve_in_flight(shared, batch.len());
+        // fairness within the connection. The reservation is RAII — the
+        // slots return when it drops, even if `execute_batch` panics (a
+        // leaked slot would shrink the server's capacity permanently).
+        let reservation = shared.in_flight.reserve(batch.len());
+        let admitted = reservation.admitted();
         for (id, _) in &batch[admitted..] {
             ServerMetrics::bump(&shared.metrics.admission_rejections);
             let _ = writer.send_error(*id, codes::BACKPRESSURE, "server at max in-flight; retry");
@@ -513,7 +556,7 @@ fn worker_loop(
         shared.metrics.record_batch(run.len() as u64);
         let requests: Vec<Request> = run.iter().map(|(_, r)| r.clone()).collect();
         let results = shared.engine.execute_batch(&requests);
-        shared.in_flight.fetch_sub(admitted, Ordering::SeqCst);
+        drop(reservation);
 
         for ((id, _), result) in run.iter().zip(results) {
             let frame = match result {
@@ -530,36 +573,12 @@ fn worker_loop(
                 }
                 Err(query_error) => {
                     ServerMetrics::bump(&shared.metrics.query_errors);
-                    let payload = serde_json::to_string(&WireError::new(
-                        codes::INVALID_QUERY,
-                        query_error.to_string(),
-                    ))
-                    .expect("WireError serialises")
-                    .into_bytes();
-                    Frame::new(FrameKind::Error, *id, payload)
+                    crate::frame::error_frame(*id, codes::INVALID_QUERY, query_error.to_string())
                 }
             };
             if writer.send(&frame).is_err() {
                 return;
             }
-        }
-    }
-}
-
-fn reserve_in_flight(shared: &Shared, wanted: usize) -> usize {
-    let max = shared.config.max_in_flight;
-    loop {
-        let current = shared.in_flight.load(Ordering::SeqCst);
-        let admit = wanted.min(max.saturating_sub(current));
-        if admit == 0 {
-            return 0;
-        }
-        if shared
-            .in_flight
-            .compare_exchange(current, current + admit, Ordering::SeqCst, Ordering::SeqCst)
-            .is_ok()
-        {
-            return admit;
         }
     }
 }

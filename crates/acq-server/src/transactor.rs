@@ -21,20 +21,34 @@
 //! is applied, so an `UpdateOk` the client has read is guaranteed to survive
 //! a crash.
 
-use crate::frame::{codes, Frame, FrameKind, WireError};
+use crate::frame::FrameKind;
+use crate::frame::{codes, error_frame, Frame};
 use crate::metrics::{update_counters, ServerMetrics};
-use crate::server::ConnectionWriter;
 use acq_core::{Engine, UpdateReport};
 use acq_durable::{DurableEngine, DurableError};
 use acq_graph::GraphDelta;
-use std::sync::mpsc::{channel, Sender};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
+use acq_sync::sync::mpsc::{channel, Sender};
+use acq_sync::sync::{Arc, Mutex, PoisonError};
+use acq_sync::thread::JoinHandle;
+use std::io;
+
+/// Where the transactor sends each update's answer. The server implements
+/// this on its per-connection shared writer; tests implement it on a
+/// recording mock, which is what lets the drain protocol be model-checked
+/// without sockets.
+pub trait ReplySink: Send + Sync {
+    /// Delivers one reply frame to the submitting client.
+    fn send(&self, frame: &Frame) -> io::Result<()>;
+}
 
 /// How the transactor applies a batch: straight to the in-memory engine, or
 /// log-then-apply through a durable one.
-pub(crate) enum WriteApply {
+pub enum WriteApply {
+    /// Apply straight to the in-memory engine.
     Volatile(Arc<Engine>),
+    /// Log-then-apply through a durable engine: the batch is fsynced to the
+    /// delta log before it is applied, so an acknowledged update survives a
+    /// crash.
     Durable(Arc<DurableEngine>),
 }
 
@@ -55,28 +69,31 @@ impl WriteApply {
 
 /// One queued write: the decoded delta batch plus everything needed to
 /// answer the submitting connection.
-pub(crate) struct WriteJob {
+pub struct WriteJob {
+    /// The decoded delta batch to apply.
     pub deltas: Vec<GraphDelta>,
+    /// The client's request id, echoed in the reply frame.
     pub request_id: u64,
-    pub writer: Arc<ConnectionWriter>,
+    /// Where the answer goes.
+    pub writer: Arc<dyn ReplySink>,
 }
 
 /// Handle to the single write-applying thread.
-pub(crate) struct Transactor {
+pub struct Transactor {
     tx: Option<Sender<WriteJob>>,
     handle: Option<JoinHandle<()>>,
     last: Arc<Mutex<Option<UpdateReport>>>,
 }
 
 impl Transactor {
-    /// Spawns the transactor thread for the given write path.
-    pub fn spawn(apply: WriteApply, metrics: Arc<ServerMetrics>) -> Self {
+    /// Spawns the transactor thread for the given write path. Fails only if
+    /// the OS refuses the thread.
+    pub fn spawn(apply: WriteApply, metrics: Arc<ServerMetrics>) -> io::Result<Self> {
         let (tx, rx) = channel::<WriteJob>();
         let last = Arc::new(Mutex::new(None));
         let last_writer = Arc::clone(&last);
-        let handle = std::thread::Builder::new()
-            .name("acq-transactor".to_string())
-            .spawn(move || {
+        let handle = acq_sync::thread::Builder::new().name("acq-transactor".to_string()).spawn(
+            move || {
                 // The loop ends when every sender is dropped (server shutdown).
                 while let Ok(job) = rx.recv() {
                     let reply = match apply.apply(&job.deltas) {
@@ -86,7 +103,7 @@ impl Transactor {
                                 &metrics.deltas_applied,
                                 report.deltas_applied as u64,
                             );
-                            *last_writer.lock().expect("last-update lock poisoned") =
+                            *last_writer.lock().unwrap_or_else(PoisonError::into_inner) =
                                 Some(report.clone());
                             match serde_json::to_string(&report) {
                                 Ok(json) => Frame::new(
@@ -97,7 +114,7 @@ impl Transactor {
                                 Err(e) => error_frame(
                                     job.request_id,
                                     codes::INVALID_UPDATE,
-                                    &e.to_string(),
+                                    e.to_string(),
                                 ),
                             }
                         }
@@ -109,14 +126,19 @@ impl Transactor {
                     // A vanished connection is not the transactor's problem.
                     let _ = job.writer.send(&reply);
                 }
-            })
-            .expect("failed to spawn the transactor thread");
-        Self { tx: Some(tx), handle: Some(handle), last }
+            },
+        )?;
+        Ok(Self { tx: Some(tx), handle: Some(handle), last })
     }
 
     /// A sender connections submit [`WriteJob`]s through.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`shutdown`](Self::shutdown) — the server only
+    /// hands senders out while it is running.
     pub fn sender(&self) -> Sender<WriteJob> {
-        self.tx.as_ref().expect("transactor already shut down").clone()
+        self.tx.as_ref().expect("transactor already shut down").clone() // lint: allow(expect: tx is Some until shutdown)
     }
 
     /// The most recent successfully applied update, for metrics snapshots.
@@ -138,12 +160,5 @@ impl Transactor {
 pub(crate) fn last_update_counters(
     last: &Mutex<Option<UpdateReport>>,
 ) -> Option<acq_metrics::serving::UpdateCounters> {
-    last.lock().expect("last-update lock poisoned").as_ref().map(update_counters)
-}
-
-fn error_frame(request_id: u64, code: &str, message: &str) -> Frame {
-    let payload = serde_json::to_string(&WireError::new(code, message))
-        .expect("WireError serialises")
-        .into_bytes();
-    Frame::new(FrameKind::Error, request_id, payload)
+    last.lock().unwrap_or_else(PoisonError::into_inner).as_ref().map(update_counters)
 }

@@ -1,0 +1,131 @@
+//! Concurrency shims plus a deterministic model checker for the ACQ engine.
+//!
+//! The engine's concurrency protocols — the generation publish/swap, the
+//! batch worker pool, the serialized transactor drain, the global in-flight
+//! admission gauge and the durable log's poison flag — are all built from a
+//! handful of std primitives. This crate re-exports those primitives behind a
+//! stable façade so the rest of the workspace never names `std::sync` /
+//! `std::thread` directly (a rule `xtask lint` enforces), and swaps in a
+//! loom-style cooperative scheduler when compiled with `--cfg acq_model`.
+//!
+//! # The two modes
+//!
+//! * **Normal builds** (no extra cfg): [`sync`] and [`thread`] are literal
+//!   re-exports of the std items — same types, same poisoning semantics, zero
+//!   overhead. Code ported to the shims is byte-for-byte the code it was
+//!   before the port.
+//! * **Model builds** (`RUSTFLAGS="--cfg acq_model"`): the same names resolve
+//!   to instrumented shims that route every visible operation (lock, unlock,
+//!   atomic access, channel send/recv, spawn, join) through a cooperative
+//!   scheduler. Only one shim-using thread runs at a time; before each
+//!   operation the running thread offers the scheduler a chance to switch.
+//!   [`model::model`] then drives a depth-first search over those scheduling
+//!   decisions, exploring every interleaving within a preemption bound and a
+//!   schedule budget, and panics with a **replayable seed** plus a full
+//!   operation trace when any schedule fails an assertion, panics, or
+//!   deadlocks. Shim operations on threads *outside* an active model run
+//!   fall back to the real std behavior, so the ported crates' ordinary
+//!   test suites still pass under `--cfg acq_model`.
+//!
+//! # Writing a model test
+//!
+//! ```
+//! use acq_sync::sync::{Arc, Mutex};
+//! use acq_sync::thread;
+//!
+//! acq_sync::model::model(|| {
+//!     let value = Arc::new(Mutex::new(0u32));
+//!     let worker = {
+//!         let value = Arc::clone(&value);
+//!         thread::spawn(move || *value.lock().unwrap() += 1)
+//!     };
+//!     *value.lock().unwrap() += 1;
+//!     worker.join().unwrap();
+//!     assert_eq!(*value.lock().unwrap(), 2);
+//! });
+//! ```
+//!
+//! In a normal build this runs the closure once with real threads (so model
+//! tests double as smoke tests in the ordinary suite). Under `--cfg
+//! acq_model` it explores every bounded interleaving of the two increments.
+//!
+//! A failing schedule prints a seed; replaying it is deterministic:
+//! `ACQ_MODEL_REPLAY=<seed> cargo test ...` (or
+//! [`Config::replay`](model::Config) in code) re-runs exactly that
+//! interleaving, and the emitted trace is byte-identical run over run.
+//!
+//! # What the model does *not* do
+//!
+//! The scheduler serializes execution, so it explores interleavings of
+//! *operations*, not weak-memory reorderings: atomics behave sequentially
+//! consistent regardless of the `Ordering` argument. That is the right level
+//! for the engine's protocols, which are lock/CAS-based and do not rely on
+//! relaxed-memory subtleties for correctness.
+
+#[cfg(acq_model)]
+mod sched;
+#[cfg(acq_model)]
+mod shim;
+
+/// Deterministic exploration entry points ([`model`](model::model),
+/// [`explore`](model::explore), [`Config`](model::Config)).
+///
+/// In normal builds these degrade gracefully: `model(f)` runs `f` once on
+/// real threads and `explore` reports that single run, so test files using
+/// them compile and pass in both modes without any `cfg` gating.
+pub mod model;
+
+/// Synchronization primitives: `Arc`, `Mutex`, `RwLock`, `Condvar`, lock
+/// guards and poison types, plus [`atomic`](sync::atomic) and
+/// [`mpsc`](sync::mpsc) submodules.
+pub mod sync {
+    #[cfg(not(acq_model))]
+    pub use std::sync::{
+        Arc, Condvar, LockResult, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard,
+        RwLockWriteGuard, TryLockError, TryLockResult, Weak,
+    };
+
+    #[cfg(acq_model)]
+    pub use crate::shim::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+    #[cfg(acq_model)]
+    pub use std::sync::{Arc, LockResult, PoisonError, TryLockError, TryLockResult, Weak};
+
+    /// Atomic integer and boolean types. Under `--cfg acq_model` every
+    /// access is a scheduler yield point; the `Ordering` argument is
+    /// accepted but the model executes sequentially consistently.
+    pub mod atomic {
+        #[cfg(not(acq_model))]
+        pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+        #[cfg(acq_model)]
+        pub use crate::shim::{AtomicBool, AtomicU64, AtomicUsize};
+        #[cfg(acq_model)]
+        pub use std::sync::atomic::Ordering;
+    }
+
+    /// Multi-producer single-consumer channels with std's drain semantics:
+    /// `recv` keeps returning queued messages after every `Sender` is
+    /// dropped and only then reports disconnection.
+    pub mod mpsc {
+        #[cfg(not(acq_model))]
+        pub use std::sync::mpsc::{channel, Receiver, RecvError, SendError, Sender};
+
+        #[cfg(acq_model)]
+        pub use crate::shim::mpsc::{channel, Receiver, RecvError, SendError, Sender};
+    }
+}
+
+/// Thread spawning and scoped threads.
+pub mod thread {
+    #[cfg(not(acq_model))]
+    pub use std::thread::{
+        available_parallelism, scope, sleep, spawn, yield_now, Builder, JoinHandle, Scope,
+        ScopedJoinHandle,
+    };
+
+    #[cfg(acq_model)]
+    pub use crate::shim::thread::{
+        available_parallelism, scope, sleep, spawn, yield_now, Builder, JoinHandle, Scope,
+        ScopedJoinHandle,
+    };
+}

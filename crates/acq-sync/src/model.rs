@@ -1,0 +1,200 @@
+//! Public entry points for deterministic exploration.
+//!
+//! Under `--cfg acq_model`, [`model`] / [`explore`] drive the cooperative
+//! scheduler in [`crate::sched`]. In normal builds the same functions run
+//! the closure once on real threads, so model-test files work unmodified in
+//! both modes (and serve as ordinary smoke tests in the normal suite).
+
+/// Exploration bounds and replay input.
+///
+/// The defaults are sized for protocol tests with two or three threads; the
+/// environment overrides (`ACQ_MODEL_MAX_SCHEDULES`, `ACQ_MODEL_PREEMPTIONS`,
+/// `ACQ_MODEL_MAX_YIELDS`, `ACQ_MODEL_REPLAY`) let CI or a debugging session
+/// retune without recompiling.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Upper bound on schedules explored before returning incomplete.
+    pub max_schedules: usize,
+    /// CHESS-style preemption bound: how many times a schedule may switch
+    /// away from a thread that could have kept running. Voluntary switches
+    /// (the running thread blocked or finished) are always free.
+    pub max_preemptions: u32,
+    /// Per-schedule yield-point budget; exceeding it is reported as a
+    /// livelock failure.
+    pub max_yields: u64,
+    /// When set, run exactly the schedule this seed describes.
+    pub replay: Option<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { max_schedules: 4096, max_preemptions: 3, max_yields: 50_000, replay: None }
+    }
+}
+
+impl Config {
+    /// Defaults with environment overrides applied.
+    pub fn from_env() -> Self {
+        let mut cfg = Config::default();
+        if let Some(v) = env_parse("ACQ_MODEL_MAX_SCHEDULES") {
+            cfg.max_schedules = v;
+        }
+        if let Some(v) = env_parse("ACQ_MODEL_PREEMPTIONS") {
+            cfg.max_preemptions = v as u32;
+        }
+        if let Some(v) = env_parse("ACQ_MODEL_MAX_YIELDS") {
+            cfg.max_yields = v as u64;
+        }
+        if let Ok(seed) = std::env::var("ACQ_MODEL_REPLAY") {
+            if !seed.is_empty() {
+                cfg.replay = Some(seed);
+            }
+        }
+        cfg
+    }
+}
+
+fn env_parse(key: &str) -> Option<usize> {
+    std::env::var(key).ok()?.parse().ok()
+}
+
+/// A failing schedule: what went wrong, where, and how to see it again.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Decision vector of the failing schedule; feed it back through
+    /// [`Config::replay`] or `ACQ_MODEL_REPLAY` to rerun it exactly.
+    pub seed: String,
+    /// The assertion/panic message, or a deadlock/livelock description.
+    pub message: String,
+    /// One line per scheduler-visible operation, in execution order,
+    /// frozen at the moment of failure. Byte-identical across replays.
+    pub trace: String,
+    /// 1-based index of the failing schedule within this exploration.
+    pub schedule: usize,
+}
+
+impl Failure {
+    /// The panic message [`model`] raises for this failure.
+    pub fn render(&self) -> String {
+        format!(
+            "acq-sync model check failed on schedule {}\n{}\nreplay with ACQ_MODEL_REPLAY={}\ntrace:\n{}",
+            self.schedule, self.message, self.seed, self.trace
+        )
+    }
+}
+
+/// What an exploration did.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Number of schedules executed.
+    pub schedules: usize,
+    /// Whether the bounded interleaving space was fully covered.
+    pub complete: bool,
+    /// The first failing schedule, if any.
+    pub failure: Option<Failure>,
+}
+
+#[cfg(acq_model)]
+mod imp {
+    use super::{Config, Report};
+
+    /// Explores bounded interleavings of `f`, returning a [`Report`]
+    /// instead of panicking — the non-panicking core behind [`model`].
+    pub fn explore<F>(config: Config, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        crate::sched::explore(config, f)
+    }
+
+    /// Explores `f` with `config` and panics with a rendered, replayable
+    /// failure if any schedule panics, deadlocks, or livelocks.
+    pub fn model_with<F>(config: Config, f: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let report = explore(config, f);
+        if let Some(failure) = report.failure {
+            panic!("{}", failure.render());
+        }
+    }
+
+    /// [`model_with`] using [`Config::from_env`].
+    pub fn model<F>(f: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        model_with(Config::from_env(), f);
+    }
+
+    /// Runs exactly the schedule `seed` describes, panicking on failure.
+    pub fn replay<F>(seed: &str, f: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let config = Config { replay: Some(seed.to_string()), ..Config::from_env() };
+        model_with(config, f);
+    }
+}
+
+#[cfg(not(acq_model))]
+mod imp {
+    use super::{Config, Failure, Report};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Normal-build fallback: runs `f` once on real threads and reports
+    /// that single run. Real exploration needs `--cfg acq_model`.
+    pub fn explore<F>(_config: Config, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        match catch_unwind(AssertUnwindSafe(&f)) {
+            Ok(()) => Report { schedules: 1, complete: false, failure: None },
+            Err(payload) => {
+                let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "<non-string panic payload>".to_string()
+                };
+                Report {
+                    schedules: 1,
+                    complete: false,
+                    failure: Some(Failure {
+                        seed: "v1:".to_string(),
+                        message,
+                        trace: String::new(),
+                        schedule: 1,
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Normal-build fallback: runs `f` once; panics propagate unchanged.
+    pub fn model_with<F>(_config: Config, f: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        f();
+    }
+
+    /// Normal-build fallback: runs `f` once; panics propagate unchanged.
+    pub fn model<F>(f: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        f();
+    }
+
+    /// Normal-build fallback: ignores the seed and runs `f` once.
+    pub fn replay<F>(_seed: &str, f: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        f();
+    }
+}
+
+pub use imp::{explore, model, model_with, replay};

@@ -1,0 +1,732 @@
+//! The cooperative scheduler behind `--cfg acq_model`.
+//!
+//! One schedule = one deterministic execution of the test closure. Every
+//! model thread runs on a real OS thread, but a baton (the `active` field)
+//! ensures only one of them executes between yield points. Before each
+//! visible operation a thread surrenders the baton to the controller, which
+//! picks the next thread to run; whenever more than one thread is runnable
+//! that pick is a recorded *decision*. Exploration is a depth-first search
+//! over decision vectors: after each schedule the last non-exhausted
+//! decision is bumped and everything after it is re-derived.
+//!
+//! Failure handling: the first assertion panic, deadlock, or budget blowout
+//! freezes the trace, records the decision vector as a replayable seed, and
+//! aborts the schedule by unwinding every surviving thread with
+//! [`AbortToken`].
+
+use crate::model::{Config, Failure, Report};
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdGuard};
+
+/// Internal error meaning "this schedule is being torn down".
+pub(crate) struct Abort;
+
+/// Panic payload used to unwind model threads during teardown. The thread
+/// wrappers swallow it so it never surfaces as a test failure of its own.
+pub(crate) struct AbortToken;
+
+struct Ctx {
+    sched: Arc<Sched>,
+    tid: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+fn set_ctx(sched: Arc<Sched>, tid: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some(Ctx { sched, tid }));
+}
+
+/// The scheduler handle + thread id of the calling model thread, if any.
+pub(crate) fn current() -> Option<(Arc<Sched>, usize)> {
+    CTX.with(|c| c.borrow().as_ref().map(|ctx| (ctx.sched.clone(), ctx.tid)))
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Block {
+    Mutex(usize),
+    RwRead(usize),
+    RwWrite(usize),
+    Condvar(usize),
+    Join(usize),
+}
+
+fn describe_block(b: &Block) -> String {
+    match b {
+        Block::Mutex(id) => format!("Mutex#{id}"),
+        Block::RwRead(id) => format!("RwLock#{id} (read)"),
+        Block::RwWrite(id) => format!("RwLock#{id} (write)"),
+        Block::Condvar(id) => format!("Condvar#{id}"),
+        Block::Join(tid) => format!("join of t{tid}"),
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    /// Registered but its OS thread has not been started yet (scoped threads
+    /// start when the scope body returns); never granted the baton.
+    NotStarted,
+    Runnable,
+    Blocked(Block),
+    Finished,
+}
+
+struct Thread {
+    status: Status,
+    name: String,
+}
+
+#[derive(Clone, Copy)]
+struct Decision {
+    options: u8,
+    chosen: u8,
+}
+
+#[derive(Default)]
+struct RwState {
+    writer: Option<usize>,
+    readers: usize,
+}
+
+struct State {
+    threads: Vec<Thread>,
+    /// Which model thread currently holds the baton.
+    active: Option<usize>,
+    /// Baton is with the controller, which must pick the next thread.
+    controller_turn: bool,
+    last_active: Option<usize>,
+    /// Forced choices for the start of this schedule (DFS backtracking or
+    /// seed replay); decisions past the prefix default to option 0.
+    prefix: Vec<u8>,
+    decisions: Vec<Decision>,
+    trace: Vec<String>,
+    next_resource: usize,
+    mutexes: HashMap<usize, Option<usize>>,
+    rwlocks: HashMap<usize, RwState>,
+    cv_waiters: HashMap<usize, VecDeque<usize>>,
+    failure: Option<String>,
+    aborting: bool,
+    yields: u64,
+    preemptions: u32,
+}
+
+impl State {
+    fn all_finished(&self) -> bool {
+        self.threads.iter().all(|t| t.status == Status::Finished)
+    }
+}
+
+struct Outcome {
+    failure: Option<String>,
+    decisions: Vec<Decision>,
+    trace: Vec<String>,
+}
+
+pub(crate) struct Sched {
+    state: StdMutex<State>,
+    cond: StdCondvar,
+    max_preemptions: u32,
+    max_yields: u64,
+    /// Real OS handles of free-spawned model threads, joined at schedule end.
+    reals: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Sched {
+    fn new(config: &Config, prefix: Vec<u8>) -> Self {
+        Sched {
+            state: StdMutex::new(State {
+                threads: Vec::new(),
+                active: None,
+                controller_turn: true,
+                last_active: None,
+                prefix,
+                decisions: Vec::new(),
+                trace: Vec::new(),
+                next_resource: 0,
+                mutexes: HashMap::new(),
+                rwlocks: HashMap::new(),
+                cv_waiters: HashMap::new(),
+                failure: None,
+                aborting: false,
+                yields: 0,
+                preemptions: 0,
+            }),
+            cond: StdCondvar::new(),
+            max_preemptions: config.max_preemptions,
+            max_yields: config.max_yields,
+            reals: StdMutex::new(Vec::new()),
+        }
+    }
+
+    fn lock_state(&self) -> StdGuard<'_, State> {
+        self.state.lock().expect("model scheduler state poisoned")
+    }
+
+    /// Records the first failure and switches the schedule into teardown.
+    fn fail_locked(&self, st: &mut State, message: String) {
+        if st.failure.is_none() {
+            st.failure = Some(message);
+        }
+        st.aborting = true;
+        self.cond.notify_all();
+    }
+
+    fn wake(st: &mut State, pred: impl Fn(&Block) -> bool) {
+        for t in &mut st.threads {
+            if let Status::Blocked(b) = t.status {
+                if pred(&b) {
+                    t.status = Status::Runnable;
+                }
+            }
+        }
+    }
+
+    /// Hands the baton to the controller and waits until it comes back.
+    fn surrender<'a>(
+        &'a self,
+        mut st: StdGuard<'a, State>,
+        tid: usize,
+    ) -> Result<StdGuard<'a, State>, Abort> {
+        st.controller_turn = true;
+        self.cond.notify_all();
+        loop {
+            st = self.cond.wait(st).expect("model scheduler state poisoned");
+            if st.aborting {
+                return Err(Abort);
+            }
+            if !st.controller_turn && st.active == Some(tid) {
+                return Ok(st);
+            }
+        }
+    }
+
+    /// The choice point before every visible shim operation.
+    pub(crate) fn yield_point(
+        &self,
+        tid: usize,
+        label: impl FnOnce() -> String,
+    ) -> Result<(), Abort> {
+        let mut st = self.lock_state();
+        if st.aborting {
+            return Err(Abort);
+        }
+        st.yields += 1;
+        if st.yields > self.max_yields {
+            let msg = format!(
+                "schedule exceeded {} yield points — livelock, or raise Config::max_yields",
+                self.max_yields
+            );
+            self.fail_locked(&mut st, msg);
+            return Err(Abort);
+        }
+        let line = format!("t{tid}:{} {}", st.threads[tid].name, label());
+        st.trace.push(line);
+        self.surrender(st, tid).map(drop)
+    }
+
+    pub(crate) fn register_resource(&self) -> usize {
+        let mut st = self.lock_state();
+        let id = st.next_resource;
+        st.next_resource += 1;
+        id
+    }
+
+    pub(crate) fn mutex_lock(&self, tid: usize, id: usize) -> Result<(), Abort> {
+        self.yield_point(tid, || format!("Mutex#{id} lock"))?;
+        let mut st = self.lock_state();
+        loop {
+            if st.aborting {
+                return Err(Abort);
+            }
+            let owner = st.mutexes.entry(id).or_insert(None);
+            if owner.is_none() {
+                *owner = Some(tid);
+                return Ok(());
+            }
+            st.threads[tid].status = Status::Blocked(Block::Mutex(id));
+            st = self.surrender(st, tid)?;
+        }
+    }
+
+    /// Non-yielding acquisition attempt backing `Mutex::try_lock`.
+    pub(crate) fn mutex_try_lock(&self, tid: usize, id: usize) -> Result<bool, Abort> {
+        self.yield_point(tid, || format!("Mutex#{id} try_lock"))?;
+        let mut st = self.lock_state();
+        if st.aborting {
+            return Err(Abort);
+        }
+        let owner = st.mutexes.entry(id).or_insert(None);
+        if owner.is_none() {
+            *owner = Some(tid);
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    pub(crate) fn mutex_unlock(&self, id: usize) {
+        if let Ok(mut st) = self.state.lock() {
+            st.mutexes.insert(id, None);
+            Self::wake(&mut st, |b| *b == Block::Mutex(id));
+        }
+    }
+
+    pub(crate) fn rw_lock_read(&self, tid: usize, id: usize) -> Result<(), Abort> {
+        self.yield_point(tid, || format!("RwLock#{id} read"))?;
+        let mut st = self.lock_state();
+        loop {
+            if st.aborting {
+                return Err(Abort);
+            }
+            let rw = st.rwlocks.entry(id).or_default();
+            if rw.writer.is_none() {
+                rw.readers += 1;
+                return Ok(());
+            }
+            st.threads[tid].status = Status::Blocked(Block::RwRead(id));
+            st = self.surrender(st, tid)?;
+        }
+    }
+
+    pub(crate) fn rw_unlock_read(&self, id: usize) {
+        if let Ok(mut st) = self.state.lock() {
+            let rw = st.rwlocks.entry(id).or_default();
+            rw.readers = rw.readers.saturating_sub(1);
+            if rw.readers == 0 {
+                Self::wake(&mut st, |b| *b == Block::RwWrite(id));
+            }
+        }
+    }
+
+    pub(crate) fn rw_lock_write(&self, tid: usize, id: usize) -> Result<(), Abort> {
+        self.yield_point(tid, || format!("RwLock#{id} write"))?;
+        let mut st = self.lock_state();
+        loop {
+            if st.aborting {
+                return Err(Abort);
+            }
+            let rw = st.rwlocks.entry(id).or_default();
+            if rw.writer.is_none() && rw.readers == 0 {
+                rw.writer = Some(tid);
+                return Ok(());
+            }
+            st.threads[tid].status = Status::Blocked(Block::RwWrite(id));
+            st = self.surrender(st, tid)?;
+        }
+    }
+
+    pub(crate) fn rw_unlock_write(&self, id: usize) {
+        if let Ok(mut st) = self.state.lock() {
+            st.rwlocks.entry(id).or_default().writer = None;
+            Self::wake(&mut st, |b| matches!(b, Block::RwRead(r) | Block::RwWrite(r) if *r == id));
+        }
+    }
+
+    /// Atomically releases `mutex_id`, registers as a waiter on `cv`, and
+    /// blocks; after a notify, reacquires the mutex before returning. The
+    /// register-before-release order under one state lock is the
+    /// no-lost-wakeup guarantee.
+    pub(crate) fn condvar_wait(&self, tid: usize, cv: usize, mutex_id: usize) -> Result<(), Abort> {
+        self.yield_point(tid, || format!("Condvar#{cv} wait (releases Mutex#{mutex_id})"))?;
+        let mut st = self.lock_state();
+        if st.aborting {
+            return Err(Abort);
+        }
+        st.cv_waiters.entry(cv).or_default().push_back(tid);
+        st.mutexes.insert(mutex_id, None);
+        Self::wake(&mut st, |b| *b == Block::Mutex(mutex_id));
+        st.threads[tid].status = Status::Blocked(Block::Condvar(cv));
+        st = self.surrender(st, tid)?;
+        loop {
+            if st.aborting {
+                return Err(Abort);
+            }
+            let owner = st.mutexes.entry(mutex_id).or_insert(None);
+            if owner.is_none() {
+                *owner = Some(tid);
+                return Ok(());
+            }
+            st.threads[tid].status = Status::Blocked(Block::Mutex(mutex_id));
+            st = self.surrender(st, tid)?;
+        }
+    }
+
+    /// FIFO wakeup of one waiter — deterministic per schedule, which keeps
+    /// replays byte-identical.
+    pub(crate) fn condvar_notify_one(&self, tid: usize, cv: usize) -> Result<(), Abort> {
+        self.yield_point(tid, || format!("Condvar#{cv} notify_one"))?;
+        let mut st = self.lock_state();
+        if let Some(waiter) = st.cv_waiters.entry(cv).or_default().pop_front() {
+            st.threads[waiter].status = Status::Runnable;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn condvar_notify_all(&self, tid: usize, cv: usize) -> Result<(), Abort> {
+        self.yield_point(tid, || format!("Condvar#{cv} notify_all"))?;
+        let mut st = self.lock_state();
+        let waiters = std::mem::take(st.cv_waiters.entry(cv).or_default());
+        for waiter in waiters {
+            st.threads[waiter].status = Status::Runnable;
+        }
+        Ok(())
+    }
+
+    /// Registers a new model thread and returns its id. `parent` is only
+    /// used for the trace line. A thread registered with `started = false`
+    /// stays invisible to the controller until [`Sched::mark_started`].
+    pub(crate) fn register_thread(
+        &self,
+        parent: Option<usize>,
+        name: String,
+        started: bool,
+    ) -> usize {
+        let mut st = self.lock_state();
+        let tid = st.threads.len();
+        if !st.aborting {
+            let line = match parent {
+                Some(p) => format!("t{p}:{} spawned t{tid}:{name}", st.threads[p].name),
+                None => format!("registered t{tid}:{name}"),
+            };
+            st.trace.push(line);
+        }
+        let status = if started { Status::Runnable } else { Status::NotStarted };
+        st.threads.push(Thread { status, name });
+        tid
+    }
+
+    /// Makes a deferred-start thread schedulable.
+    pub(crate) fn mark_started(&self, tid: usize) {
+        let mut st = self.lock_state();
+        if st.threads[tid].status == Status::NotStarted {
+            st.threads[tid].status = Status::Runnable;
+        }
+    }
+
+    /// Retires a registered thread that will never run (its OS thread could
+    /// not be spawned, or the schedule aborted before scope exit).
+    pub(crate) fn cancel_thread(&self, tid: usize) {
+        let mut st = self.lock_state();
+        st.threads[tid].status = Status::Finished;
+        Self::wake(&mut st, |b| *b == Block::Join(tid));
+        st.controller_turn = true;
+        self.cond.notify_all();
+    }
+
+    pub(crate) fn track_real(&self, handle: std::thread::JoinHandle<()>) {
+        self.reals.lock().expect("model real-handle list poisoned").push(handle);
+    }
+
+    fn join_reals(&self) {
+        let handles =
+            std::mem::take(&mut *self.reals.lock().expect("model real-handle list poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// First grant for a freshly spawned thread.
+    pub(crate) fn wait_for_grant(&self, tid: usize) -> Result<(), Abort> {
+        let mut st = self.lock_state();
+        loop {
+            if st.aborting {
+                return Err(Abort);
+            }
+            if !st.controller_turn && st.active == Some(tid) {
+                return Ok(());
+            }
+            st = self.cond.wait(st).expect("model scheduler state poisoned");
+        }
+    }
+
+    pub(crate) fn join_thread(&self, tid: usize, target: usize) -> Result<(), Abort> {
+        self.yield_point(tid, || format!("join t{target}"))?;
+        let mut st = self.lock_state();
+        loop {
+            if st.aborting {
+                return Err(Abort);
+            }
+            if st.threads[target].status == Status::Finished {
+                return Ok(());
+            }
+            st.threads[tid].status = Status::Blocked(Block::Join(target));
+            st = self.surrender(st, tid)?;
+        }
+    }
+
+    pub(crate) fn thread_finished(&self, tid: usize, failure: Option<String>) {
+        let mut st = self.lock_state();
+        if let Some(msg) = failure {
+            self.fail_locked(&mut st, msg);
+        }
+        if !st.aborting {
+            let line = format!("t{tid}:{} finished", st.threads[tid].name);
+            st.trace.push(line);
+        }
+        st.threads[tid].status = Status::Finished;
+        Self::wake(&mut st, |b| *b == Block::Join(tid));
+        if st.active == Some(tid) {
+            st.active = None;
+        }
+        st.controller_turn = true;
+        self.cond.notify_all();
+    }
+
+    /// Entry point for failures detected outside a thread wrapper (e.g. a
+    /// panic caught by a scope body).
+    pub(crate) fn record_failure(&self, message: String) {
+        let mut st = self.lock_state();
+        self.fail_locked(&mut st, message);
+    }
+
+    pub(crate) fn is_aborting(&self) -> bool {
+        self.state.lock().map(|st| st.aborting).unwrap_or(true)
+    }
+
+    fn deadlock_message(st: &State) -> String {
+        let mut parts = vec!["deadlock: no runnable threads".to_string()];
+        for (i, t) in st.threads.iter().enumerate() {
+            match &t.status {
+                Status::Blocked(b) => {
+                    parts.push(format!("  t{i}:{} blocked on {}", t.name, describe_block(b)));
+                }
+                Status::NotStarted => {
+                    parts.push(format!(
+                        "  t{i}:{} not started (model scoped threads only run once the \
+                         scope body returns — do not join them inside it)",
+                        t.name
+                    ));
+                }
+                _ => {}
+            }
+        }
+        parts.join("\n")
+    }
+
+    /// Drives one schedule to completion and returns what happened.
+    fn run_controller(&self) -> Outcome {
+        let mut st = self.lock_state();
+        loop {
+            if st.aborting {
+                if st.all_finished() {
+                    break;
+                }
+            } else if st.controller_turn {
+                if st.all_finished() {
+                    break;
+                }
+                let runnable: Vec<usize> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.status == Status::Runnable)
+                    .map(|(i, _)| i)
+                    .collect();
+                if runnable.is_empty() {
+                    let msg = Self::deadlock_message(&st);
+                    self.fail_locked(&mut st, msg);
+                    continue;
+                }
+                let mut options = runnable;
+                if let Some(prev) = st.last_active {
+                    if let Some(pos) = options.iter().position(|&t| t == prev) {
+                        options.remove(pos);
+                        options.insert(0, prev);
+                        if st.preemptions >= self.max_preemptions {
+                            // Preemption budget spent: keep running the
+                            // current thread until it blocks or finishes.
+                            options.truncate(1);
+                        }
+                    }
+                }
+                let n = options.len();
+                let chosen = if n == 1 {
+                    0
+                } else {
+                    let depth = st.decisions.len();
+                    let c = st.prefix.get(depth).copied().unwrap_or(0) as usize;
+                    if c >= n {
+                        let msg = format!(
+                            "replay diverged: decision {depth} wants option {c} of {n}; \
+                             the code under test is not deterministic between runs"
+                        );
+                        self.fail_locked(&mut st, msg);
+                        continue;
+                    }
+                    st.decisions.push(Decision { options: n as u8, chosen: c as u8 });
+                    c
+                };
+                let next = options[chosen];
+                if let Some(prev) = st.last_active {
+                    if next != prev && st.threads[prev].status == Status::Runnable {
+                        st.preemptions += 1;
+                    }
+                }
+                st.active = Some(next);
+                st.last_active = Some(next);
+                st.controller_turn = false;
+                self.cond.notify_all();
+                continue;
+            }
+            st = self.cond.wait(st).expect("model scheduler state poisoned");
+        }
+        Outcome {
+            failure: st.failure.take(),
+            decisions: std::mem::take(&mut st.decisions),
+            trace: std::mem::take(&mut st.trace),
+        }
+    }
+}
+
+/// Runs a model thread's body with panic capture and scheduler bookkeeping.
+pub(crate) fn run_model_thread(sched: Arc<Sched>, tid: usize, body: impl FnOnce()) {
+    set_ctx(sched.clone(), tid);
+    let failure = if sched.wait_for_grant(tid).is_ok() {
+        match catch_unwind(AssertUnwindSafe(body)) {
+            Ok(()) => None,
+            Err(payload) if payload.is::<AbortToken>() => None,
+            Err(payload) => Some(panic_message(payload.as_ref())),
+        }
+    } else {
+        None
+    };
+    sched.thread_finished(tid, failure);
+}
+
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+fn encode_seed(decisions: &[Decision]) -> String {
+    let parts: Vec<String> = decisions.iter().map(|d| d.chosen.to_string()).collect();
+    format!("v1:{}", parts.join("."))
+}
+
+fn decode_seed(seed: &str) -> Vec<u8> {
+    let body = seed
+        .strip_prefix("v1:")
+        .unwrap_or_else(|| panic!("malformed acq-sync replay seed `{seed}` (expected `v1:...`)"));
+    if body.is_empty() {
+        return Vec::new();
+    }
+    body.split('.')
+        .map(|p| {
+            p.parse::<u8>()
+                .unwrap_or_else(|_| panic!("malformed acq-sync replay seed component `{p}`"))
+        })
+        .collect()
+}
+
+/// Computes the DFS successor of a completed schedule's decision vector:
+/// bump the last decision that still has unexplored options, drop the rest.
+fn next_prefix(decisions: &[Decision]) -> Option<Vec<u8>> {
+    for i in (0..decisions.len()).rev() {
+        let d = decisions[i];
+        if u16::from(d.chosen) + 1 < u16::from(d.options) {
+            let mut prefix: Vec<u8> = decisions[..i].iter().map(|d| d.chosen).collect();
+            prefix.push(d.chosen + 1);
+            return Some(prefix);
+        }
+    }
+    None
+}
+
+/// Exhaustively explores bounded interleavings of `f`. See
+/// [`crate::model::explore`] for the contract.
+pub(crate) fn explore<F>(config: Config, f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let replay_only = config.replay.is_some();
+    let mut prefix: Vec<u8> = config.replay.as_deref().map(decode_seed).unwrap_or_default();
+    let mut schedules = 0usize;
+    loop {
+        schedules += 1;
+        let sched = Arc::new(Sched::new(&config, std::mem::take(&mut prefix)));
+        let root = sched.register_thread(None, "main".to_string(), true);
+        let body_f = Arc::clone(&f);
+        let body_sched = Arc::clone(&sched);
+        let real = std::thread::Builder::new()
+            .name("acq-model-main".to_string())
+            .spawn(move || run_model_thread(body_sched, root, move || (body_f)()))
+            .expect("failed to spawn model root thread");
+        sched.track_real(real);
+        let outcome = sched.run_controller();
+        sched.join_reals();
+        if let Some(message) = outcome.failure {
+            return Report {
+                schedules,
+                complete: false,
+                failure: Some(Failure {
+                    seed: encode_seed(&outcome.decisions),
+                    message,
+                    trace: outcome.trace.join("\n"),
+                    schedule: schedules,
+                }),
+            };
+        }
+        if replay_only {
+            return Report { schedules, complete: true, failure: None };
+        }
+        match next_prefix(&outcome.decisions) {
+            Some(p) => prefix = p,
+            None => return Report { schedules, complete: true, failure: None },
+        }
+        if schedules >= config.max_schedules {
+            eprintln!(
+                "acq-sync: schedule budget ({}) exhausted before the interleaving space was \
+                 covered; raise Config::max_schedules or ACQ_MODEL_MAX_SCHEDULES for full coverage",
+                config.max_schedules
+            );
+            return Report { schedules, complete: false, failure: None };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{decode_seed, encode_seed, next_prefix, Decision};
+
+    #[test]
+    fn seed_round_trip() {
+        let decisions = vec![
+            Decision { options: 3, chosen: 2 },
+            Decision { options: 2, chosen: 0 },
+            Decision { options: 4, chosen: 1 },
+        ];
+        let seed = encode_seed(&decisions);
+        assert_eq!(seed, "v1:2.0.1");
+        assert_eq!(decode_seed(&seed), vec![2, 0, 1]);
+        assert_eq!(decode_seed("v1:"), Vec::<u8>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed acq-sync replay seed")]
+    fn seed_rejects_bad_prefix() {
+        decode_seed("v2:0.1");
+    }
+
+    #[test]
+    fn next_prefix_enumerates_depth_first() {
+        // A two-decision schedule: last decision has room, so it bumps.
+        let d = vec![Decision { options: 2, chosen: 0 }, Decision { options: 3, chosen: 1 }];
+        assert_eq!(next_prefix(&d), Some(vec![0, 2]));
+        // Last decision exhausted: pop it and bump the previous one.
+        let d = vec![Decision { options: 2, chosen: 0 }, Decision { options: 3, chosen: 2 }];
+        assert_eq!(next_prefix(&d), Some(vec![1]));
+        // Everything exhausted: exploration is complete.
+        let d = vec![Decision { options: 2, chosen: 1 }, Decision { options: 3, chosen: 2 }];
+        assert_eq!(next_prefix(&d), None);
+        assert_eq!(next_prefix(&[]), None);
+    }
+}

@@ -1,0 +1,1000 @@
+//! Scheduler-instrumented replacements for the std primitives, compiled
+//! only under `--cfg acq_model`.
+//!
+//! Each shim stores its data in the corresponding std primitive (used purely
+//! as storage — ownership is always granted by the scheduler first, so the
+//! `try_lock` on the storage can never contend) and reports every visible
+//! operation to [`crate::sched`] as a yield point. During schedule teardown
+//! (`Abort`) the shims degrade to plain std behavior so unwinding `Drop`
+//! impls can still run.
+//!
+//! A shim used from a thread the scheduler does not know about — any thread
+//! outside an active [`crate::model::model`] run — falls back to the real
+//! std operation. This keeps the ordinary test suites of the ported crates
+//! runnable under `--cfg acq_model`: only code that executes inside a model
+//! closure is scheduled; everything else behaves as a normal build.
+
+use crate::sched::{current, panic_message, run_model_thread, Abort, AbortToken, Sched};
+use std::cell::RefCell;
+use std::fmt;
+use std::io;
+use std::marker::PhantomData;
+use std::num::NonZeroUsize;
+use std::ops::{Deref, DerefMut};
+use std::panic::{catch_unwind, panic_any, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{
+    Arc, Condvar as StdCondvar, LockResult, Mutex as StdMutex, MutexGuard as StdMutexGuard,
+    OnceLock, PoisonError, RwLock as StdRwLock, RwLockReadGuard as StdReadGuard,
+    RwLockWriteGuard as StdWriteGuard, TryLockError,
+};
+use std::time::Duration;
+
+/// Converts a scheduler abort into the teardown panic, unless this thread is
+/// already unwinding (a `Drop` running during teardown), in which case the
+/// caller proceeds without modeling.
+fn abort_or_continue() {
+    if !std::thread::panicking() {
+        panic_any(AbortToken);
+    }
+}
+
+/// Yield point for operations that need no resource bookkeeping (atomics,
+/// `yield_now`, `sleep`). A no-op outside a model run.
+fn model_point(label: impl FnOnce() -> String) {
+    if let Some((sched, tid)) = current() {
+        if sched.yield_point(tid, label).is_err() {
+            abort_or_continue();
+        }
+    }
+}
+
+fn lazy_id(slot: &OnceLock<usize>, sched: &Arc<Sched>) -> usize {
+    *slot.get_or_init(|| sched.register_resource())
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// Model-checked mutex with the `std::sync::Mutex` API surface the engine
+/// uses. Lock acquisition never returns `Err`: model runs abort on panic, so
+/// poisoning cannot be observed.
+pub struct Mutex<T: ?Sized> {
+    id: OnceLock<usize>,
+    data: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new model mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex { id: OnceLock::new(), data: StdMutex::new(value) }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex through the scheduler, blocking this model thread
+    /// (and only this model thread) until it is granted. Outside a model run
+    /// this is a real `std` lock (poison absorbed, matching model semantics).
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let Some((sched, tid)) = current() else {
+            let inner = self.data.lock().unwrap_or_else(PoisonError::into_inner);
+            return Ok(MutexGuard {
+                data: &self.data,
+                inner: Some(inner),
+                sched: None,
+                id: 0,
+                modeled: false,
+            });
+        };
+        let id = lazy_id(&self.id, &sched);
+        match sched.mutex_lock(tid, id) {
+            Ok(()) => Ok(MutexGuard {
+                data: &self.data,
+                inner: Some(take_storage(&self.data)),
+                sched: Some(sched),
+                id,
+                modeled: true,
+            }),
+            Err(Abort) => {
+                abort_or_continue();
+                let inner = self.data.lock().unwrap_or_else(PoisonError::into_inner);
+                Ok(MutexGuard {
+                    data: &self.data,
+                    inner: Some(inner),
+                    sched: Some(sched),
+                    id,
+                    modeled: false,
+                })
+            }
+        }
+    }
+
+    /// Attempts the lock without blocking; still a yield point.
+    pub fn try_lock(&self) -> Result<MutexGuard<'_, T>, TryLockError<MutexGuard<'_, T>>> {
+        let Some((sched, tid)) = current() else {
+            return match self.data.try_lock() {
+                Ok(inner) => Ok(MutexGuard {
+                    data: &self.data,
+                    inner: Some(inner),
+                    sched: None,
+                    id: 0,
+                    modeled: false,
+                }),
+                Err(TryLockError::Poisoned(p)) => Ok(MutexGuard {
+                    data: &self.data,
+                    inner: Some(p.into_inner()),
+                    sched: None,
+                    id: 0,
+                    modeled: false,
+                }),
+                Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+            };
+        };
+        let id = lazy_id(&self.id, &sched);
+        match sched.mutex_try_lock(tid, id) {
+            Ok(true) => Ok(MutexGuard {
+                data: &self.data,
+                inner: Some(take_storage(&self.data)),
+                sched: Some(sched),
+                id,
+                modeled: true,
+            }),
+            Ok(false) => Err(TryLockError::WouldBlock),
+            Err(Abort) => {
+                abort_or_continue();
+                Err(TryLockError::WouldBlock)
+            }
+        }
+    }
+}
+
+/// Grabs the storage lock after the scheduler granted ownership; contention
+/// is impossible, poison is absorbed (model failures abort the schedule).
+fn take_storage<T: ?Sized>(data: &StdMutex<T>) -> StdMutexGuard<'_, T> {
+    match data.try_lock() {
+        Ok(g) => g,
+        Err(TryLockError::Poisoned(p)) => p.into_inner(),
+        Err(TryLockError::WouldBlock) => {
+            unreachable!("model scheduler granted a mutex whose storage is held")
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+/// Guard for [`Mutex`]; releases scheduler ownership on drop. `sched` is
+/// `None` for a guard taken outside a model run (plain std locking).
+pub struct MutexGuard<'a, T: ?Sized> {
+    data: &'a StdMutex<T>,
+    inner: Option<StdMutexGuard<'a, T>>,
+    sched: Option<Arc<Sched>>,
+    id: usize,
+    modeled: bool,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("mutex guard accessed after release")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("mutex guard accessed after release")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let modeled = self.modeled;
+        self.inner = None;
+        if modeled {
+            if let Some(sched) = &self.sched {
+                sched.mutex_unlock(self.id);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// Model-checked condition variable. `notify_one` wakes waiters in FIFO
+/// order, which keeps schedules deterministic; there are no spurious
+/// wakeups (a strict subset of what std permits). Outside a model run the
+/// embedded real condvar does the waiting.
+pub struct Condvar {
+    id: OnceLock<usize>,
+    real: StdCondvar,
+}
+
+impl Condvar {
+    /// Creates a new model condvar.
+    pub const fn new() -> Self {
+        Condvar { id: OnceLock::new(), real: StdCondvar::new() }
+    }
+
+    /// Atomically releases the guard's mutex and waits for a notification,
+    /// reacquiring the mutex before returning. (`T: Sized`, matching std's
+    /// `Condvar::wait` bound.)
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let Some((sched, tid)) = current() else {
+            let data = guard.data;
+            let inner = guard.inner.take().expect("condvar wait on a released guard");
+            guard.modeled = false;
+            drop(guard);
+            let inner = self.real.wait(inner).unwrap_or_else(PoisonError::into_inner);
+            return Ok(MutexGuard { data, inner: Some(inner), sched: None, id: 0, modeled: false });
+        };
+        let cv = lazy_id(&self.id, &sched);
+        let mutex_id = guard.id;
+        let data = guard.data;
+        // Defuse the guard: drop the storage lock here and skip the
+        // scheduler release in its Drop — condvar_wait takes over both.
+        guard.inner = None;
+        guard.modeled = false;
+        drop(guard);
+        match sched.condvar_wait(tid, cv, mutex_id) {
+            Ok(()) => Ok(MutexGuard {
+                data,
+                inner: Some(take_storage(data)),
+                sched: Some(sched),
+                id: mutex_id,
+                modeled: true,
+            }),
+            Err(Abort) => {
+                abort_or_continue();
+                let inner = data.lock().unwrap_or_else(PoisonError::into_inner);
+                Ok(MutexGuard {
+                    data,
+                    inner: Some(inner),
+                    sched: Some(sched),
+                    id: mutex_id,
+                    modeled: false,
+                })
+            }
+        }
+    }
+
+    /// Wakes the longest-waiting thread, if any.
+    pub fn notify_one(&self) {
+        let Some((sched, tid)) = current() else {
+            self.real.notify_one();
+            return;
+        };
+        let cv = lazy_id(&self.id, &sched);
+        if sched.condvar_notify_one(tid, cv).is_err() {
+            abort_or_continue();
+        }
+    }
+
+    /// Wakes every waiting thread.
+    pub fn notify_all(&self) {
+        let Some((sched, tid)) = current() else {
+            self.real.notify_all();
+            return;
+        };
+        let cv = lazy_id(&self.id, &sched);
+        if sched.condvar_notify_all(tid, cv).is_err() {
+            abort_or_continue();
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+/// Model-checked reader-writer lock: any number of concurrent readers, one
+/// writer, no reader/writer preference (the scheduler explores both).
+pub struct RwLock<T: ?Sized> {
+    id: OnceLock<usize>,
+    data: StdRwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new model rwlock.
+    pub const fn new(value: T) -> Self {
+        RwLock { id: OnceLock::new(), data: StdRwLock::new(value) }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access.
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        let Some((sched, tid)) = current() else {
+            let inner = self.data.read().unwrap_or_else(PoisonError::into_inner);
+            return Ok(RwLockReadGuard { inner: Some(inner), sched: None, id: 0, modeled: false });
+        };
+        let id = lazy_id(&self.id, &sched);
+        match sched.rw_lock_read(tid, id) {
+            Ok(()) => {
+                let inner = match self.data.try_read() {
+                    Ok(g) => g,
+                    Err(TryLockError::Poisoned(p)) => p.into_inner(),
+                    Err(TryLockError::WouldBlock) => {
+                        unreachable!("model scheduler granted a read on a write-held rwlock")
+                    }
+                };
+                Ok(RwLockReadGuard { inner: Some(inner), sched: Some(sched), id, modeled: true })
+            }
+            Err(Abort) => {
+                abort_or_continue();
+                let inner = self.data.read().unwrap_or_else(PoisonError::into_inner);
+                Ok(RwLockReadGuard { inner: Some(inner), sched: Some(sched), id, modeled: false })
+            }
+        }
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        let Some((sched, tid)) = current() else {
+            let inner = self.data.write().unwrap_or_else(PoisonError::into_inner);
+            return Ok(RwLockWriteGuard { inner: Some(inner), sched: None, id: 0, modeled: false });
+        };
+        let id = lazy_id(&self.id, &sched);
+        match sched.rw_lock_write(tid, id) {
+            Ok(()) => {
+                let inner = match self.data.try_write() {
+                    Ok(g) => g,
+                    Err(TryLockError::Poisoned(p)) => p.into_inner(),
+                    Err(TryLockError::WouldBlock) => {
+                        unreachable!("model scheduler granted a write on a held rwlock")
+                    }
+                };
+                Ok(RwLockWriteGuard { inner: Some(inner), sched: Some(sched), id, modeled: true })
+            }
+            Err(Abort) => {
+                abort_or_continue();
+                let inner = self.data.write().unwrap_or_else(PoisonError::into_inner);
+                Ok(RwLockWriteGuard { inner: Some(inner), sched: Some(sched), id, modeled: false })
+            }
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RwLock").finish_non_exhaustive()
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+/// Shared guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: Option<StdReadGuard<'a, T>>,
+    sched: Option<Arc<Sched>>,
+    id: usize,
+    modeled: bool,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("rwlock read guard accessed after release")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        let modeled = self.modeled;
+        self.inner = None;
+        if modeled {
+            if let Some(sched) = &self.sched {
+                sched.rw_unlock_read(self.id);
+            }
+        }
+    }
+}
+
+/// Exclusive guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: Option<StdWriteGuard<'a, T>>,
+    sched: Option<Arc<Sched>>,
+    id: usize,
+    modeled: bool,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("rwlock write guard accessed after release")
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("rwlock write guard accessed after release")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        let modeled = self.modeled;
+        self.inner = None;
+        if modeled {
+            if let Some(sched) = &self.sched {
+                sched.rw_unlock_write(self.id);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------------
+
+macro_rules! model_atomic {
+    ($name:ident, $std:ty, $prim:ty) => {
+        /// Model-checked atomic. Every access is a yield point; the model
+        /// executes sequentially consistently regardless of the `Ordering`.
+        pub struct $name {
+            v: $std,
+        }
+
+        impl $name {
+            /// Creates a new atomic (usable in `const` contexts, matching std).
+            pub const fn new(value: $prim) -> Self {
+                Self { v: <$std>::new(value) }
+            }
+
+            /// Loads the value.
+            pub fn load(&self, _order: Ordering) -> $prim {
+                model_point(|| format!("{} load", stringify!($name)));
+                self.v.load(Ordering::SeqCst)
+            }
+
+            /// Stores a value.
+            pub fn store(&self, value: $prim, _order: Ordering) {
+                model_point(|| format!("{} store({value:?})", stringify!($name)));
+                self.v.store(value, Ordering::SeqCst);
+            }
+
+            /// Swaps the value, returning the previous one.
+            pub fn swap(&self, value: $prim, _order: Ordering) -> $prim {
+                model_point(|| format!("{} swap({value:?})", stringify!($name)));
+                self.v.swap(value, Ordering::SeqCst)
+            }
+
+            /// Compare-and-exchange; success and failure orderings are both
+            /// treated as `SeqCst`.
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                _success: Ordering,
+                _failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                model_point(|| {
+                    format!("{} compare_exchange({current:?} -> {new:?})", stringify!($name))
+                });
+                self.v.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+            }
+
+            /// As [`compare_exchange`](Self::compare_exchange); the model
+            /// never fails spuriously.
+            pub fn compare_exchange_weak(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                self.compare_exchange(current, new, success, failure)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.debug_struct(stringify!($name)).finish_non_exhaustive()
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(Default::default())
+            }
+        }
+    };
+}
+
+macro_rules! model_atomic_arith {
+    ($name:ident, $prim:ty) => {
+        impl $name {
+            /// Adds to the value, returning the previous one.
+            pub fn fetch_add(&self, value: $prim, _order: Ordering) -> $prim {
+                model_point(|| format!("{} fetch_add({value})", stringify!($name)));
+                self.v.fetch_add(value, Ordering::SeqCst)
+            }
+
+            /// Subtracts from the value, returning the previous one.
+            pub fn fetch_sub(&self, value: $prim, _order: Ordering) -> $prim {
+                model_point(|| format!("{} fetch_sub({value})", stringify!($name)));
+                self.v.fetch_sub(value, Ordering::SeqCst)
+            }
+
+            /// Stores the maximum of the current and given values, returning
+            /// the previous one.
+            pub fn fetch_max(&self, value: $prim, _order: Ordering) -> $prim {
+                model_point(|| format!("{} fetch_max({value})", stringify!($name)));
+                self.v.fetch_max(value, Ordering::SeqCst)
+            }
+        }
+    };
+}
+
+model_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+model_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+model_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+model_atomic_arith!(AtomicU64, u64);
+model_atomic_arith!(AtomicUsize, usize);
+
+// ---------------------------------------------------------------------------
+// mpsc
+// ---------------------------------------------------------------------------
+
+/// Model-checked multi-producer single-consumer channel with std's drain
+/// semantics: `recv` keeps yielding queued messages after all senders have
+/// dropped and only then reports disconnection.
+pub mod mpsc {
+    pub use std::sync::mpsc::{RecvError, SendError};
+
+    use super::{Condvar, Mutex};
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, PoisonError};
+
+    struct ChanState<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receiver_alive: bool,
+    }
+
+    struct Shared<T> {
+        state: Mutex<ChanState<T>>,
+        cv: Condvar,
+    }
+
+    /// Creates an unbounded model channel.
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(ChanState {
+                queue: VecDeque::new(),
+                senders: 1,
+                receiver_alive: true,
+            }),
+            cv: Condvar::new(),
+        });
+        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    }
+
+    /// Sending half of a model channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Queues a message; fails only if the receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+            if !st.receiver_alive {
+                return Err(SendError(value));
+            }
+            st.queue.push_back(value);
+            drop(st);
+            self.shared.cv.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().unwrap_or_else(PoisonError::into_inner).senders += 1;
+            Sender { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+            st.senders = st.senders.saturating_sub(1);
+            let last = st.senders == 0;
+            drop(st);
+            if last {
+                self.shared.cv.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("Sender").finish_non_exhaustive()
+        }
+    }
+
+    /// Receiving half of a model channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks this model thread until a message or disconnection.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(value) = st.queue.pop_front() {
+                    return Ok(value);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.shared.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.state.lock().unwrap_or_else(PoisonError::into_inner).receiver_alive = false;
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("Receiver").finish_non_exhaustive()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// thread
+// ---------------------------------------------------------------------------
+
+/// Model-checked thread spawning, scoped threads, and small utilities.
+pub mod thread {
+    use super::*;
+
+    /// Handle to a free-spawned thread: a model thread when spawned inside a
+    /// model run, a real std thread otherwise.
+    pub struct JoinHandle<T> {
+        inner: HandleInner<T>,
+    }
+
+    enum HandleInner<T> {
+        Model { target: usize, slot: Arc<StdMutex<Option<std::thread::Result<T>>>> },
+        Real(std::thread::JoinHandle<T>),
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Blocks this model thread until the target finishes, returning its
+        /// result.
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.inner {
+                HandleInner::Real(handle) => handle.join(),
+                HandleInner::Model { target, slot } => {
+                    let (sched, tid) = current()
+                        .expect("a model thread's JoinHandle joined from outside its model run");
+                    match sched.join_thread(tid, target) {
+                        Ok(()) => slot
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .take()
+                            .expect("model thread finished without storing a result"),
+                        Err(Abort) => {
+                            abort_or_continue();
+                            Err(Box::new(AbortToken))
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for JoinHandle<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("JoinHandle").finish_non_exhaustive()
+        }
+    }
+
+    /// Thread factory mirroring `std::thread::Builder` (name only; model
+    /// threads ignore stack-size hints).
+    #[derive(Debug, Default)]
+    pub struct Builder {
+        name: Option<String>,
+    }
+
+    impl Builder {
+        /// A builder with no name set.
+        pub fn new() -> Self {
+            Builder { name: None }
+        }
+
+        /// Names the thread; the name appears in model traces.
+        pub fn name(mut self, name: String) -> Self {
+            self.name = Some(name);
+            self
+        }
+
+        /// Spawns a model thread running `f`; a real std thread outside a
+        /// model run.
+        pub fn spawn<F, T>(self, f: F) -> io::Result<JoinHandle<T>>
+        where
+            F: FnOnce() -> T + Send + 'static,
+            T: Send + 'static,
+        {
+            let Some((sched, tid)) = current() else {
+                let mut builder = std::thread::Builder::new();
+                if let Some(name) = self.name {
+                    builder = builder.name(name);
+                }
+                return builder.spawn(f).map(|h| JoinHandle { inner: HandleInner::Real(h) });
+            };
+            if sched.yield_point(tid, || "spawn".to_string()).is_err() {
+                abort_or_continue();
+            }
+            let name = self.name.unwrap_or_else(|| "thread".to_string());
+            let target = sched.register_thread(Some(tid), name.clone(), true);
+            let slot = Arc::new(StdMutex::new(None));
+            let body_slot = Arc::clone(&slot);
+            let body_sched = Arc::clone(&sched);
+            let real = std::thread::Builder::new().name(name).spawn(move || {
+                run_model_thread(Arc::clone(&body_sched), target, move || {
+                    let value = f();
+                    *body_slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(Ok(value));
+                })
+            });
+            match real {
+                Ok(handle) => {
+                    sched.track_real(handle);
+                    Ok(JoinHandle { inner: HandleInner::Model { target, slot } })
+                }
+                Err(e) => {
+                    sched.cancel_thread(target);
+                    Err(e)
+                }
+            }
+        }
+    }
+
+    /// Spawns a model thread running `f`.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        Builder::new().spawn(f).expect("failed to spawn model thread")
+    }
+
+    /// Scope for spawning borrowing model threads; mirrors
+    /// `std::thread::scope` with one model-specific twist: children are
+    /// *registered* when `spawn` is called but their OS threads only start
+    /// once the scope body returns (`std::thread::Scope` is invariant in its
+    /// lifetime, which makes a direct safe wrapper impossible). Because only
+    /// one model thread ever runs at a time, this preserves the explored
+    /// interleavings — but joining a scoped handle *inside* the scope body
+    /// deadlocks under the model, and the deadlock report says so.
+    pub struct Scope<'scope, 'env> {
+        /// `None` outside a model run: children still defer to scope exit but
+        /// run as real std scoped threads.
+        sched: Option<Arc<Sched>>,
+        tid: usize,
+        // The queued bodies borrow `'env` data only (slightly stricter than
+        // std's `'scope` bound), which keeps the struct free of
+        // self-referential `'scope` data.
+        #[allow(clippy::type_complexity)]
+        pending: RefCell<Vec<(usize, Box<dyn FnOnce() + Send + 'env>)>>,
+        _scope: PhantomData<&'scope ()>,
+    }
+
+    /// Handle to a scoped model thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        target: usize,
+        slot: Arc<StdMutex<Option<std::thread::Result<T>>>>,
+        _marker: PhantomData<&'scope ()>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Blocks this model thread until the target finishes, returning its
+        /// result.
+        pub fn join(self) -> std::thread::Result<T> {
+            let (sched, tid) = current().expect(
+                "shim scoped threads only start once the scope body returns, so joining \
+                 one inside the body cannot make progress (see acq_sync::thread::scope)",
+            );
+            match sched.join_thread(tid, self.target) {
+                Ok(()) => self
+                    .slot
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .take()
+                    .expect("scoped model thread finished without storing a result"),
+                Err(Abort) => {
+                    abort_or_continue();
+                    Err(Box::new(AbortToken))
+                }
+            }
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Registers a scoped model thread running `f`; it starts when the
+        /// scope body returns. The model requires `f` to borrow from the
+        /// environment (`'env`), not from the scope region itself.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce() -> T + Send + 'env,
+            T: Send + 'env,
+        {
+            let target = match &self.sched {
+                Some(sched) => {
+                    if sched.yield_point(self.tid, || "scoped spawn".to_string()).is_err() {
+                        abort_or_continue();
+                    }
+                    sched.register_thread(Some(self.tid), "scoped".to_string(), false)
+                }
+                None => usize::MAX,
+            };
+            let slot = Arc::new(StdMutex::new(None));
+            let body_slot = Arc::clone(&slot);
+            self.pending.borrow_mut().push((
+                target,
+                Box::new(move || {
+                    let value = f();
+                    *body_slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(Ok(value));
+                }),
+            ));
+            ScopedJoinHandle { target, slot, _marker: PhantomData }
+        }
+    }
+
+    /// Creates a scope for borrowing model threads.
+    pub fn scope<'env, F, T>(f: F) -> T
+    where
+        F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> T,
+    {
+        let (sched, tid) = match current() {
+            Some(ctx) => ctx,
+            None => {
+                // Passthrough: same deferred-start contract, real threads.
+                let scope = Scope {
+                    sched: None,
+                    tid: 0,
+                    pending: RefCell::new(Vec::new()),
+                    _scope: PhantomData,
+                };
+                let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+                let pending = scope.pending.take();
+                return match result {
+                    Ok(value) => {
+                        std::thread::scope(|s| {
+                            for (_, body) in pending {
+                                s.spawn(body);
+                            }
+                        });
+                        value
+                    }
+                    // A panicking scope body never starts its children.
+                    Err(payload) => resume_unwind(payload),
+                };
+            }
+        };
+        let scope = Scope {
+            sched: Some(Arc::clone(&sched)),
+            tid,
+            pending: RefCell::new(Vec::new()),
+            _scope: PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        let pending = scope.pending.take();
+        let mut aborted = false;
+        match &result {
+            Err(payload) if payload.is::<AbortToken>() => aborted = true,
+            Err(payload) => {
+                // A real panic in the scope body: fail the schedule now so
+                // the queued children never run their bodies.
+                sched.record_failure(panic_message(payload.as_ref()));
+                aborted = true;
+            }
+            Ok(_) => {}
+        }
+        if aborted || sched.is_aborting() {
+            for (target, _) in pending {
+                sched.cancel_thread(target);
+            }
+            aborted = true;
+        } else {
+            let targets: Vec<usize> = pending.iter().map(|(t, _)| *t).collect();
+            std::thread::scope(|s| {
+                for (target, body) in pending {
+                    sched.mark_started(target);
+                    let body_sched = Arc::clone(&sched);
+                    s.spawn(move || run_model_thread(body_sched, target, body));
+                }
+                for target in targets {
+                    if sched.join_thread(tid, target).is_err() {
+                        aborted = true;
+                        break;
+                    }
+                }
+                // The implicit real join below cannot block the baton: every
+                // child is either model-finished or unwinding on its own.
+            });
+        }
+        match result {
+            Ok(value) => {
+                if aborted {
+                    abort_or_continue();
+                }
+                value
+            }
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+
+    /// The model fixes apparent parallelism at 2: enough for pools to take
+    /// their multi-threaded paths while keeping the interleaving space small.
+    /// Outside a model run the real value is reported.
+    pub fn available_parallelism() -> io::Result<NonZeroUsize> {
+        if current().is_none() {
+            return std::thread::available_parallelism();
+        }
+        Ok(NonZeroUsize::new(2).expect("2 is nonzero"))
+    }
+
+    /// A pure yield point — lets the scheduler switch threads.
+    pub fn yield_now() {
+        if current().is_none() {
+            return std::thread::yield_now();
+        }
+        model_point(|| "yield_now".to_string());
+    }
+
+    /// Modeled as a pure yield point; virtual time does not advance. Outside
+    /// a model run this really sleeps.
+    pub fn sleep(duration: Duration) {
+        if current().is_none() {
+            return std::thread::sleep(duration);
+        }
+        model_point(|| "sleep".to_string());
+    }
+}

@@ -225,6 +225,61 @@ mod tests {
         assert_eq!(found, vec![(vec![5], 1), (vec![5, 6], 1), (vec![6], 1)]);
     }
 
+    /// The index-arena invariants a pointer-based FP-tree would need
+    /// `unsafe` (and `// SAFETY:` obligations) to uphold, checked
+    /// dynamically: every link stays in bounds, parent/child maps mirror
+    /// each other, every upward walk terminates at the root, and the header
+    /// table accounts for the full support of every frequent item.
+    #[test]
+    fn arena_links_stay_in_bounds_and_mutually_consistent() {
+        let t = txs(&[
+            &[1, 2, 5],
+            &[2, 4],
+            &[2, 3],
+            &[1, 2, 4],
+            &[1, 3],
+            &[2, 3],
+            &[1, 3],
+            &[1, 2, 3, 5],
+            &[1, 2, 3],
+        ]);
+        let tree = FpTree::from_transactions(&t, 2);
+        assert_eq!(tree.nodes[ROOT].parent, usize::MAX, "the root has no parent");
+        for (idx, node) in tree.nodes.iter().enumerate().skip(1) {
+            assert!(node.parent < tree.nodes.len(), "parent index out of bounds");
+            assert_eq!(
+                tree.nodes[node.parent].children.get(&node.item),
+                Some(&idx),
+                "parent's child map must point back at this node"
+            );
+            // Prefix-tree counting: a child is a refinement of its parent.
+            if node.parent != ROOT {
+                assert!(node.count <= tree.nodes[node.parent].count);
+            }
+            // Every upward walk reaches the root without cycling.
+            let mut cur = idx;
+            let mut steps = 0;
+            while cur != ROOT {
+                cur = tree.nodes[cur].parent;
+                steps += 1;
+                assert!(steps <= tree.nodes.len(), "parent chain cycles");
+            }
+        }
+        for (item, node_indices) in &tree.header {
+            let from_nodes: usize = node_indices
+                .iter()
+                .map(|&i| {
+                    assert_eq!(tree.nodes[i].item, *item, "header points at the wrong item");
+                    tree.nodes[i].count
+                })
+                .sum();
+            assert_eq!(
+                from_nodes, tree.item_support[item],
+                "header nodes must account for the item's whole support"
+            );
+        }
+    }
+
     #[test]
     fn high_min_support_yields_nothing() {
         let t = txs(&[&[1, 2], &[2, 3]]);

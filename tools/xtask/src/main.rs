@@ -1,0 +1,44 @@
+//! Workspace task runner. The only task so far is `lint`, the conventions
+//! pass CI runs alongside the compiler:
+//!
+//! ```text
+//! cargo run -p xtask -- lint [workspace-root]
+//! ```
+//!
+//! Exits nonzero if any rule fires; see [`lint`] for the rules.
+
+mod lint;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let task = args.next().unwrap_or_default();
+    match task.as_str() {
+        "lint" => {
+            let root = args.next().map(PathBuf::from).unwrap_or_else(|| PathBuf::from("."));
+            match lint::run(&root) {
+                Ok(findings) if findings.is_empty() => {
+                    println!("xtask lint: clean");
+                    ExitCode::SUCCESS
+                }
+                Ok(findings) => {
+                    for finding in &findings {
+                        eprintln!("{finding}");
+                    }
+                    eprintln!("xtask lint: {} finding(s)", findings.len());
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("xtask lint: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint [workspace-root]");
+            ExitCode::FAILURE
+        }
+    }
+}
