@@ -7,6 +7,7 @@
 //! seen is guaranteed to survive a crash. Reads go straight to the inner
 //! engine (it is lock-free for readers); only writers serialize on the log.
 
+use crate::dedup::WriteToken;
 use crate::log::{DeltaLog, RecoveredLog};
 use crate::storage::{FsStorage, Storage};
 use acq_core::{Engine, Executor, QueryError, Request, Response, UpdateReport};
@@ -145,6 +146,11 @@ struct DurableInner {
 pub struct DurableEngine {
     engine: Arc<Engine>,
     inner: Mutex<DurableInner>,
+    /// `(token, report)` of every tokened record replayed at open, in replay
+    /// order — the transactor seeds its dedup window from this so a retry
+    /// that straddles a crash replays instead of re-applying. Immutable
+    /// after open.
+    recovered_tokens: Vec<(WriteToken, UpdateReport)>,
 }
 
 impl std::fmt::Debug for DurableEngine {
@@ -163,7 +169,8 @@ impl DurableEngine {
         options: DurableOptions,
     ) -> io::Result<(Self, RecoveryReport)> {
         let (log, recovered) = DeltaLog::open(storage)?;
-        let RecoveredLog { snapshot, snapshot_discarded, batches, truncated_bytes, .. } = recovered;
+        let RecoveredLog { snapshot, snapshot_discarded, batches, tokens, truncated_bytes, .. } =
+            recovered;
         let snapshot_loaded = snapshot.is_some();
         let graph = snapshot.map(Arc::new).unwrap_or(base_graph);
 
@@ -182,12 +189,18 @@ impl DurableEngine {
         let records_in_log = batches.len() as u64;
         let mut replayed = 0u64;
         let mut skipped = 0u64;
-        for batch in &batches {
+        let mut recovered_tokens = Vec::new();
+        for (batch, token) in batches.iter().zip(&tokens) {
             // A batch that no longer applies (only possible when the base
             // graph diverged from the logged history) is skipped, not fatal:
             // recovery must always yield a serving engine.
             match engine.apply_updates(batch) {
-                Ok(_) => replayed += 1,
+                Ok(report) => {
+                    replayed += 1;
+                    if let Some(token) = token {
+                        recovered_tokens.push((*token, report));
+                    }
+                }
                 Err(_) => skipped += 1,
             }
         }
@@ -212,7 +225,7 @@ impl DurableEngine {
             compaction_failures: 0,
             last_compaction_micros: 0,
         };
-        Ok((Self { engine, inner: Mutex::new(inner) }, report))
+        Ok((Self { engine, inner: Mutex::new(inner), recovered_tokens }, report))
     }
 
     /// [`open`](Self::open) over a real directory.
@@ -241,24 +254,45 @@ impl DurableEngine {
     /// (see `DurableInner::wedged`). Reads and [`stats`](Self::stats) keep
     /// working; recovery via a fresh [`open`](Self::open) is the way back.
     pub fn log_and_apply(&self, deltas: &[GraphDelta]) -> Result<UpdateReport, DurableError> {
+        self.log_and_apply_tokened(None, deltas)
+    }
+
+    /// [`log_and_apply`](Self::log_and_apply), but the logged record carries
+    /// the batch's idempotency token: a future recovery returns it via
+    /// [`recovered_tokens`](Self::recovered_tokens), so the dedup guarantee
+    /// survives a crash between apply and acknowledgement.
+    pub fn log_and_apply_tokened(
+        &self,
+        token: Option<&WriteToken>,
+        deltas: &[GraphDelta],
+    ) -> Result<UpdateReport, DurableError> {
         let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         if inner.wedged {
             return Err(DurableError::Io(wedged_error()));
         }
         inner.wedged = true;
-        let outcome = Self::log_and_apply_locked(&self.engine, &mut inner, deltas);
+        let outcome = Self::log_and_apply_locked(&self.engine, &mut inner, token, deltas);
         // Not reached when the critical section unwinds: the flag stays set
         // and the log never acknowledges another write.
         inner.wedged = false;
         outcome
     }
 
+    /// The `(token, report)` pairs recovered from tokened log records at
+    /// open, in replay order. Compaction-folded records are gone from the
+    /// log, so their tokens age out here exactly as they would out of a
+    /// live bounded window.
+    pub fn recovered_tokens(&self) -> &[(WriteToken, UpdateReport)] {
+        &self.recovered_tokens
+    }
+
     fn log_and_apply_locked(
         engine: &Engine,
         inner: &mut DurableInner,
+        token: Option<&WriteToken>,
         deltas: &[GraphDelta],
     ) -> Result<UpdateReport, DurableError> {
-        let seq = inner.log.append(deltas)?;
+        let seq = inner.log.append_tokened(token, deltas)?;
         match engine.apply_updates(deltas) {
             Ok(report) => {
                 inner.records_since_compaction += 1;

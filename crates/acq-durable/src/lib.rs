@@ -15,6 +15,13 @@
 //! * [`DurableEngine`] — wraps [`acq_core::Engine`]: writes go through
 //!   [`log_and_apply`](DurableEngine::log_and_apply) (durable before
 //!   applied), reads hit the lock-free generation machinery unchanged.
+//! * [`WriteToken`] / [`DedupWindow`] — client-supplied idempotency tokens
+//!   and the bounded token→report window the serving transactor uses to
+//!   replay a retried update's cached `UpdateOk` instead of re-applying it.
+//!   Tokens ride inside logged records
+//!   ([`log_and_apply_tokened`](DurableEngine::log_and_apply_tokened)), so
+//!   the window is reseeded from
+//!   [`recovered_tokens`](DurableEngine::recovered_tokens) after a crash.
 //! * [`FaultyStorage`] — a scripted-fault [`Storage`] (torn writes, short
 //!   reads, flipped bits, I/O errors) that the recovery proptests in
 //!   `tests/durability_recovery.rs` drive to earn the claims above.
@@ -48,16 +55,18 @@
 #![deny(missing_docs)]
 
 mod crc;
+mod dedup;
 mod engine;
 mod fault;
 mod log;
 mod storage;
 
 pub use crc::crc32;
+pub use dedup::{DedupWindow, WriteToken};
 pub use engine::{DurabilityStats, DurableEngine, DurableError, DurableOptions, RecoveryReport};
 pub use fault::{FaultyStorage, ReadFault};
 pub use log::{
-    encode_record, DeltaLog, RecoveredLog, LOG_FILE, LOG_MAGIC, RECORD_HEADER_LEN, SNAPSHOT_FILE,
-    SNAPSHOT_MAGIC,
+    encode_record, encode_record_tokened, DeltaLog, RecoveredLog, LOG_FILE, LOG_MAGIC,
+    RECORD_HEADER_LEN, SNAPSHOT_FILE, SNAPSHOT_MAGIC,
 };
 pub use storage::{FsStorage, MemStorage, Storage};

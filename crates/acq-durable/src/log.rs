@@ -8,7 +8,7 @@
 //!   records. Each record is
 //!
 //!   ```text
-//!   [u32 BE len] [u32 BE crc] [u64 BE seq] [payload: JSON Vec<GraphDelta>]
+//!   [u32 BE len] [u32 BE crc] [u64 BE seq] [payload: JSON]
 //!   ```
 //!
 //!   where `len` counts the `seq` field plus the payload (`8 + payload`), and
@@ -16,6 +16,15 @@
 //!   bytes. Sequence numbers start at 1 and increase strictly, one per
 //!   appended batch, and never reset — a compaction folds a prefix of them
 //!   into the snapshot.
+//!
+//!   The payload is either a bare JSON `Vec<GraphDelta>` (a tokenless batch,
+//!   byte-identical to format version 1 as first shipped) or, for a batch
+//!   carrying an idempotency token, the envelope object
+//!   `{"token":{"client_id":…,"write_seq":…},"deltas":[…]}`. The two shapes
+//!   are self-describing (array vs object), so no version bump is needed:
+//!   old logs replay unchanged, and a token is recovered with its batch so
+//!   the transactor's dedup window survives a crash (see
+//!   [`WriteToken`](crate::WriteToken)).
 //!
 //! * **`snapshot.bin`** — an 8-byte magic header (`ACQSNP\0\x01`) followed by
 //!   exactly one record in the same layout, whose payload is the full JSON
@@ -34,6 +43,7 @@
 //! (`InsertVertex`), so they are filtered by sequence number instead.
 
 use crate::crc::crc32;
+use crate::dedup::WriteToken;
 use crate::storage::Storage;
 use acq_graph::{AttributedGraph, GraphDelta};
 use std::io;
@@ -55,12 +65,36 @@ pub const RECORD_HEADER_LEN: usize = 16;
 /// far below this.
 const MAX_RECORD_LEN: u32 = 1 << 26;
 
-/// Encodes one record: framing per the module docs, payload = JSON `deltas`.
+/// Encodes one tokenless record: framing per the module docs, payload =
+/// bare JSON `deltas`. Byte-identical to the format as first shipped.
 pub fn encode_record(seq: u64, deltas: &[GraphDelta]) -> io::Result<Vec<u8>> {
-    let payload = serde_json::to_string(&deltas.to_vec())
+    encode_record_tokened(seq, None, deltas)
+}
+
+/// Encodes one record; with a token the payload is the
+/// `{"token":…,"deltas":…}` envelope, without one it is the bare array.
+pub fn encode_record_tokened(
+    seq: u64,
+    token: Option<&WriteToken>,
+    deltas: &[GraphDelta],
+) -> io::Result<Vec<u8>> {
+    let json = match token {
+        None => serde_json::to_string(&deltas.to_vec()),
+        Some(token) => {
+            serde_json::to_string(&TokenedPayload { token: *token, deltas: deltas.to_vec() })
+        }
+    };
+    let payload = json
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("unencodable batch: {e}")))?
         .into_bytes();
     Ok(frame_record(seq, &payload))
+}
+
+/// The envelope payload of a tokened record.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct TokenedPayload {
+    token: WriteToken,
+    deltas: Vec<GraphDelta>,
 }
 
 /// Wraps `payload` in the `[len][crc][seq]` framing.
@@ -100,15 +134,25 @@ fn read_array<const N: usize>(bytes: &[u8], at: usize) -> Option<[u8; N]> {
     bytes.get(at..at + N)?.try_into().ok()
 }
 
-/// Decodes a payload as a delta batch; `None` on any decode failure.
-fn decode_batch(payload: &[u8]) -> Option<Vec<GraphDelta>> {
+/// Decodes a payload as a delta batch — the bare array or the tokened
+/// envelope; `None` on any decode failure. The shapes are unambiguous: an
+/// array never decodes as the envelope struct and vice versa.
+fn decode_batch(payload: &[u8]) -> Option<(Vec<GraphDelta>, Option<WriteToken>)> {
     let text = std::str::from_utf8(payload).ok()?;
-    serde_json::from_str(text).ok()
+    if let Ok(batch) = serde_json::from_str::<Vec<GraphDelta>>(text) {
+        return Some((batch, None));
+    }
+    let tokened: TokenedPayload = serde_json::from_str(text).ok()?;
+    Some((tokened.deltas, Some(tokened.token)))
 }
+
+/// One scanned log record: its sequence number, the decoded batch, and the
+/// idempotency token if the record carried one.
+type ScannedRecord = (u64, Vec<GraphDelta>, Option<WriteToken>);
 
 /// Scans log `bytes` (header already verified) and returns the byte offset
 /// just past the last valid record plus the decoded `(seq, batch)` prefix.
-fn scan_records(bytes: &[u8]) -> (u64, Vec<(u64, Vec<GraphDelta>)>) {
+fn scan_records(bytes: &[u8]) -> (u64, Vec<ScannedRecord>) {
     let mut pos = LOG_MAGIC.len();
     let mut records = Vec::new();
     let mut prev_seq = 0u64;
@@ -117,8 +161,8 @@ fn scan_records(bytes: &[u8]) -> (u64, Vec<(u64, Vec<GraphDelta>)>) {
         if seq <= prev_seq {
             break;
         }
-        let Some(batch) = decode_batch(payload) else { break };
-        records.push((seq, batch));
+        let Some((batch, token)) = decode_batch(payload) else { break };
+        records.push((seq, batch, token));
         prev_seq = seq;
         pos = next;
     }
@@ -151,6 +195,11 @@ pub struct RecoveredLog {
     pub snapshot_discarded: bool,
     /// The replay set: decoded batches with `seq > snapshot_seq`, in order.
     pub batches: Vec<Vec<GraphDelta>>,
+    /// The idempotency token of each replay batch, parallel to `batches`
+    /// (`None` for tokenless records). Seeds the transactor's dedup window
+    /// so a retry that straddles a crash still replays instead of
+    /// re-applying.
+    pub tokens: Vec<Option<WriteToken>>,
     /// Trailing bytes dropped from the log (torn/corrupt records).
     pub truncated_bytes: u64,
 }
@@ -199,6 +248,7 @@ impl DeltaLog {
             snapshot_seq: 0,
             snapshot_discarded: false,
             batches: Vec::new(),
+            tokens: Vec::new(),
             truncated_bytes: 0,
         };
         let mut snapshot_bytes = 0u64;
@@ -242,12 +292,13 @@ impl DeltaLog {
             }
         };
 
-        let last_seq = records.last().map_or(0, |(seq, _)| *seq).max(recovered.snapshot_seq);
-        recovered.batches = records
-            .into_iter()
-            .filter(|(seq, _)| *seq > recovered.snapshot_seq)
-            .map(|(_, batch)| batch)
-            .collect();
+        let last_seq = records.last().map_or(0, |(seq, _, _)| *seq).max(recovered.snapshot_seq);
+        for (seq, batch, token) in records {
+            if seq > recovered.snapshot_seq {
+                recovered.batches.push(batch);
+                recovered.tokens.push(token);
+            }
+        }
 
         let log = DeltaLog {
             storage,
@@ -262,16 +313,26 @@ impl DeltaLog {
         Ok((log, recovered))
     }
 
-    /// Appends one batch as a record and syncs it to stable storage. On
-    /// success the batch is durable and its sequence number is returned; on
-    /// failure nothing is acknowledged, and the log restores (or, failing
-    /// that, poisons) its on-disk state.
+    /// Appends one tokenless batch as a record and syncs it to stable
+    /// storage. On success the batch is durable and its sequence number is
+    /// returned; on failure nothing is acknowledged, and the log restores
+    /// (or, failing that, poisons) its on-disk state.
     pub fn append(&mut self, deltas: &[GraphDelta]) -> io::Result<u64> {
+        self.append_tokened(None, deltas)
+    }
+
+    /// [`append`](Self::append), but the record carries the batch's
+    /// idempotency token so recovery can reseed the dedup window.
+    pub fn append_tokened(
+        &mut self,
+        token: Option<&WriteToken>,
+        deltas: &[GraphDelta],
+    ) -> io::Result<u64> {
         if self.poisoned {
             return Err(io::Error::other("delta log poisoned by an earlier append failure"));
         }
         let seq = self.next_seq;
-        let record = encode_record(seq, deltas)?;
+        let record = encode_record_tokened(seq, token, deltas)?;
         if let Err(e) =
             self.storage.append(LOG_FILE, &record).and_then(|()| self.storage.sync(LOG_FILE))
         {
@@ -383,7 +444,33 @@ mod tests {
         assert_eq!((seq, end), (1, record.len()));
         assert_eq!(
             decode_batch(payload).unwrap(),
-            vec![GraphDelta::insert_edge(VertexId(0), VertexId(1))]
+            (vec![GraphDelta::insert_edge(VertexId(0), VertexId(1))], None)
+        );
+    }
+
+    /// A tokened record wraps the same batch in the `{"token":…,"deltas":…}`
+    /// envelope — the payload JSON is pinned here (and quoted in
+    /// `docs/DURABILITY.md`), and the framing around it is the unchanged v1
+    /// record format, which is why [`LOG_MAGIC`] keeps its version byte:
+    /// bumping it would make every pre-token log fail the magic check and be
+    /// restarted from scratch on upgrade.
+    #[test]
+    fn tokened_record_payload_is_pinned() {
+        let token = WriteToken::new(7, 1);
+        let deltas = [GraphDelta::insert_edge(VertexId(0), VertexId(1))];
+        let record = encode_record_tokened(1, Some(&token), &deltas).unwrap();
+        let (seq, payload, end) = decode_frame_at(&record, 0).expect("tokened record decodes");
+        assert_eq!((seq, end), (1, record.len()));
+        assert_eq!(
+            std::str::from_utf8(payload).unwrap(),
+            r#"{"token":{"client_id":7,"write_seq":1},"deltas":[{"InsertEdge":{"u":0,"v":1}}]}"#
+        );
+        assert_eq!(decode_batch(payload).unwrap(), (deltas.to_vec(), Some(token)));
+        // And the tokenless encoding of the same batch is byte-identical to
+        // the pinned v1 record.
+        assert_eq!(
+            encode_record_tokened(1, None, &deltas).unwrap(),
+            encode_record(1, &deltas).unwrap()
         );
     }
 
@@ -409,8 +496,24 @@ mod tests {
 
         let (log, recovered) = DeltaLog::open(Box::new(disk)).unwrap();
         assert_eq!(recovered.batches, (0..5).map(batch).collect::<Vec<_>>());
+        assert_eq!(recovered.tokens, vec![None; 5], "tokenless records recover without tokens");
         assert_eq!(recovered.truncated_bytes, 0);
         assert_eq!(log.last_seq(), 5);
+    }
+
+    #[test]
+    fn tokened_appends_recover_their_tokens_in_order() {
+        let disk = MemStorage::new();
+        let (mut log, _) = DeltaLog::open(Box::new(disk.clone())).unwrap();
+        let token_a = WriteToken::new(3, 1);
+        let token_b = WriteToken::new(3, 2);
+        log.append_tokened(Some(&token_a), &batch(0)).unwrap();
+        log.append(&batch(1)).unwrap();
+        log.append_tokened(Some(&token_b), &batch(2)).unwrap();
+
+        let (_, recovered) = DeltaLog::open(Box::new(disk)).unwrap();
+        assert_eq!(recovered.batches, vec![batch(0), batch(1), batch(2)]);
+        assert_eq!(recovered.tokens, vec![Some(token_a), None, Some(token_b)]);
     }
 
     #[test]

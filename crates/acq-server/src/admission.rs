@@ -12,7 +12,39 @@
 //! sit on the per-batch hot path, and its protocol is small enough to model
 //! check exhaustively (see `tests/model_protocols.rs`).
 
+use acq_core::Request;
 use acq_sync::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// One decoded query waiting in a connection's queue: the request itself,
+/// the id to echo in the answer, and the optional deadline after which the
+/// work is shed with `deadline-exceeded` instead of executed.
+#[derive(Debug, Clone)]
+pub struct PendingQuery {
+    /// The client's request id, echoed in the reply frame.
+    pub request_id: u64,
+    /// The decoded query.
+    pub request: Request,
+    /// If this instant has passed when the worker drains the queue, the
+    /// query is shed instead of executed — there is no point computing an
+    /// answer the client has already given up on.
+    pub deadline: Option<Instant>,
+}
+
+/// Splits a drained batch into the queries still worth executing and the
+/// request ids whose deadline expired while they sat in the queue. Order is
+/// preserved on both sides.
+pub fn split_expired(batch: Vec<PendingQuery>, now: Instant) -> (Vec<PendingQuery>, Vec<u64>) {
+    let mut live = Vec::with_capacity(batch.len());
+    let mut expired = Vec::new();
+    for query in batch {
+        match query.deadline {
+            Some(deadline) if now >= deadline => expired.push(query.request_id),
+            _ => live.push(query),
+        }
+    }
+    (live, expired)
+}
 
 /// Bounded count of queries currently inside `execute_batch`, across all
 /// connections.
@@ -84,6 +116,34 @@ impl Drop for Reservation<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
+
+    fn pending(request_id: u64, deadline: Option<Instant>) -> PendingQuery {
+        PendingQuery { request_id, request: Request::community(acq_graph::VertexId(0)), deadline }
+    }
+
+    #[test]
+    fn split_expired_sheds_only_past_deadlines_preserving_order() {
+        let now = Instant::now();
+        let soon = now + Duration::from_secs(60);
+        let batch = vec![
+            pending(1, None),
+            pending(2, Some(now)),
+            pending(3, Some(soon)),
+            pending(4, Some(now)),
+        ];
+        let (live, expired) = split_expired(batch, now);
+        assert_eq!(live.iter().map(|q| q.request_id).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(expired, vec![2, 4]);
+    }
+
+    #[test]
+    fn split_expired_with_no_deadlines_is_identity() {
+        let now = Instant::now();
+        let (live, expired) = split_expired(vec![pending(9, None)], now);
+        assert_eq!(live.len(), 1);
+        assert!(expired.is_empty());
+    }
 
     #[test]
     fn admits_up_to_the_bound_and_releases_on_drop() {

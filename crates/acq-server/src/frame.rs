@@ -120,12 +120,22 @@ pub struct WireError {
     pub code: String,
     /// Human-readable description.
     pub message: String,
+    /// For transient rejections (`backpressure`, `shutting-down`,
+    /// `deadline-exceeded`): how long the client should wait before
+    /// retrying, in milliseconds. `None`/`null` on terminal errors.
+    pub retry_after_ms: Option<u64>,
 }
 
 impl WireError {
     /// Builds an error payload from a code constant and a message.
     pub fn new(code: &str, message: impl Into<String>) -> Self {
-        Self { code: code.to_string(), message: message.into() }
+        Self { code: code.to_string(), message: message.into(), retry_after_ms: None }
+    }
+
+    /// Attaches a machine-readable retry hint.
+    pub fn with_retry_after(mut self, ms: u64) -> Self {
+        self.retry_after_ms = Some(ms);
+        self
     }
 }
 
@@ -140,15 +150,37 @@ impl fmt::Display for WireError {
 /// hand-assembled payload carrying the same code is sent instead of
 /// panicking inside a server thread.
 pub fn error_payload(code: &str, message: impl Into<String>) -> Vec<u8> {
-    let error = WireError::new(code, message);
-    serde_json::to_string(&error).map(String::into_bytes).unwrap_or_else(|_| {
-        format!("{{\"code\":\"{code}\",\"message\":\"error serialisation failed\"}}").into_bytes()
+    wire_error_payload(&WireError::new(code, message))
+}
+
+/// Serialises an already-built [`WireError`] (retry hint included) into an
+/// error-frame payload, with the same non-panicking fallback.
+pub fn wire_error_payload(error: &WireError) -> Vec<u8> {
+    let code = &error.code;
+    serde_json::to_string(error).map(String::into_bytes).unwrap_or_else(|_| {
+        format!(
+            "{{\"code\":\"{code}\",\"message\":\"error serialisation failed\",\
+             \"retry_after_ms\":null}}"
+        )
+        .into_bytes()
     })
 }
 
 /// An [`FrameKind::Error`] frame carrying `code` and `message`.
 pub fn error_frame(request_id: u64, code: &str, message: impl Into<String>) -> Frame {
     Frame::new(FrameKind::Error, request_id, error_payload(code, message))
+}
+
+/// An [`FrameKind::Error`] frame with a `retry_after_ms` hint — the shape of
+/// every backpressure-class rejection.
+pub fn retry_error_frame(
+    request_id: u64,
+    code: &str,
+    message: impl Into<String>,
+    retry_after_ms: u64,
+) -> Frame {
+    let error = WireError::new(code, message).with_retry_after(retry_after_ms);
+    Frame::new(FrameKind::Error, request_id, wire_error_payload(&error))
 }
 
 /// The `code` values an error frame may carry (see `docs/PROTOCOL.md`).
@@ -182,6 +214,48 @@ pub mod codes {
     pub const BACKPRESSURE: &str = "backpressure";
     /// The server is shutting down.
     pub const SHUTTING_DOWN: &str = "shutting-down";
+    /// The request's `deadline_ms` budget expired before the server got to
+    /// it; the work was shed without touching the engine. Nothing was
+    /// applied — an update may be retried with the same token.
+    pub const DEADLINE_EXCEEDED: &str = "deadline-exceeded";
+
+    /// Whether `code` names a transient condition a client may retry
+    /// automatically (honouring the error's `retry_after_ms` hint, if any).
+    /// Every other code is terminal for the request that drew it.
+    pub fn is_retryable(code: &str) -> bool {
+        matches!(code, BACKPRESSURE | SHUTTING_DOWN | DEADLINE_EXCEEDED)
+    }
+}
+
+/// The object form of an `Update` payload: the idempotency token
+/// (`client_id` + `write_seq`), an optional deadline budget, and the delta
+/// batch. The bare-array form (`Vec<GraphDelta>` directly) remains accepted
+/// for tokenless updates — the two shapes are self-describing, exactly as in
+/// the delta log's record payloads.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct UpdateEnvelope {
+    /// The submitting client's stable identity (half of the token).
+    pub client_id: u64,
+    /// The client's sequence number for this logical write (the other half).
+    /// Retries of one logical write reuse it; distinct writes increase it.
+    pub write_seq: u64,
+    /// Milliseconds the client is willing to wait; queued work whose budget
+    /// expired is shed with `deadline-exceeded` instead of applied.
+    pub deadline_ms: Option<u64>,
+    /// The delta batch to apply.
+    pub deltas: Vec<acq_graph::GraphDelta>,
+}
+
+/// The object form of a `Query` payload: the request plus an optional
+/// deadline budget. The bare `Request` object remains accepted; the two
+/// shapes are told apart by their required fields.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct QueryEnvelope {
+    /// The query to execute.
+    pub request: acq_core::Request,
+    /// Milliseconds the client is willing to wait; queued queries whose
+    /// budget expired are shed with `deadline-exceeded` instead of executed.
+    pub deadline_ms: Option<u64>,
 }
 
 /// Why a frame could not be decoded.
@@ -358,6 +432,81 @@ mod tests {
                 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x01, // request id 1
             ]
         );
+    }
+
+    #[test]
+    fn error_payload_json_is_pinned() {
+        // These exact JSON bodies appear in docs/PROTOCOL.md — keep in sync.
+        let frame =
+            retry_error_frame(2, codes::BACKPRESSURE, "per-connection queue full; retry", 50);
+        assert_eq!(frame.kind, FrameKind::Error);
+        assert_eq!(
+            std::str::from_utf8(&frame.payload).unwrap(),
+            r#"{"code":"backpressure","message":"per-connection queue full; retry","retry_after_ms":50}"#
+        );
+        // A terminal error carries an explicit null hint.
+        assert_eq!(
+            std::str::from_utf8(&error_payload(codes::INVALID_QUERY, "vertex 99 does not exist"))
+                .unwrap(),
+            r#"{"code":"invalid-query","message":"vertex 99 does not exist","retry_after_ms":null}"#
+        );
+    }
+
+    #[test]
+    fn retryable_codes_are_exactly_the_transient_ones() {
+        for code in [codes::BACKPRESSURE, codes::SHUTTING_DOWN, codes::DEADLINE_EXCEEDED] {
+            assert!(codes::is_retryable(code), "{code} must be retryable");
+        }
+        for code in [
+            codes::MALFORMED_PAYLOAD,
+            codes::OVERSIZE_FRAME,
+            codes::MALFORMED_FRAME,
+            codes::UNSUPPORTED_VERSION,
+            codes::UNKNOWN_KIND,
+            codes::INVALID_QUERY,
+            codes::INVALID_UPDATE,
+            codes::DURABILITY,
+        ] {
+            assert!(!codes::is_retryable(code), "{code} must be terminal");
+        }
+    }
+
+    #[test]
+    fn update_envelope_payload_is_pinned_and_unambiguous() {
+        use acq_graph::{GraphDelta, VertexId};
+        let envelope = UpdateEnvelope {
+            client_id: 7,
+            write_seq: 1,
+            deadline_ms: Some(250),
+            deltas: vec![GraphDelta::insert_edge(VertexId(0), VertexId(1))],
+        };
+        let json = serde_json::to_string(&envelope).unwrap();
+        // This exact body appears in docs/PROTOCOL.md — keep in sync.
+        assert_eq!(
+            json,
+            r#"{"client_id":7,"write_seq":1,"deadline_ms":250,"deltas":[{"InsertEdge":{"u":0,"v":1}}]}"#
+        );
+        let back: UpdateEnvelope = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, envelope);
+        // The two payload shapes never shadow each other: a bare batch is
+        // not an envelope, and an envelope is not a bare batch.
+        assert!(serde_json::from_str::<UpdateEnvelope>("[]").is_err());
+        assert!(serde_json::from_str::<Vec<GraphDelta>>(&json).is_err());
+    }
+
+    #[test]
+    fn query_envelope_roundtrips_and_stays_distinct_from_a_bare_request() {
+        use acq_core::Request;
+        use acq_graph::VertexId;
+        let envelope =
+            QueryEnvelope { request: Request::community(VertexId(3)).k(2), deadline_ms: None };
+        let json = serde_json::to_string(&envelope).unwrap();
+        let back: QueryEnvelope = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, envelope);
+        // A bare Request misses `request`; an envelope misses `vertex`.
+        let bare = serde_json::to_string(&envelope.request).unwrap();
+        assert!(serde_json::from_str::<QueryEnvelope>(&bare).is_err());
+        assert!(serde_json::from_str::<Request>(&json).is_err());
     }
 
     #[test]

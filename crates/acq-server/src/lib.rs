@@ -42,17 +42,20 @@
 #![deny(missing_docs)]
 
 pub mod admission;
+pub mod chaos;
 pub mod client;
 pub mod frame;
 pub mod metrics;
 pub mod server;
 pub mod transactor;
 
-pub use admission::{InFlightGauge, Reservation};
-pub use client::{Client, ClientError};
+pub use admission::{InFlightGauge, PendingQuery, Reservation};
+pub use chaos::{ChaosConfig, ChaosProxy};
+pub use client::{Client, ClientConfig, ClientError, ClientStats, RetryPolicy};
 pub use frame::{
-    codes, encode, read_frame, write_frame, Frame, FrameError, FrameKind, WireError,
-    DEFAULT_MAX_FRAME_LEN, ENVELOPE_LEN, PROTOCOL_VERSION,
+    codes, encode, read_frame, retry_error_frame, wire_error_payload, write_frame, Frame,
+    FrameError, FrameKind, QueryEnvelope, UpdateEnvelope, WireError, DEFAULT_MAX_FRAME_LEN,
+    ENVELOPE_LEN, PROTOCOL_VERSION,
 };
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use transactor::{ReplySink, Transactor, WriteApply, WriteJob};

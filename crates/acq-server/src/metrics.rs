@@ -2,7 +2,7 @@
 //!
 //! [`ServerMetrics`] is the live, atomically updated half; a `Metrics` frame
 //! snapshots it into the serde-able
-//! [`ServerCounters`](acq_metrics::serving::ServerCounters) /
+//! [`ServerCounters`] /
 //! [`MetricsSnapshot`](acq_metrics::serving::MetricsSnapshot) wire shapes
 //! defined in `acq-metrics`.
 
@@ -43,6 +43,17 @@ pub struct ServerMetrics {
     pub protocol_errors: AtomicU64,
     /// Queries refused with `backpressure` by either admission bound.
     pub admission_rejections: AtomicU64,
+    /// Connections reaped by the socket read timeout (slow-loris defense).
+    pub timeouts: AtomicU64,
+    /// Requests shed with `deadline-exceeded` because their budget expired
+    /// while queued.
+    pub deadline_shed: AtomicU64,
+    /// Retried updates answered from the dedup window instead of re-applied.
+    pub dedup_hits: AtomicU64,
+    /// Updates accepted from connections but not yet answered by the
+    /// transactor — a gauge, not exported; shutdown's graceful-drain window
+    /// polls it to zero before closing sockets.
+    pub pending_writes: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -78,6 +89,9 @@ impl ServerMetrics {
             update_errors: self.update_errors.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             admission_rejections: self.admission_rejections.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            deadline_shed: self.deadline_shed.load(Ordering::Relaxed),
+            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
         }
     }
 }

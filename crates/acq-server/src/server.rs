@@ -17,15 +17,15 @@
 //!   the frame-size bound, the per-connection queue bound, and the global
 //!   in-flight query bound.
 
-use crate::admission::InFlightGauge;
+use crate::admission::{split_expired, InFlightGauge, PendingQuery};
 use crate::frame::{
-    codes, error_payload, read_frame, write_frame, Frame, FrameError, FrameKind,
-    DEFAULT_MAX_FRAME_LEN,
+    codes, error_payload, read_frame, retry_error_frame, write_frame, Frame, FrameError, FrameKind,
+    QueryEnvelope, UpdateEnvelope, DEFAULT_MAX_FRAME_LEN,
 };
 use crate::metrics::{cache_counters, durability_counters, ServerMetrics};
 use crate::transactor::{last_update_counters, ReplySink, Transactor, WriteApply, WriteJob};
 use acq_core::{Engine, Executor, Request, UpdateReport};
-use acq_durable::DurableEngine;
+use acq_durable::{DurableEngine, WriteToken};
 use acq_graph::GraphDelta;
 use acq_metrics::serving::MetricsSnapshot;
 use acq_sync::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -35,6 +35,7 @@ use acq_sync::thread::JoinHandle;
 use std::collections::VecDeque;
 use std::io::{self, BufReader};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 /// Locks a mutex, proceeding with the data even when a peer thread panicked
 /// while holding it. Every structure guarded this way (the connection
@@ -63,6 +64,24 @@ pub struct ServerConfig {
     /// Per-connection bound on decoded-but-not-yet-executed queries; when
     /// full, further queries receive a `backpressure` error immediately.
     pub queue_capacity: usize,
+    /// Socket read timeout in milliseconds (`0` disables). A connection that
+    /// sends nothing for this long is reaped — the slow-loris defense; each
+    /// reap bumps `acq_timeouts`.
+    pub read_timeout_ms: u64,
+    /// Socket write timeout in milliseconds (`0` disables). Bounds how long
+    /// a reply can block on a client that stopped reading.
+    pub write_timeout_ms: u64,
+    /// How long shutdown waits for in-flight queries and queued writes to
+    /// drain before force-closing connections, in milliseconds.
+    pub drain_timeout_ms: u64,
+    /// Idempotency tokens remembered by the transactor (`0` disables dedup).
+    /// A retried update whose token is still in the window replays its
+    /// cached `UpdateOk` instead of re-applying.
+    pub dedup_window: usize,
+    /// The `retry_after_ms` hint attached to `backpressure` and
+    /// `shutting-down` error frames, telling well-behaved clients how long
+    /// to back off before retrying.
+    pub retry_after_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -72,6 +91,11 @@ impl Default for ServerConfig {
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
             max_in_flight: 1024,
             queue_capacity: 256,
+            read_timeout_ms: 30_000,
+            write_timeout_ms: 10_000,
+            drain_timeout_ms: 1_000,
+            dedup_window: 1024,
+            retry_after_ms: 50,
         }
     }
 }
@@ -175,7 +199,7 @@ impl Server {
             Some(durable) => WriteApply::Durable(Arc::clone(durable)),
             None => WriteApply::Volatile(Arc::clone(&engine)),
         };
-        let transactor = Transactor::spawn(apply, Arc::clone(&metrics))?;
+        let transactor = Transactor::spawn(apply, Arc::clone(&metrics), config.dedup_window)?;
         let shared = Arc::new(Shared {
             engine,
             durable,
@@ -237,6 +261,20 @@ impl ServerHandle {
         for handle in self.accept_handles.drain(..) {
             let _ = handle.join();
         }
+        // Graceful drain: give in-flight queries and accepted-but-unanswered
+        // writes a bounded window to finish before sockets are force-closed,
+        // so a well-timed shutdown does not turn acknowledged-work-in-
+        // progress into client-visible resets.
+        let drain_deadline =
+            Instant::now() + Duration::from_millis(self.shared.config.drain_timeout_ms);
+        while Instant::now() < drain_deadline {
+            if self.shared.in_flight.in_flight() == 0
+                && self.shared.metrics.pending_writes.load(Ordering::Relaxed) == 0
+            {
+                break;
+            }
+            acq_sync::thread::sleep(Duration::from_millis(1));
+        }
         // No accept thread is left, so the connection registry is final. The
         // tolerant lock matters here: shutdown must close every socket and
         // join every thread even if a connection thread died holding a
@@ -274,6 +312,10 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, tx: &Sender<WriteJo
         }
         ServerMetrics::bump(&shared.metrics.connections_accepted);
         ServerMetrics::bump(&shared.metrics.connections_open);
+        // Socket timeouts must be set before `try_clone`: the options live on
+        // the shared file description, so the write half inherits them.
+        let _ = stream.set_read_timeout(timeout_of(shared.config.read_timeout_ms));
+        let _ = stream.set_write_timeout(timeout_of(shared.config.write_timeout_ms));
         let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
         if let Ok(clone) = stream.try_clone() {
             lock_tolerant(&shared.conn_streams).push((conn_id, clone));
@@ -346,7 +388,7 @@ impl ReplySink for ConnectionWriter {
 
 /// Pending queries of one connection, drained by its worker in FIFO order.
 struct Queue {
-    pending: VecDeque<(u64, Request)>,
+    pending: VecDeque<PendingQuery>,
     closed: bool,
 }
 
@@ -382,6 +424,13 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, tx: &Sender<WriteJob
                 }
             }
             Err(error) => {
+                if is_timeout(&error) {
+                    // The socket read timeout fired: reap the idle connection
+                    // (slow-loris defense) without charging a protocol error
+                    // — the client sent nothing wrong, just nothing at all.
+                    ServerMetrics::bump(&shared.metrics.timeouts);
+                    break;
+                }
                 ServerMetrics::bump(&shared.metrics.protocol_errors);
                 let keep_going = report_frame_error(&error, &writer);
                 if !keep_going {
@@ -399,6 +448,20 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, tx: &Sender<WriteJob
         cvar.notify_all();
     }
     let _ = worker.join();
+}
+
+/// Maps a `0 = disabled` millisecond knob to the socket-option shape.
+fn timeout_of(ms: u64) -> Option<Duration> {
+    (ms > 0).then(|| Duration::from_millis(ms))
+}
+
+/// Whether a frame error is the socket read timeout firing. Linux reports a
+/// timed-out `recv` as `WouldBlock`; other platforms use `TimedOut`.
+fn is_timeout(error: &FrameError) -> bool {
+    matches!(
+        error,
+        FrameError::Io(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+    )
 }
 
 /// Answers a frame-decode error; returns whether the connection survives.
@@ -463,18 +526,24 @@ fn handle_frame(
                 )
                 .is_ok(),
         },
-        FrameKind::Query => match decode_json::<Request>(&frame.payload) {
-            Ok(request) => {
+        FrameKind::Query => match decode_query(&frame.payload) {
+            Ok((request, deadline_ms)) => {
+                let deadline = deadline_of(deadline_ms);
                 let (lock, cvar) = &**queue;
                 let mut q = lock_tolerant(lock);
                 if q.pending.len() >= shared.config.queue_capacity {
                     drop(q);
                     ServerMetrics::bump(&shared.metrics.admission_rejections);
                     writer
-                        .send_error(id, codes::BACKPRESSURE, "per-connection queue full; retry")
+                        .send(&retry_error_frame(
+                            id,
+                            codes::BACKPRESSURE,
+                            "per-connection queue full; retry",
+                            shared.config.retry_after_ms,
+                        ))
                         .is_ok()
                 } else {
-                    q.pending.push_back((id, request));
+                    q.pending.push_back(PendingQuery { request_id: id, request, deadline });
                     cvar.notify_one();
                     true
                 }
@@ -484,13 +553,24 @@ fn handle_frame(
                 writer.send_error(id, codes::MALFORMED_PAYLOAD, &message).is_ok()
             }
         },
-        FrameKind::Update => match decode_json::<Vec<GraphDelta>>(&frame.payload) {
-            Ok(deltas) => {
+        FrameKind::Update => match decode_update(&frame.payload) {
+            Ok((deltas, token, deadline_ms)) => {
+                let deadline = deadline_of(deadline_ms);
                 let sink: Arc<dyn ReplySink> = Arc::<ConnectionWriter>::clone(writer);
-                let job = WriteJob { deltas, request_id: id, writer: sink };
+                let job = WriteJob { deltas, request_id: id, writer: sink, token, deadline };
+                // Count the write as pending before handing it over: the
+                // transactor decrements after answering, and shutdown's drain
+                // window polls this gauge to zero.
+                ServerMetrics::bump(&shared.metrics.pending_writes);
                 if tx.send(job).is_err() {
+                    crate::transactor::release_pending_write(&shared.metrics);
                     writer
-                        .send_error(id, codes::SHUTTING_DOWN, "transactor is shutting down")
+                        .send(&retry_error_frame(
+                            id,
+                            codes::SHUTTING_DOWN,
+                            "transactor is shutting down",
+                            shared.config.retry_after_ms,
+                        ))
                         .is_ok()
                 } else {
                     true
@@ -525,7 +605,7 @@ fn worker_loop(
     shared: &Arc<Shared>,
 ) {
     loop {
-        let batch: Vec<(u64, Request)> = {
+        let batch: Vec<PendingQuery> = {
             let (lock, cvar) = &**queue;
             let mut q = lock_tolerant(lock);
             while q.pending.is_empty() && !q.closed {
@@ -537,6 +617,22 @@ fn worker_loop(
             q.pending.drain(..).collect()
         };
 
+        // Shed queries whose deadline passed while they sat in the queue:
+        // the client has already given up on them, so computing (and
+        // serializing) an answer would be pure waste.
+        let (batch, expired) = split_expired(batch, Instant::now());
+        for id in expired {
+            ServerMetrics::bump(&shared.metrics.deadline_shed);
+            let _ = writer.send_error(
+                id,
+                codes::DEADLINE_EXCEEDED,
+                "deadline expired while the query was queued",
+            );
+        }
+        if batch.is_empty() {
+            continue;
+        }
+
         // Global admission: reserve up to `max_in_flight` slots; the
         // unadmitted tail is answered with backpressure, preserving FIFO
         // fairness within the connection. The reservation is RAII — the
@@ -544,9 +640,14 @@ fn worker_loop(
         // leaked slot would shrink the server's capacity permanently).
         let reservation = shared.in_flight.reserve(batch.len());
         let admitted = reservation.admitted();
-        for (id, _) in &batch[admitted..] {
+        for query in &batch[admitted..] {
             ServerMetrics::bump(&shared.metrics.admission_rejections);
-            let _ = writer.send_error(*id, codes::BACKPRESSURE, "server at max in-flight; retry");
+            let _ = writer.send(&retry_error_frame(
+                query.request_id,
+                codes::BACKPRESSURE,
+                "server at max in-flight; retry",
+                shared.config.retry_after_ms,
+            ));
         }
         if admitted == 0 {
             continue;
@@ -554,26 +655,26 @@ fn worker_loop(
 
         let run = &batch[..admitted];
         shared.metrics.record_batch(run.len() as u64);
-        let requests: Vec<Request> = run.iter().map(|(_, r)| r.clone()).collect();
+        let requests: Vec<Request> = run.iter().map(|q| q.request.clone()).collect();
         let results = shared.engine.execute_batch(&requests);
         drop(reservation);
 
-        for ((id, _), result) in run.iter().zip(results) {
+        for (query, result) in run.iter().zip(results) {
+            let id = query.request_id;
             let frame = match result {
                 Ok(response) => {
                     ServerMetrics::bump(&shared.metrics.queries_served);
                     match serde_json::to_string(&response) {
-                        Ok(json) => Frame::new(FrameKind::QueryOk, *id, json.into_bytes()),
+                        Ok(json) => Frame::new(FrameKind::QueryOk, id, json.into_bytes()),
                         Err(e) => {
-                            let _ =
-                                writer.send_error(*id, codes::MALFORMED_PAYLOAD, &e.to_string());
+                            let _ = writer.send_error(id, codes::MALFORMED_PAYLOAD, &e.to_string());
                             return;
                         }
                     }
                 }
                 Err(query_error) => {
                     ServerMetrics::bump(&shared.metrics.query_errors);
-                    crate::frame::error_frame(*id, codes::INVALID_QUERY, query_error.to_string())
+                    crate::frame::error_frame(id, codes::INVALID_QUERY, query_error.to_string())
                 }
             };
             if writer.send(&frame).is_err() {
@@ -599,4 +700,36 @@ fn snapshot(shared: &Shared) -> MetricsSnapshot {
 fn decode_json<T: serde::Deserialize>(payload: &[u8]) -> Result<T, String> {
     let text = std::str::from_utf8(payload).map_err(|e| format!("payload is not UTF-8: {e}"))?;
     serde_json::from_str(text).map_err(|e| format!("payload does not decode: {e}"))
+}
+
+/// Decodes a `Query` payload: either a bare [`Request`] (the original wire
+/// shape, still fully supported) or a [`QueryEnvelope`] with a deadline. The
+/// two are unambiguous — a bare request has a required `vertex` field, the
+/// envelope a required `request` field.
+fn decode_query(payload: &[u8]) -> Result<(Request, Option<u64>), String> {
+    if let Ok(request) = decode_json::<Request>(payload) {
+        return Ok((request, None));
+    }
+    decode_json::<QueryEnvelope>(payload).map(|env| (env.request, env.deadline_ms))
+}
+
+/// Decodes an `Update` payload: either a bare delta array (the original wire
+/// shape: no token, no deadline, no retry safety) or an [`UpdateEnvelope`]
+/// carrying the idempotency token and an optional deadline.
+#[allow(clippy::type_complexity)]
+fn decode_update(
+    payload: &[u8],
+) -> Result<(Vec<GraphDelta>, Option<WriteToken>, Option<u64>), String> {
+    if let Ok(deltas) = decode_json::<Vec<GraphDelta>>(payload) {
+        return Ok((deltas, None, None));
+    }
+    decode_json::<UpdateEnvelope>(payload).map(|env| {
+        (env.deltas, Some(WriteToken::new(env.client_id, env.write_seq)), env.deadline_ms)
+    })
+}
+
+/// Maps a client's relative millisecond budget to the absolute instant the
+/// serving path compares against.
+fn deadline_of(deadline_ms: Option<u64>) -> Option<Instant> {
+    deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms))
 }

@@ -25,12 +25,14 @@ use crate::frame::FrameKind;
 use crate::frame::{codes, error_frame, Frame};
 use crate::metrics::{update_counters, ServerMetrics};
 use acq_core::{Engine, UpdateReport};
-use acq_durable::{DurableEngine, DurableError};
+use acq_durable::{DedupWindow, DurableEngine, DurableError, WriteToken};
 use acq_graph::GraphDelta;
+use acq_sync::sync::atomic::Ordering;
 use acq_sync::sync::mpsc::{channel, Sender};
 use acq_sync::sync::{Arc, Mutex, PoisonError};
 use acq_sync::thread::JoinHandle;
 use std::io;
+use std::time::Instant;
 
 /// Where the transactor sends each update's answer. The server implements
 /// this on its per-connection shared writer; tests implement it on a
@@ -53,16 +55,26 @@ pub enum WriteApply {
 }
 
 impl WriteApply {
-    /// Applies one batch, mapping failures to `(wire code, message)`.
-    fn apply(&self, deltas: &[GraphDelta]) -> Result<UpdateReport, (&'static str, String)> {
+    /// Applies one batch, mapping failures to `(wire code, message)`. On a
+    /// durable engine the token rides inside the logged record, so the dedup
+    /// window can be reseeded after a crash.
+    fn apply(
+        &self,
+        token: Option<&WriteToken>,
+        deltas: &[GraphDelta],
+    ) -> Result<UpdateReport, (&'static str, String)> {
         match self {
             WriteApply::Volatile(engine) => {
                 engine.apply_updates(deltas).map_err(|e| (codes::INVALID_UPDATE, e.to_string()))
             }
-            WriteApply::Durable(durable) => durable.log_and_apply(deltas).map_err(|e| match e {
-                DurableError::Graph(g) => (codes::INVALID_UPDATE, g.to_string()),
-                DurableError::Io(io) => (codes::DURABILITY, format!("batch not persisted: {io}")),
-            }),
+            WriteApply::Durable(durable) => {
+                durable.log_and_apply_tokened(token, deltas).map_err(|e| match e {
+                    DurableError::Graph(g) => (codes::INVALID_UPDATE, g.to_string()),
+                    DurableError::Io(io) => {
+                        (codes::DURABILITY, format!("batch not persisted: {io}"))
+                    }
+                })
+            }
         }
     }
 }
@@ -76,6 +88,12 @@ pub struct WriteJob {
     pub request_id: u64,
     /// Where the answer goes.
     pub writer: Arc<dyn ReplySink>,
+    /// The client's idempotency token: a resubmitted token still in the
+    /// dedup window replays the cached `UpdateOk` instead of re-applying.
+    pub token: Option<WriteToken>,
+    /// If this instant has passed when the transactor picks the job up, the
+    /// work is shed with `deadline-exceeded` instead of applied.
+    pub deadline: Option<Instant>,
 }
 
 /// Handle to the single write-applying thread.
@@ -86,45 +104,33 @@ pub struct Transactor {
 }
 
 impl Transactor {
-    /// Spawns the transactor thread for the given write path. Fails only if
-    /// the OS refuses the thread.
-    pub fn spawn(apply: WriteApply, metrics: Arc<ServerMetrics>) -> io::Result<Self> {
+    /// Spawns the transactor thread for the given write path, owning a dedup
+    /// window of at most `dedup_capacity` tokens (`0` disables dedup). On a
+    /// durable engine the window is seeded from the tokens recovered out of
+    /// the log, so a retry that straddles a crash still replays. Fails only
+    /// if the OS refuses the thread.
+    pub fn spawn(
+        apply: WriteApply,
+        metrics: Arc<ServerMetrics>,
+        dedup_capacity: usize,
+    ) -> io::Result<Self> {
         let (tx, rx) = channel::<WriteJob>();
         let last = Arc::new(Mutex::new(None));
         let last_writer = Arc::clone(&last);
+        let mut window = DedupWindow::new(dedup_capacity);
+        if let WriteApply::Durable(durable) = &apply {
+            for (token, report) in durable.recovered_tokens() {
+                window.record(*token, report.clone());
+            }
+        }
         let handle = acq_sync::thread::Builder::new().name("acq-transactor".to_string()).spawn(
             move || {
                 // The loop ends when every sender is dropped (server shutdown).
                 while let Ok(job) = rx.recv() {
-                    let reply = match apply.apply(&job.deltas) {
-                        Ok(report) => {
-                            ServerMetrics::bump(&metrics.updates_applied);
-                            ServerMetrics::add(
-                                &metrics.deltas_applied,
-                                report.deltas_applied as u64,
-                            );
-                            *last_writer.lock().unwrap_or_else(PoisonError::into_inner) =
-                                Some(report.clone());
-                            match serde_json::to_string(&report) {
-                                Ok(json) => Frame::new(
-                                    FrameKind::UpdateOk,
-                                    job.request_id,
-                                    json.into_bytes(),
-                                ),
-                                Err(e) => error_frame(
-                                    job.request_id,
-                                    codes::INVALID_UPDATE,
-                                    e.to_string(),
-                                ),
-                            }
-                        }
-                        Err((code, message)) => {
-                            ServerMetrics::bump(&metrics.update_errors);
-                            error_frame(job.request_id, code, &message)
-                        }
-                    };
+                    let reply = answer_job(&apply, &metrics, &mut window, &last_writer, &job);
                     // A vanished connection is not the transactor's problem.
                     let _ = job.writer.send(&reply);
+                    release_pending_write(&metrics);
                 }
             },
         )?;
@@ -152,6 +158,77 @@ impl Transactor {
         drop(self.tx.take());
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
+        }
+    }
+}
+
+/// Builds the reply for one job: dedup replay, deadline shed, or apply.
+fn answer_job(
+    apply: &WriteApply,
+    metrics: &ServerMetrics,
+    window: &mut DedupWindow,
+    last: &Mutex<Option<UpdateReport>>,
+    job: &WriteJob,
+) -> Frame {
+    // Dedup first: a retry of an already-acknowledged write is answered from
+    // the window even if its deadline has meanwhile expired — the work is
+    // already done and replaying the cached report is cheaper than shedding.
+    if let Some(token) = &job.token {
+        if let Some(report) = window.get(token) {
+            ServerMetrics::bump(&metrics.dedup_hits);
+            return update_ok_frame(job.request_id, report);
+        }
+    }
+    if job.deadline.is_some_and(|deadline| Instant::now() >= deadline) {
+        ServerMetrics::bump(&metrics.deadline_shed);
+        return error_frame(
+            job.request_id,
+            codes::DEADLINE_EXCEEDED,
+            "deadline expired before the write was applied; nothing was applied",
+        );
+    }
+    match apply.apply(job.token.as_ref(), &job.deltas) {
+        Ok(report) => {
+            ServerMetrics::bump(&metrics.updates_applied);
+            ServerMetrics::add(&metrics.deltas_applied, report.deltas_applied as u64);
+            *last.lock().unwrap_or_else(PoisonError::into_inner) = Some(report.clone());
+            if let Some(token) = job.token {
+                window.record(token, report.clone());
+            }
+            update_ok_frame(job.request_id, &report)
+        }
+        Err((code, message)) => {
+            ServerMetrics::bump(&metrics.update_errors);
+            error_frame(job.request_id, code, message)
+        }
+    }
+}
+
+/// Serializes a report into its `UpdateOk` frame — the same bytes whether the
+/// report is fresh or replayed from the dedup window, which is what makes a
+/// retried update's answer indistinguishable from the original.
+fn update_ok_frame(request_id: u64, report: &UpdateReport) -> Frame {
+    match serde_json::to_string(report) {
+        Ok(json) => Frame::new(FrameKind::UpdateOk, request_id, json.into_bytes()),
+        Err(e) => error_frame(request_id, codes::INVALID_UPDATE, e.to_string()),
+    }
+}
+
+/// Saturating decrement of the pending-writes gauge. Jobs submitted through
+/// the server's connection path increment it; jobs injected directly by tests
+/// do not, so a plain `fetch_sub` could wrap the gauge to `u64::MAX` and
+/// wedge the shutdown drain.
+pub(crate) fn release_pending_write(metrics: &ServerMetrics) {
+    let mut current = metrics.pending_writes.load(Ordering::Relaxed);
+    while current > 0 {
+        match metrics.pending_writes.compare_exchange(
+            current,
+            current - 1,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return,
+            Err(observed) => current = observed,
         }
     }
 }

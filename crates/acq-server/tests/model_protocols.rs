@@ -1,5 +1,5 @@
-//! Model checks for the server's write-drain and admission protocols
-//! (invariants (c) and (d) of `docs/CONCURRENCY.md`).
+//! Model checks for the server's write-drain, admission, and write-dedup
+//! protocols (invariants (c) and (d) of `docs/CONCURRENCY.md`).
 //!
 //! The transactor is exercised through the [`ReplySink`] seam with a
 //! recording mock instead of a socket writer, so the drain protocol is
@@ -8,8 +8,9 @@
 //! is explored; in normal builds the tests run once on real threads.
 
 use acq_core::Engine;
-use acq_graph::unlabeled_graph;
-use acq_server::frame::Frame;
+use acq_durable::WriteToken;
+use acq_graph::{unlabeled_graph, GraphDelta};
+use acq_server::frame::{Frame, FrameKind};
 use acq_server::metrics::ServerMetrics;
 use acq_server::{InFlightGauge, ReplySink, Transactor, WriteApply, WriteJob};
 use acq_sync::model::model;
@@ -31,6 +32,19 @@ impl ReplySink for RecordingSink {
     }
 }
 
+/// A [`ReplySink`] that records whole frames, payloads included.
+#[derive(Default)]
+struct FrameSink {
+    frames: Mutex<Vec<Frame>>,
+}
+
+impl ReplySink for FrameSink {
+    fn send(&self, frame: &Frame) -> io::Result<()> {
+        self.frames.lock().unwrap().push(frame.clone());
+        Ok(())
+    }
+}
+
 /// Invariant (c): transactor shutdown drains every queued write exactly
 /// once. Two submitters race each other and the shutdown path; whatever the
 /// interleaving, every submitted request id must be answered exactly once —
@@ -43,7 +57,7 @@ fn shutdown_drains_every_queued_write_exactly_once() {
         let engine = Arc::new(Engine::builder(graph).cache_capacity(0).threads(1).build());
         let metrics = Arc::new(ServerMetrics::default());
         let mut transactor =
-            Transactor::spawn(WriteApply::Volatile(engine), metrics).expect("spawn transactor");
+            Transactor::spawn(WriteApply::Volatile(engine), metrics, 0).expect("spawn transactor");
         let sink = Arc::new(RecordingSink::default());
 
         let submitter = {
@@ -52,16 +66,28 @@ fn shutdown_drains_every_queued_write_exactly_once() {
             thread::spawn(move || {
                 for id in [1u64, 2] {
                     let writer = Arc::clone(&sink);
-                    tx.send(WriteJob { deltas: Vec::new(), request_id: id, writer })
-                        .expect("transactor alive while senders exist");
+                    tx.send(WriteJob {
+                        deltas: Vec::new(),
+                        request_id: id,
+                        writer,
+                        token: None,
+                        deadline: None,
+                    })
+                    .expect("transactor alive while senders exist");
                 }
             })
         };
 
         let tx = transactor.sender();
         let writer = Arc::clone(&sink);
-        tx.send(WriteJob { deltas: Vec::new(), request_id: 0, writer })
-            .expect("transactor alive while senders exist");
+        tx.send(WriteJob {
+            deltas: Vec::new(),
+            request_id: 0,
+            writer,
+            token: None,
+            deadline: None,
+        })
+        .expect("transactor alive while senders exist");
         drop(tx);
 
         submitter.join().unwrap();
@@ -70,6 +96,63 @@ fn shutdown_drains_every_queued_write_exactly_once() {
         let mut got = sink.replies.lock().unwrap().clone();
         got.sort_unstable();
         assert_eq!(got, vec![0, 1, 2], "each queued write must be answered exactly once");
+    });
+}
+
+/// Write-dedup invariant: two concurrent resubmits of the same idempotency
+/// token never double-apply, and both submitters receive the same
+/// `UpdateOk`. The batch is an `InsertVertex` — deliberately NOT idempotent
+/// (it mints a fresh vertex every time it is applied), so a double-apply
+/// would be visible in the engine's generation. Whichever resubmit the
+/// transactor picks up first applies; the other must replay the cached
+/// report byte-for-byte.
+#[test]
+fn concurrent_resubmits_of_one_token_apply_once_and_answer_identically() {
+    model(|| {
+        let graph = Arc::new(unlabeled_graph(2, &[(0, 1)]));
+        let engine = Arc::new(Engine::builder(graph).cache_capacity(0).threads(1).build());
+        let metrics = Arc::new(ServerMetrics::default());
+        let mut transactor =
+            Transactor::spawn(WriteApply::Volatile(Arc::clone(&engine)), metrics, 8)
+                .expect("spawn transactor");
+        let sink = Arc::new(FrameSink::default());
+        let token = WriteToken::new(7, 1);
+        let deltas = vec![GraphDelta::insert_vertex(None, &["chaos"])];
+
+        let resubmit = {
+            let tx = transactor.sender();
+            let sink = Arc::clone(&sink);
+            let deltas = deltas.clone();
+            thread::spawn(move || {
+                let writer = sink;
+                tx.send(WriteJob {
+                    deltas,
+                    request_id: 1,
+                    writer,
+                    token: Some(token),
+                    deadline: None,
+                })
+                .expect("transactor alive while senders exist");
+            })
+        };
+        let tx = transactor.sender();
+        let writer = Arc::clone(&sink);
+        tx.send(WriteJob { deltas, request_id: 2, writer, token: Some(token), deadline: None })
+            .expect("transactor alive while senders exist");
+        drop(tx);
+        resubmit.join().unwrap();
+        transactor.shutdown();
+
+        assert_eq!(engine.generation(), 2, "one token, one application, whatever the schedule");
+        let frames = sink.frames.lock().unwrap().clone();
+        assert_eq!(frames.len(), 2, "both resubmits must be answered");
+        for frame in &frames {
+            assert_eq!(frame.kind, FrameKind::UpdateOk, "both answers must be UpdateOk");
+        }
+        assert_eq!(
+            frames[0].payload, frames[1].payload,
+            "the replayed answer must be byte-identical to the original"
+        );
     });
 }
 

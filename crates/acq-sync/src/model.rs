@@ -1,7 +1,7 @@
 //! Public entry points for deterministic exploration.
 //!
-//! Under `--cfg acq_model`, [`model`] / [`explore`] drive the cooperative
-//! scheduler in [`crate::sched`]. In normal builds the same functions run
+//! Under `--cfg acq_model`, `model` / `explore` drive the cooperative
+//! scheduler in the private `sched` module. In normal builds they run
 //! the closure once on real threads, so model-test files work unmodified in
 //! both modes (and serve as ordinary smoke tests in the normal suite).
 

@@ -48,6 +48,15 @@ pub struct ServerCounters {
     /// Queries rejected with a `backpressure` error because the global
     /// in-flight bound or a per-connection queue bound was hit.
     pub admission_rejections: u64,
+    /// Connections reaped by the socket read timeout — idle or slow-loris
+    /// peers that held a socket without completing a frame.
+    pub timeouts: u64,
+    /// Requests shed with `deadline-exceeded` because their `deadline_ms`
+    /// budget expired while they waited in a queue.
+    pub deadline_shed: u64,
+    /// Retried updates whose idempotency token was already applied: the
+    /// cached `UpdateOk` was replayed instead of re-applying the batch.
+    pub dedup_hits: u64,
 }
 
 /// The engine's per-generation index-cache counters, mirrored from
@@ -163,6 +172,9 @@ impl MetricsSnapshot {
             ("acq_update_errors", s.update_errors),
             ("acq_protocol_errors", s.protocol_errors),
             ("acq_admission_rejections", s.admission_rejections),
+            ("acq_timeouts", s.timeouts),
+            ("acq_deadline_shed", s.deadline_shed),
+            ("acq_dedup_hits", s.dedup_hits),
             ("acq_cache_hits", self.cache.hits),
             ("acq_cache_misses", self.cache.misses),
             ("acq_cache_evictions", self.cache.evictions),
@@ -221,6 +233,9 @@ mod tests {
                 update_errors: 1,
                 protocol_errors: 2,
                 admission_rejections: 5,
+                timeouts: 2,
+                deadline_shed: 3,
+                dedup_hits: 6,
             },
             cache: CacheCounters { hits: 20, misses: 10, evictions: 0, carried: 4, dropped: 1 },
             generation: 5,
@@ -251,6 +266,9 @@ mod tests {
     fn text_dump_is_flat_and_complete() {
         let text = sample().render_text();
         assert!(text.contains("acq_queries_served 30\n"));
+        assert!(text.contains("acq_timeouts 2\n"));
+        assert!(text.contains("acq_deadline_shed 3\n"));
+        assert!(text.contains("acq_dedup_hits 6\n"));
         assert!(text.contains("acq_cache_hit_rate 0.6667\n"));
         assert!(text.contains("acq_last_update_strategy IncrementalStableSkeleton\n"));
         assert!(text.contains("acq_log_bytes_appended 4096\n"));

@@ -373,3 +373,86 @@ fn a_short_read_recovers_like_a_torn_tail() {
     // healed reopen agrees with the degraded one.
     assert_eq!(faulty.disk().len(LOG_FILE), cut - 5);
 }
+
+/// The dedup window is bounded: at capacity the oldest token is evicted, and
+/// a retry of an evicted token is no longer recognised — it re-applies. That
+/// is the documented trade-off (`docs/DURABILITY.md`): the window turns
+/// "retry may double-apply" into "retry within the window never does".
+#[test]
+fn dedup_window_evicts_at_capacity_and_an_evicted_token_reapplies() {
+    use attributed_community_search::durable::{DedupWindow, WriteToken};
+    let disk = MemStorage::new();
+    let base = Arc::new(paper_figure3_graph());
+    let (durable, _) =
+        DurableEngine::open(Box::new(disk), Arc::clone(&base), DurableOptions::default()).unwrap();
+
+    let mut window = DedupWindow::new(2);
+    for seq in 1..=3u64 {
+        let token = WriteToken::new(1, seq);
+        let batch = vec![GraphDelta::InsertVertex { label: None, keywords: vec![] }];
+        let report = durable.log_and_apply_tokened(Some(&token), &batch).unwrap();
+        window.record(token, report);
+    }
+    assert_eq!(window.len(), 2, "the window is bounded at its capacity");
+    assert!(window.get(&WriteToken::new(1, 1)).is_none(), "oldest token evicted");
+    assert!(window.get(&WriteToken::new(1, 2)).is_some());
+    assert!(window.get(&WriteToken::new(1, 3)).is_some());
+
+    // A retry of the evicted token is not recognised: it applies again, as a
+    // fresh write would. generation 4 (base 1 + three batches) becomes 5.
+    let generation_before = durable.engine().generation();
+    let token = WriteToken::new(1, 1);
+    let batch = vec![GraphDelta::InsertVertex { label: None, keywords: vec![] }];
+    let report = durable.log_and_apply_tokened(Some(&token), &batch).unwrap();
+    assert_eq!(report.generation, generation_before + 1, "an evicted token re-applies");
+}
+
+/// Tokens ride inside logged records, so the dedup guarantee survives a
+/// crash: a `DurableEngine::open_dir` recovery returns every tokened
+/// record's (token, report) pair, in order, and a window reseeded from them
+/// replays a pre-crash retry instead of re-applying it.
+#[test]
+fn dedup_tokens_survive_crash_recovery_through_open_dir() {
+    use attributed_community_search::durable::{DedupWindow, WriteToken};
+    let dir = std::env::temp_dir().join(format!("acq-dedup-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = Arc::new(paper_figure3_graph());
+
+    // First life: two tokened writes and one tokenless one, then "crash".
+    let tokens = [WriteToken::new(9, 1), WriteToken::new(9, 2)];
+    let first_reports = {
+        let (durable, _) =
+            DurableEngine::open_dir(&dir, Arc::clone(&base), DurableOptions::default()).unwrap();
+        let reports: Vec<_> = tokens
+            .iter()
+            .map(|token| {
+                let batch = vec![GraphDelta::InsertVertex { label: None, keywords: vec![] }];
+                durable.log_and_apply_tokened(Some(token), &batch).unwrap()
+            })
+            .collect();
+        durable.log_and_apply(&[GraphDelta::insert_edge(VertexId(7), VertexId(5))]).unwrap();
+        reports
+        // drop = crash: nothing about the window itself was persisted.
+    };
+
+    // Second life: recovery hands back exactly the tokened pairs, in order.
+    let (durable, report) =
+        DurableEngine::open_dir(&dir, Arc::clone(&base), DurableOptions::default()).unwrap();
+    assert_eq!(report.records_replayed, 3);
+    let recovered = durable.recovered_tokens();
+    assert_eq!(recovered.len(), 2, "only tokened records carry tokens");
+    assert_eq!(recovered[0].0, tokens[0]);
+    assert_eq!(recovered[1].0, tokens[1]);
+    assert_eq!(recovered[0].1, first_reports[0], "replayed report matches the acknowledged one");
+    assert_eq!(recovered[1].1, first_reports[1]);
+
+    // A window reseeded from recovery replays the pre-crash retry.
+    let mut window = DedupWindow::new(16);
+    for (token, report) in recovered {
+        window.record(*token, report.clone());
+    }
+    assert_eq!(window.get(&tokens[0]), Some(&first_reports[0]));
+    assert_eq!(window.get(&WriteToken::new(9, 3)), None, "an unseen token still applies normally");
+    let _ = std::fs::remove_dir_all(&dir);
+}

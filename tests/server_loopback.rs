@@ -437,3 +437,43 @@ proptest! {
         prop_assert_eq!(pong.kind, FrameKind::Pong);
     }
 }
+
+/// Slow-loris defense: a client that connects and sends nothing must be
+/// reaped by the socket read timeout — `acq_timeouts` increments, the idle
+/// socket sees EOF, and the server keeps serving everyone else.
+#[test]
+fn a_silent_connection_is_reaped_by_the_read_timeout() {
+    let engine = Arc::new(Engine::new(Arc::new(paper_figure3_graph())));
+    let config = ServerConfig { read_timeout_ms: 100, ..Default::default() };
+    let server = Server::bind("127.0.0.1:0", engine, config).expect("bind loopback");
+    let addr = server.local_addr();
+
+    // The slow loris: connect, say nothing.
+    let loris = TcpStream::connect(addr).expect("connect silent client");
+
+    // A well-behaved probe on its own connection watches the counter.
+    let mut probe = Client::connect(addr).expect("connect probe");
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let snapshot = probe.metrics().expect("metrics");
+        if snapshot.server.timeouts >= 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "read timeout never fired; acq_timeouts stayed at {}",
+            snapshot.server.timeouts
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // The reaped socket is closed server-side: the loris reads EOF.
+    loris.set_read_timeout(Some(Duration::from_secs(10))).expect("set probe timeout");
+    let mut eof = [0u8; 1];
+    let n = std::io::Read::read(&mut { &loris }, &mut eof).expect("read after reap");
+    assert_eq!(n, 0, "the server must have closed the silent connection");
+
+    // Reaping one idle connection must not disturb live ones.
+    probe.ping().expect("server still serves after reaping the loris");
+    server.shutdown();
+}
