@@ -21,6 +21,7 @@ use acq_graph::{AttributedGraph, KeywordId, VertexId, VertexSubset};
 use acq_sync::sync::atomic::{AtomicU64, Ordering};
 use acq_sync::sync::{Arc, Mutex};
 use serde::{Deserialize, Serialize};
+use std::hash::{Hash, Hasher};
 
 /// Cache key: which CL-tree subtree, which degree bound, which keyword set.
 ///
@@ -102,16 +103,39 @@ impl CacheStats {
     }
 }
 
+/// Capacity at or above which the cache shards its entries over
+/// [`MAX_SEGMENTS`] independently locked LRUs. Below the threshold a single
+/// segment keeps exact global-LRU semantics (a handful of entries split eight
+/// ways would evict erratically and gain nothing from extra locks).
+pub const SEGMENT_CAPACITY_THRESHOLD: usize = 64;
+
+/// Number of lock segments used by large caches.
+pub const MAX_SEGMENTS: usize = 8;
+
 /// A bounded, thread-safe cache for core-extraction and candidate-subtree
 /// results, shared by every worker of a [`BatchEngine`](crate::exec::BatchEngine).
+///
+/// # Lock segmentation
+///
+/// At serving capacities (≥ `SEGMENT_CAPACITY_THRESHOLD`) the entries are
+/// sharded by key hash over `MAX_SEGMENTS` independently locked LRUs, so
+/// concurrent batch workers contend only when they touch the same segment —
+/// this is what fixed the batch-4-threads > batch-1-thread inversion the
+/// single global mutex used to cause (every worker of every in-flight query
+/// serialised on one lock). Each segment enforces its share of the capacity;
+/// recency is exact *within* a segment, approximate globally, which changes
+/// nothing about result bytes (the cache only ever returns values the
+/// uncached path would have computed).
 ///
 /// The disabled cache ([`IndexCache::disabled`]) computes everything directly
 /// and stores nothing; it is what the one-shot [`AcqEngine`](crate::AcqEngine)
 /// entry points use, so sequential queries pay no synchronisation cost.
 #[derive(Debug)]
 pub struct IndexCache {
-    /// `None` = caching disabled (compute directly, store nothing).
-    inner: Option<Mutex<LruCache<CacheKey, CacheValue>>>,
+    /// Hash-sharded segments; empty = caching disabled (compute directly,
+    /// store nothing). Small capacities use a single segment, preserving
+    /// exact global-LRU eviction order.
+    segments: Vec<Mutex<LruCache<CacheKey, CacheValue>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -123,9 +147,20 @@ impl IndexCache {
     /// A cache bounded to `capacity` entries. A capacity of 0 behaves like
     /// [`IndexCache::disabled`].
     pub fn with_capacity(capacity: usize) -> Self {
-        let inner = if capacity == 0 { None } else { Some(Mutex::new(LruCache::new(capacity))) };
+        let segments = if capacity == 0 {
+            Vec::new()
+        } else if capacity < SEGMENT_CAPACITY_THRESHOLD {
+            vec![Mutex::new(LruCache::new(capacity))]
+        } else {
+            (0..MAX_SEGMENTS)
+                .map(|i| {
+                    let share = capacity / MAX_SEGMENTS + usize::from(i < capacity % MAX_SEGMENTS);
+                    Mutex::new(LruCache::new(share))
+                })
+                .collect()
+        };
         Self {
-            inner,
+            segments,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -137,12 +172,26 @@ impl IndexCache {
     /// The no-op cache: every lookup computes directly and nothing is stored.
     pub const fn disabled() -> Self {
         Self {
-            inner: None,
+            segments: Vec::new(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             carried: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// The segment owning `key`, or `None` when disabled. Single-segment
+    /// caches skip the hash.
+    fn segment(&self, key: &CacheKey) -> Option<&Mutex<LruCache<CacheKey, CacheValue>>> {
+        match self.segments.len() {
+            0 => None,
+            1 => Some(&self.segments[0]),
+            n => {
+                let mut hasher = std::collections::hash_map::DefaultHasher::new();
+                key.hash(&mut hasher);
+                Some(&self.segments[(hasher.finish() as usize) % n])
+            }
         }
     }
 
@@ -163,19 +212,29 @@ impl IndexCache {
     ) -> (u64, u64) {
         let mut carried = 0u64;
         let mut dropped = 0u64;
-        if let (Some(new_inner), Some(old_inner)) = (&self.inner, &old.inner) {
-            let old_guard = old_inner.lock().expect("cache mutex poisoned");
-            let mut new_guard = new_inner.lock().expect("cache mutex poisoned");
-            for (key, value) in old_guard.iter() {
-                if keep(key) {
-                    new_guard.insert(key.clone(), value.clone());
-                    carried += 1;
-                } else {
-                    dropped += 1;
+        if self.segments.is_empty() {
+            dropped = old.len() as u64;
+        } else {
+            // Walk every old segment LRU→MRU and re-insert through the new
+            // cache's own segment map: when old and new share a layout (the
+            // swap path always builds the successor with the same capacity),
+            // each key lands in the same segment it came from and per-segment
+            // recency is reproduced exactly.
+            for old_segment in &old.segments {
+                let old_guard = old_segment.lock().expect("cache mutex poisoned");
+                for (key, value) in old_guard.iter() {
+                    if keep(key) {
+                        self.segment(key)
+                            .expect("segments checked non-empty")
+                            .lock()
+                            .expect("cache mutex poisoned")
+                            .insert(key.clone(), value.clone());
+                        carried += 1;
+                    } else {
+                        dropped += 1;
+                    }
                 }
             }
-        } else if let Some(old_inner) = &old.inner {
-            dropped = old_inner.lock().expect("cache mutex poisoned").len() as u64;
         }
         self.carried.store(carried, Ordering::Relaxed);
         self.dropped.store(dropped, Ordering::Relaxed);
@@ -184,7 +243,7 @@ impl IndexCache {
 
     /// Whether this cache actually stores entries.
     pub fn is_enabled(&self) -> bool {
-        self.inner.is_some()
+        !self.segments.is_empty()
     }
 
     /// A snapshot of the hit/miss/eviction and swap carry-over counters.
@@ -198,12 +257,9 @@ impl IndexCache {
         }
     }
 
-    /// Number of live entries (0 when disabled).
+    /// Number of live entries across all segments (0 when disabled).
     pub fn len(&self) -> usize {
-        match &self.inner {
-            Some(m) => m.lock().expect("cache mutex poisoned").len(),
-            None => 0,
-        }
+        self.segments.iter().map(|s| s.lock().expect("cache mutex poisoned").len()).sum()
     }
 
     /// Whether the cache currently holds no entries.
@@ -269,8 +325,8 @@ impl IndexCache {
     }
 
     fn lookup(&self, key: &CacheKey) -> Option<CacheValue> {
-        let inner = self.inner.as_ref()?;
-        let found = inner.lock().expect("cache mutex poisoned").get(key).cloned();
+        let segment = self.segment(key)?;
+        let found = segment.lock().expect("cache mutex poisoned").get(key).cloned();
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -279,8 +335,8 @@ impl IndexCache {
     }
 
     fn store(&self, key: CacheKey, value: CacheValue) {
-        if let Some(inner) = &self.inner {
-            if inner.lock().expect("cache mutex poisoned").insert(key, value).is_some() {
+        if let Some(segment) = self.segment(&key) {
+            if segment.lock().expect("cache mutex poisoned").insert(key, value).is_some() {
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -421,6 +477,47 @@ mod tests {
             !Arc::ptr_eq(&cold, &recomputed),
             "the least recently used entry is the one that was evicted"
         );
+    }
+
+    #[test]
+    fn segmented_cache_preserves_contents_and_counters() {
+        // A serving-sized cache shards over MAX_SEGMENTS locks; entries must
+        // stay individually retrievable, counters must aggregate across
+        // segments, and carry into an identically sized successor must keep
+        // every entry hot (pointer-identical hits).
+        let g = paper_figure3_graph();
+        let index = build_advanced(&g, true);
+        let cache = IndexCache::with_capacity(SEGMENT_CAPACITY_THRESHOLD);
+        let a = g.vertex_by_label("A").unwrap();
+        let x = g.dictionary().get("x").unwrap();
+        let y = g.dictionary().get("y").unwrap();
+        let mut entries = Vec::new();
+        for k in 1..=3u32 {
+            let node = index.locate_core(a, k).unwrap();
+            entries.push((node, k));
+            cache.subtree_vertices(&index, node, k);
+            cache.keyword_pool(&g, &index, node, k, &[x], true);
+            cache.keyword_pool(&g, &index, node, k, &[x, y], true);
+        }
+        assert_eq!(cache.len(), 9);
+        assert_eq!(cache.stats().misses, 9);
+        for &(node, k) in &entries {
+            cache.subtree_vertices(&index, node, k);
+            cache.keyword_pool(&g, &index, node, k, &[x], true);
+            cache.keyword_pool(&g, &index, node, k, &[x, y], true);
+        }
+        assert_eq!(cache.stats().hits, 9, "every entry is retrievable across segments");
+
+        let fresh = IndexCache::with_capacity(SEGMENT_CAPACITY_THRESHOLD);
+        let (carried, dropped) = fresh.carry_from(&cache, |_| true);
+        assert_eq!((carried, dropped), (9, 0));
+        assert_eq!(fresh.len(), 9);
+        let before = fresh.stats().hits;
+        for &(node, k) in &entries {
+            let direct = index.subtree_vertices(node);
+            assert_eq!(*fresh.subtree_vertices(&index, node, k), direct);
+        }
+        assert_eq!(fresh.stats().hits, before + entries.len() as u64);
     }
 
     #[test]

@@ -10,14 +10,14 @@ use acq_sync::sync::atomic::{AtomicUsize, Ordering};
 use acq_sync::sync::Mutex;
 
 /// Resolves a configured worker count for a batch of `batch_len` items:
-/// `0` means one worker per available core, and no more workers than items
-/// are ever used.
+/// `0` means one worker per available core, and the count is always clamped
+/// to both the item count and the available cores — workers beyond either
+/// can only add spawn and contention cost, never throughput (this clamp is
+/// what keeps an over-provisioned `threads` setting from regressing below
+/// the single-threaded path on small hosts).
 pub fn effective_threads(configured: usize, batch_len: usize) -> usize {
-    let configured = if configured == 0 {
-        acq_sync::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    } else {
-        configured
-    };
+    let cores = acq_sync::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let configured = if configured == 0 { cores } else { configured.min(cores) };
     configured.min(batch_len.max(1))
 }
 

@@ -42,6 +42,7 @@ pub mod exec;
 mod owned;
 mod query;
 mod request;
+pub mod shard;
 pub mod variants;
 
 pub use algorithms::basic::{basic_g, basic_w};
@@ -56,6 +57,7 @@ pub use exec::QueryBatch;
 pub use owned::{Engine, EngineBuilder, UpdateReport, UpdateStrategy, DEFAULT_REBUILD_THRESHOLD};
 pub use query::{AcqQuery, AcqResult, AttributedCommunity, QueryError, QueryStats};
 pub use request::{ExecutionMeta, Executor, QuerySpec, Request, Response};
+pub use shard::{ServingEngine, ShardStatus, ShardedEngine, ShardedEngineBuilder};
 pub use variants::{
     basic_g_v1, basic_g_v2, basic_w_v1, basic_w_v2, sw, swt, Variant1Query, Variant2Query,
 };

@@ -314,9 +314,29 @@ impl Engine {
     /// unchanged. Errors are detected per delta *before* that delta mutates
     /// the staged graph, and the staged copies are discarded wholesale.
     pub fn apply_updates(&self, deltas: &[GraphDelta]) -> Result<UpdateReport, GraphError> {
+        self.apply_updates_interning(&[], deltas)
+    }
+
+    /// Like [`apply_updates`](Self::apply_updates), but first interns `terms`
+    /// into the staged graph's keyword dictionary, in order.
+    ///
+    /// This is the dictionary-alignment hook for sharded execution
+    /// ([`ShardedEngine`](crate::ShardedEngine)): a shard only receives the
+    /// deltas it owns, but keyword ids are assigned by interning order, so
+    /// every shard must intern **all** terms of the batch — in batch scan
+    /// order — before applying its own slice. Interning an already-known
+    /// term is a no-op, so passing extra terms never changes ids.
+    pub fn apply_updates_interning(
+        &self,
+        terms: &[&str],
+        deltas: &[GraphDelta],
+    ) -> Result<UpdateReport, GraphError> {
         let _writer = self.update_lock.lock().expect("engine update lock poisoned");
         let base = self.snapshot();
         let mut graph = (*base.graph).clone();
+        for term in terms {
+            graph.intern_keyword(term);
+        }
         let mut tree = (*base.index).clone();
         let n0 = base.graph.num_vertices().max(1);
 
@@ -429,6 +449,12 @@ impl Engine {
         let number = current.number + 1;
         *current = Arc::new(GraphGeneration { graph, index, cache, number });
         number
+    }
+
+    /// Number of entries currently held by the published generation's cache
+    /// (the count a wholesale swap would drop).
+    pub(crate) fn cache_len(&self) -> usize {
+        self.snapshot().cache.len()
     }
 
     fn snapshot(&self) -> Arc<GraphGeneration> {

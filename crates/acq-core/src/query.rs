@@ -178,6 +178,11 @@ pub enum QueryError {
     UnknownKeyword(KeywordId),
     /// A Variant 2 threshold must lie in `[0, 1]`.
     InvalidTheta,
+    /// The shard that owned this request's vertex died (its worker panicked)
+    /// before producing an answer. Requests routed to other shards of the
+    /// same batch are unaffected — a shard failure is typed and scoped, never
+    /// a hang (see [`ShardedEngine`](crate::ShardedEngine)).
+    ShardFailed(usize),
 }
 
 impl fmt::Display for QueryError {
@@ -189,6 +194,9 @@ impl fmt::Display for QueryError {
                 write!(f, "keyword id {kw:?} is not in the graph's dictionary")
             }
             QueryError::InvalidTheta => write!(f, "the threshold θ must lie in [0, 1]"),
+            QueryError::ShardFailed(shard) => {
+                write!(f, "shard {shard} failed while answering the request")
+            }
         }
     }
 }

@@ -1,0 +1,186 @@
+//! The sharding contract, property-checked: a [`ShardedEngine`] is
+//! observationally **byte-identical** to a single [`Engine`] over the same
+//! graph — same communities, same stats counters, same generation stamps,
+//! same errors, in the same order — for arbitrary graphs, any shard count,
+//! and arbitrary mixed query/update sequences (including cross-shard edge
+//! insertions that force a repartition, and update batches that fail
+//! validation half-way through).
+
+use acq_core::{Engine, Executor, Request, ShardedEngine};
+use acq_graph::{AttributedGraph, GraphBuilder, GraphDelta, VertexId};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Random attributed graphs with a small keyword universe (so AC-labels
+/// actually form) and an edge density low enough to leave several connected
+/// components (so sharding has something to split).
+fn arb_graph() -> impl Strategy<Value = AttributedGraph> {
+    (6usize..20).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..30);
+        let keywords = proptest::collection::vec(proptest::collection::vec(0u32..5, 0..4), n);
+        (edges, keywords).prop_map(|(edges, kws)| {
+            let mut b = GraphBuilder::new();
+            for kw in &kws {
+                let terms: Vec<String> = kw.iter().map(|k| format!("kw{k}")).collect();
+                let refs: Vec<&str> = terms.iter().map(String::as_str).collect();
+                b.add_unlabeled_vertex(&refs);
+            }
+            for &(u, v) in &edges {
+                if u != v {
+                    b.add_edge(VertexId(u), VertexId(v)).unwrap();
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+/// An abstract update op; materialised against the evolving vertex count so
+/// most deltas are valid, while a tail of the id space stays deliberately
+/// out of range to exercise identical validation failures on both engines.
+#[derive(Debug, Clone)]
+struct Op {
+    kind: u8,
+    a: u32,
+    b: u32,
+    kw: u32,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Vec<Op>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(
+            (0u8..5, 0u32..64, 0u32..64, 0u32..7).prop_map(|(kind, a, b, kw)| Op {
+                kind,
+                a,
+                b,
+                kw,
+            }),
+            1..5,
+        ),
+        0..5,
+    )
+}
+
+/// Turns abstract ops into deltas. `n` tracks the vertex count as the batch
+/// inserts vertices, matching the evolving-n validation rule; ids are taken
+/// mod `n + 2` so roughly one in `n` deltas names an unknown vertex.
+fn materialise(ops: &[Op], mut n: u32) -> Vec<GraphDelta> {
+    let mut deltas = Vec::with_capacity(ops.len());
+    for op in ops {
+        let span = n + 2;
+        let u = VertexId(op.a % span);
+        let v = VertexId(op.b % span);
+        let term = format!("kw{}", op.kw);
+        match op.kind {
+            0 => deltas.push(GraphDelta::insert_edge(u, v)),
+            1 => deltas.push(GraphDelta::remove_edge(u, v)),
+            2 => deltas.push(GraphDelta::add_keyword(u, &term)),
+            3 => deltas.push(GraphDelta::remove_keyword(u, &term)),
+            _ => {
+                deltas.push(GraphDelta::insert_vertex(None, &[&term]));
+                n += 1;
+            }
+        }
+    }
+    deltas
+}
+
+/// Asserts every observable of a query matches between the two engines:
+/// result payload (communities, label size, stats counters), the generation
+/// stamp, and errors.
+fn assert_query_identical(sharded: &ShardedEngine, single: &Engine, request: &Request) {
+    let got = sharded.execute(request);
+    let want = single.execute(request);
+    match (got, want) {
+        (Ok(got), Ok(want)) => {
+            assert_eq!(got.result, want.result, "query {:?}", request.vertex);
+            assert_eq!(got.meta.generation, want.meta.generation);
+        }
+        (Err(got), Err(want)) => assert_eq!(got, want),
+        (got, want) => panic!("answer kinds diverged: {got:?} vs {want:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Pure queries: every vertex, every shard count, identical answers —
+    /// both one at a time and as one scattered batch (which must also come
+    /// back in input order).
+    #[test]
+    fn sharded_queries_match_single_engine(
+        g in arb_graph(),
+        num_shards in 1usize..8,
+        k in 1usize..4,
+    ) {
+        let graph = Arc::new(g);
+        let sharded = ShardedEngine::new(Arc::clone(&graph), num_shards);
+        let single = Engine::new(Arc::clone(&graph));
+        let mut requests: Vec<Request> = (0..graph.num_vertices())
+            .map(|v| Request::community(VertexId(v as u32)).k(k))
+            .collect();
+        // An unknown vertex and a k=0 sprinkled in: errors must be identical
+        // and must not disturb their neighbours' slots.
+        requests.insert(requests.len() / 2, Request::community(VertexId(10_000)).k(k));
+        requests.push(Request::community(VertexId(0)).k(0));
+
+        for request in &requests {
+            assert_query_identical(&sharded, &single, request);
+        }
+        let got = sharded.execute_batch(&requests);
+        let want = single.execute_batch(&requests);
+        prop_assert_eq!(got.len(), want.len());
+        for (got, want) in got.into_iter().zip(want) {
+            match (got, want) {
+                (Ok(got), Ok(want)) => {
+                    prop_assert_eq!(got.result, want.result);
+                    prop_assert_eq!(got.meta.generation, want.meta.generation);
+                }
+                (Err(got), Err(want)) => prop_assert_eq!(got, want),
+                (got, want) => panic!("batch slots diverged: {got:?} vs {want:?}"),
+            }
+        }
+    }
+
+    /// Mixed query/update sequences: after every update batch — valid or
+    /// not, same-shard or component-merging — reports, errors and all
+    /// subsequent answers stay identical across generations.
+    #[test]
+    fn sharded_updates_match_single_engine(
+        g in arb_graph(),
+        num_shards in 1usize..8,
+        batches in arb_ops(),
+    ) {
+        let graph = Arc::new(g);
+        let sharded = ShardedEngine::new(Arc::clone(&graph), num_shards);
+        let single = Engine::new(Arc::clone(&graph));
+        for ops in &batches {
+            let n = sharded.graph().num_vertices() as u32;
+            prop_assert_eq!(n, single.graph().num_vertices() as u32);
+            let deltas = materialise(ops, n);
+            let got = sharded.apply_updates(&deltas);
+            let want = single.apply_updates(&deltas);
+            match (got, want) {
+                (Ok(got), Ok(want)) => {
+                    prop_assert_eq!(got.generation, want.generation);
+                    prop_assert_eq!(got.deltas_applied, want.deltas_applied);
+                }
+                (Err(got), Err(want)) => prop_assert_eq!(got, want),
+                (got, want) => panic!("update outcomes diverged: {got:?} vs {want:?}"),
+            }
+            prop_assert_eq!(sharded.generation(), single.generation());
+            // The mirrors must agree exactly — vertex counts, edges and
+            // dictionary assignments all feed the query comparison below.
+            let mirror = sharded.graph();
+            prop_assert_eq!(mirror.num_vertices(), single.graph().num_vertices());
+            prop_assert_eq!(mirror.num_edges(), single.graph().num_edges());
+            for v in 0..mirror.num_vertices() {
+                assert_query_identical(
+                    &sharded,
+                    &single,
+                    &Request::community(VertexId(v as u32)).k(2),
+                );
+            }
+        }
+    }
+}

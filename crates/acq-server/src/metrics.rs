@@ -7,9 +7,11 @@
 //! defined in `acq-metrics`.
 
 use acq_core::exec::CacheStats;
-use acq_core::{UpdateReport, UpdateStrategy};
+use acq_core::{ShardStatus, UpdateReport, UpdateStrategy};
 use acq_durable::DurabilityStats;
-use acq_metrics::serving::{CacheCounters, DurabilityCounters, ServerCounters, UpdateCounters};
+use acq_metrics::serving::{
+    CacheCounters, DurabilityCounters, ServerCounters, ShardCounters, UpdateCounters,
+};
 use acq_sync::sync::atomic::{AtomicU64, Ordering};
 
 /// The server's cumulative counters. All methods are callable from any
@@ -105,6 +107,21 @@ pub(crate) fn cache_counters(stats: CacheStats) -> CacheCounters {
         carried: stats.carried,
         dropped: stats.dropped,
     }
+}
+
+/// Mirrors the per-shard [`ShardStatus`] list into the wire shape; empty on
+/// an unsharded engine, so volatile single-engine servers emit no shard
+/// lines.
+pub(crate) fn shard_counters(status: &[ShardStatus]) -> Vec<ShardCounters> {
+    status
+        .iter()
+        .map(|s| ShardCounters {
+            shard: s.shard as u64,
+            vertices: s.vertices as u64,
+            generation: s.generation,
+            cache: cache_counters(s.cache),
+        })
+        .collect()
 }
 
 /// Mirrors an [`UpdateReport`] into the wire shape (strategy as its name).

@@ -7,7 +7,7 @@
 //!   pair per connection.
 //! * **Read path** — the reader decodes frames and pushes `Query` requests
 //!   into a bounded per-connection queue; the worker drains whatever has
-//!   accumulated and hands it to [`Executor::execute_batch`] as **one**
+//!   accumulated and hands it to `Executor::execute_batch` as **one**
 //!   batch, so a bursty client is automatically batched against a single
 //!   generation snapshot. Responses are written in request order.
 //! * **Write path** — `Update` frames are forwarded to the single
@@ -22,9 +22,9 @@ use crate::frame::{
     codes, error_payload, read_frame, retry_error_frame, write_frame, Frame, FrameError, FrameKind,
     QueryEnvelope, UpdateEnvelope, DEFAULT_MAX_FRAME_LEN,
 };
-use crate::metrics::{cache_counters, durability_counters, ServerMetrics};
+use crate::metrics::{cache_counters, durability_counters, shard_counters, ServerMetrics};
 use crate::transactor::{last_update_counters, ReplySink, Transactor, WriteApply, WriteJob};
-use acq_core::{Engine, Executor, Request, UpdateReport};
+use acq_core::{Request, ServingEngine, UpdateReport};
 use acq_durable::{DurableEngine, WriteToken};
 use acq_graph::GraphDelta;
 use acq_metrics::serving::MetricsSnapshot;
@@ -118,7 +118,7 @@ pub struct Server;
 
 /// Shared state every server thread hangs off.
 struct Shared {
-    engine: Arc<Engine>,
+    engine: Arc<dyn ServingEngine>,
     /// Set on durable servers; the transactor writes through it, and the
     /// `Metrics` frame reports its counters.
     durable: Option<Arc<DurableEngine>>,
@@ -163,9 +163,14 @@ impl Server {
     /// Binds `addr`, spawns the accept threads and the transactor, and
     /// returns the running server's handle. Use port 0 to let the OS pick a
     /// free port (read it back from [`ServerHandle::local_addr`]).
+    ///
+    /// Accepts any [`ServingEngine`]: an `Arc<Engine>` and an
+    /// `Arc<ShardedEngine>` (`acq_core::ShardedEngine`) both coerce, and the
+    /// wire behaviour is byte-identical between them — a sharded server
+    /// additionally reports `acq_shard_*` metrics lines.
     pub fn bind<A: ToSocketAddrs>(
         addr: A,
-        engine: Arc<Engine>,
+        engine: Arc<dyn ServingEngine>,
         config: ServerConfig,
     ) -> io::Result<ServerHandle> {
         Self::bind_inner(addr, engine, None, config)
@@ -188,7 +193,7 @@ impl Server {
 
     fn bind_inner<A: ToSocketAddrs>(
         addr: A,
-        engine: Arc<Engine>,
+        engine: Arc<dyn ServingEngine>,
         durable: Option<Arc<DurableEngine>>,
         config: ServerConfig,
     ) -> io::Result<ServerHandle> {
@@ -694,6 +699,7 @@ fn snapshot(shared: &Shared) -> MetricsSnapshot {
         generation: shared.engine.generation(),
         last_update: last_update_counters(&shared.last_update),
         durability: shared.durable.as_ref().map(|d| durability_counters(d.stats())),
+        shards: shard_counters(&shared.engine.shard_status()),
     }
 }
 

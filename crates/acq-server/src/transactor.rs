@@ -24,7 +24,7 @@
 use crate::frame::FrameKind;
 use crate::frame::{codes, error_frame, Frame};
 use crate::metrics::{update_counters, ServerMetrics};
-use acq_core::{Engine, UpdateReport};
+use acq_core::{ServingEngine, UpdateReport};
 use acq_durable::{DedupWindow, DurableEngine, DurableError, WriteToken};
 use acq_graph::GraphDelta;
 use acq_sync::sync::atomic::Ordering;
@@ -46,8 +46,8 @@ pub trait ReplySink: Send + Sync {
 /// How the transactor applies a batch: straight to the in-memory engine, or
 /// log-then-apply through a durable one.
 pub enum WriteApply {
-    /// Apply straight to the in-memory engine.
-    Volatile(Arc<Engine>),
+    /// Apply straight to the in-memory engine (single or sharded).
+    Volatile(Arc<dyn ServingEngine>),
     /// Log-then-apply through a durable engine: the batch is fsynced to the
     /// delta log before it is applied, so an acknowledged update survives a
     /// crash.

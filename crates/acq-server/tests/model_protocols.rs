@@ -113,7 +113,7 @@ fn concurrent_resubmits_of_one_token_apply_once_and_answer_identically() {
         let engine = Arc::new(Engine::builder(graph).cache_capacity(0).threads(1).build());
         let metrics = Arc::new(ServerMetrics::default());
         let mut transactor =
-            Transactor::spawn(WriteApply::Volatile(Arc::clone(&engine)), metrics, 8)
+            Transactor::spawn(WriteApply::Volatile(Arc::clone(&engine) as _), metrics, 8)
                 .expect("spawn transactor");
         let sink = Arc::new(FrameSink::default());
         let token = WriteToken::new(7, 1);

@@ -1,0 +1,143 @@
+//! Scatter-gather benchmark: a multi-component fixture served by one
+//! [`Engine`] over the whole graph versus a [`ShardedEngine`] at 1/2/4/8
+//! shards.
+//!
+//! The fixture replicates the generated benchmark graph into `COPIES`
+//! disjoint components with vertex offsets — the shape sharding targets:
+//! communities never span components, so each shard answers its queries
+//! against a component-bucket subgraph a fraction of the full size. The
+//! speedup has two sources: on multi-core hosts the scatter runs one worker
+//! per busy shard, and on *any* host the `O(n)`-universe substrate work
+//! (bitset rows, peel scratch, component scans) shrinks with the shard.
+//! Only the `basic_g` group exercises the second effect — its global-core
+//! peel scales with the graph each executor sees — so it shows the win even
+//! on a single core; the index-anchored `dec` group is already
+//! component-local and serves as the no-regression reference (on one core
+//! it pays only the per-batch scatter overhead).
+//!
+//! Before any timing, the sharded engine's batch answers are **asserted**
+//! byte-identical to the single engine's, so the CI `bench-smoke` job fails
+//! on a routing/remapping regression instead of benchmarking a wrong answer.
+//!
+//! Set `BENCH_QUICK=1` for the CI smoke configuration; run with
+//! `BENCH_JSONL=<file>` to append machine-readable results (see
+//! `BENCH_shard.json` at the repository root for the recorded baseline).
+
+use acq_bench::{default_fixture, fixture, BenchFixture};
+use acq_core::{AcqAlgorithm, Engine, Executor, Request, ShardedEngine};
+use acq_graph::{AttributedGraph, GraphBuilder, VertexId};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+/// Whether the CI smoke configuration is active.
+fn quick() -> bool {
+    std::env::var("BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Replicates `base` into `copies` vertex-offset disjoint components.
+fn replicate(base: &AttributedGraph, copies: usize) -> AttributedGraph {
+    let n = base.num_vertices();
+    let mut b = GraphBuilder::new();
+    for _ in 0..copies {
+        for v in 0..n {
+            let terms: Vec<&str> = base
+                .keyword_set(VertexId(v as u32))
+                .iter()
+                .filter_map(|kw| base.dictionary().term(kw))
+                .collect();
+            b.add_unlabeled_vertex(&terms);
+        }
+    }
+    for copy in 0..copies {
+        let offset = (copy * n) as u32;
+        for v in 0..n as u32 {
+            for &u in base.neighbors(VertexId(v)) {
+                if u.0 > v {
+                    b.add_edge(VertexId(v + offset), VertexId(u.0 + offset)).unwrap();
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// The benchmark workload: the base fixture's query vertices, one request
+/// per copy, round-robin across the copies so consecutive requests land on
+/// different shards (the scatter's worst case for locality).
+fn workload(fx: &BenchFixture, copies: usize, k: usize, algorithm: AcqAlgorithm) -> Vec<Request> {
+    let n = fx.graph.num_vertices() as u32;
+    let mut requests = Vec::with_capacity(fx.queries.len() * copies);
+    for &q in &fx.queries {
+        for copy in 0..copies as u32 {
+            requests.push(Request::community(VertexId(q.0 + copy * n)).k(k).algorithm(algorithm));
+        }
+    }
+    requests
+}
+
+/// One benchmark group: the workload through the single engine and through
+/// every shard count, equivalence-asserted before anything is timed.
+fn run_group(
+    c: &mut Criterion,
+    name: &str,
+    single: &Engine,
+    sharded: &[(usize, ShardedEngine)],
+    requests: &[Request],
+) {
+    let want: Vec<_> = single
+        .execute_batch(requests)
+        .into_iter()
+        .map(|r| r.expect("workload queries are valid").result)
+        .collect();
+    for (s, engine) in sharded {
+        let got: Vec<_> = engine
+            .execute_batch(requests)
+            .into_iter()
+            .map(|r| r.expect("workload queries are valid").result)
+            .collect();
+        assert_eq!(got, want, "{s}-shard answers diverged from the single engine ({name})");
+    }
+
+    let mut group = c.benchmark_group(name);
+    group.sample_size(10);
+    group.bench_function("single-engine", |b| {
+        b.iter(|| std::hint::black_box(single.execute_batch(requests)))
+    });
+    for (s, engine) in sharded {
+        group.bench_function(format!("sharded-{s}"), |b| {
+            b.iter(|| std::hint::black_box(engine.execute_batch(requests)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sharded_scatter(c: &mut Criterion) {
+    let (fx, copies, k) = if quick() {
+        (fixture(&acq_datagen::tiny(), 4.0, 5, 3), 4usize, 3usize)
+    } else {
+        (default_fixture(), 4usize, 6usize)
+    };
+    let graph = Arc::new(replicate(&fx.graph, copies));
+    let single = Engine::builder(Arc::clone(&graph)).threads(1).build();
+    let sharded: Vec<(usize, ShardedEngine)> = [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|s| (s, ShardedEngine::builder(Arc::clone(&graph)).num_shards(s).threads(1).build()))
+        .collect();
+
+    // The universe-bound workload: `basic-g` peels the graph's k-core per
+    // query, so its cost scales with the size of the graph each executor
+    // sees — the effect sharding exists to bound. This is the arm the
+    // `BENCH_shard.json` acceptance numbers are recorded from.
+    let requests = workload(&fx, copies, k, AcqAlgorithm::BasicG);
+    run_group(c, "shard_scatter_basic_g", &single, &sharded, &requests);
+
+    // The index-anchored workload: `Dec` works off the CL-tree subtree of
+    // the query vertex, which is already component-local — sharding must
+    // stay within noise of the single engine here (no regression), the win
+    // on a multi-core host being the per-shard scatter workers.
+    let requests = workload(&fx, copies, k, AcqAlgorithm::Dec);
+    run_group(c, "shard_scatter_dec", &single, &sharded, &requests);
+}
+
+criterion_group!(benches, bench_sharded_scatter);
+criterion_main!(benches);

@@ -1,0 +1,175 @@
+//! Per-thread scratch arenas: reusable word buffers for the query hot paths.
+//!
+//! The peeling, BFS and candidate-pool kernels all need a handful of
+//! `⌈n/64⌉`-word scratch bitsets per call. Allocating them fresh on every
+//! query is cheap in isolation but dominates the steady-state allocation
+//! profile of a busy worker — every batch worker re-pays the same `malloc`
+//! traffic per request. The arena keeps a small per-thread pool of retired
+//! buffers; a checkout ([`take_words`] / [`take_words_copy`]) reuses a pooled
+//! buffer when one is available and its RAII guard ([`WordGuard`]) returns
+//! the buffer to the pool on drop. After the first query on a worker thread
+//! the hot paths are allocation-free.
+//!
+//! The pool is deliberately bounded: at most [`MAX_POOLED`] buffers are
+//! retained, and a buffer whose capacity exceeds [`MAX_POOLED_WORDS`] words
+//! (8 MiB) is dropped instead of pooled, so one huge transient query cannot
+//! pin memory forever. [`stats`] exposes per-thread hit/miss counters so
+//! tests can assert the steady state really is allocation-free.
+
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+
+/// Maximum number of word buffers retained per thread.
+pub const MAX_POOLED: usize = 8;
+
+/// Buffers with a larger word capacity than this are dropped, not pooled
+/// (2^20 words = 8 MiB per buffer).
+pub const MAX_POOLED_WORDS: usize = 1 << 20;
+
+thread_local! {
+    static WORD_POOL: RefCell<Pool> = const { RefCell::new(Pool::new()) };
+}
+
+struct Pool {
+    buffers: Vec<Vec<u64>>,
+    stats: ArenaStats,
+}
+
+impl Pool {
+    const fn new() -> Self {
+        Self { buffers: Vec::new(), stats: ArenaStats { fresh_allocations: 0, reuses: 0 } }
+    }
+}
+
+/// Per-thread arena counters (monotonic since thread start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Checkouts that had to allocate a fresh buffer (pool was empty).
+    pub fresh_allocations: u64,
+    /// Checkouts served from the pool without allocating.
+    pub reuses: u64,
+}
+
+/// A scratch word buffer checked out of the thread-local arena; dereferences
+/// to `[u64]` and returns the buffer to the pool on drop.
+#[derive(Debug)]
+pub struct WordGuard {
+    buf: Vec<u64>,
+}
+
+impl WordGuard {
+    /// Copies the buffer contents into an exact-sized owned vector (one
+    /// allocation, for handing off a result while the guard recycles).
+    pub fn to_vec(&self) -> Vec<u64> {
+        self.buf.clone()
+    }
+}
+
+impl Deref for WordGuard {
+    type Target = [u64];
+
+    fn deref(&self) -> &[u64] {
+        &self.buf
+    }
+}
+
+impl DerefMut for WordGuard {
+    fn deref_mut(&mut self) -> &mut [u64] {
+        &mut self.buf
+    }
+}
+
+impl Drop for WordGuard {
+    fn drop(&mut self) {
+        let buf = std::mem::take(&mut self.buf);
+        if buf.capacity() == 0 || buf.capacity() > MAX_POOLED_WORDS {
+            return;
+        }
+        WORD_POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.buffers.len() < MAX_POOLED {
+                pool.buffers.push(buf);
+            }
+        });
+    }
+}
+
+fn checkout(len: usize) -> Vec<u64> {
+    WORD_POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        match pool.buffers.pop() {
+            Some(buf) => {
+                pool.stats.reuses += 1;
+                buf
+            }
+            None => {
+                pool.stats.fresh_allocations += 1;
+                Vec::with_capacity(len)
+            }
+        }
+    })
+}
+
+/// Checks out a zeroed buffer of exactly `len` words.
+pub fn take_words(len: usize) -> WordGuard {
+    let mut buf = checkout(len);
+    buf.clear();
+    buf.resize(len, 0);
+    WordGuard { buf }
+}
+
+/// Checks out a buffer initialised as a copy of `src`.
+pub fn take_words_copy(src: &[u64]) -> WordGuard {
+    let mut buf = checkout(src.len());
+    buf.clear();
+    buf.extend_from_slice(src);
+    WordGuard { buf }
+}
+
+/// The calling thread's arena counters.
+pub fn stats() -> ArenaStats {
+    WORD_POOL.with(|p| p.borrow().stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_checkout_reuses_the_first_buffer() {
+        // Warm the pool, then assert a full checkout cycle allocates nothing.
+        drop(take_words(10));
+        let before = stats();
+        {
+            let mut w = take_words(10);
+            assert_eq!(&*w, &[0u64; 10]);
+            w[3] = 7;
+        }
+        let c = take_words_copy(&[1, 2, 3]);
+        assert_eq!(&*c, &[1, 2, 3], "copy checkout; stale contents cleared");
+        let after = stats();
+        assert_eq!(
+            after.fresh_allocations, before.fresh_allocations,
+            "steady state is allocation-free"
+        );
+        assert_eq!(after.reuses, before.reuses + 2);
+    }
+
+    #[test]
+    fn zeroing_erases_previous_contents() {
+        {
+            let mut w = take_words(4);
+            w.fill(!0);
+        }
+        let w = take_words(4);
+        assert_eq!(&*w, &[0u64; 4]);
+    }
+
+    #[test]
+    fn pool_retention_is_bounded() {
+        let guards: Vec<WordGuard> = (0..2 * MAX_POOLED).map(|_| take_words(1)).collect();
+        drop(guards);
+        let pooled = WORD_POOL.with(|p| p.borrow().buffers.len());
+        assert!(pooled <= MAX_POOLED, "pool holds {pooled} > {MAX_POOLED} buffers");
+    }
+}

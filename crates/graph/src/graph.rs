@@ -337,6 +337,18 @@ impl AttributedGraph {
         self.dictionary.terms_of(self.keyword_set(v)).collect()
     }
 
+    /// Interns `term` into the graph's keyword dictionary without attaching
+    /// it to any vertex, returning its id (existing terms keep theirs).
+    ///
+    /// This is the dictionary-alignment hook for sharded execution: every
+    /// shard graph must intern the keyword terms of a delta batch in the
+    /// same order — whether or not the deltas carrying them were routed to
+    /// that shard — so a `KeywordId` means the same term on every shard as
+    /// on the full graph.
+    pub fn intern_keyword(&mut self, term: &str) -> KeywordId {
+        self.dictionary.intern(term)
+    }
+
     /// Applies a batch of [`GraphDelta`]s, returning the updated graph.
     ///
     /// One structure clone, then per-delta incremental edits — sorted splices

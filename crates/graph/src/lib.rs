@@ -27,6 +27,7 @@
 
 #![deny(missing_docs)]
 
+pub mod arena;
 pub mod components;
 pub mod delta;
 pub mod error;
@@ -34,6 +35,8 @@ pub mod graph;
 pub mod ids;
 pub mod io;
 pub mod keywords;
+pub mod partition;
+pub mod simd;
 pub mod statistics;
 pub mod subgraph;
 
@@ -45,6 +48,8 @@ pub use graph::{
 };
 pub use ids::{KeywordId, VertexId};
 pub use keywords::{KeywordDictionary, KeywordSet};
+pub use partition::GraphPartition;
+pub use simd::U64x4;
 pub use statistics::GraphStatistics;
 pub use subgraph::{SetBits, VertexSubset};
 
@@ -87,10 +92,12 @@ mod proptests {
         })
     }
 
-    /// Strategy: a word-boundary universe size (straddling 64) plus two
-    /// subsets, for the single-word-boundary edge cases of the word kernels.
+    /// Strategy: a boundary universe size plus two subsets. The range 62..131
+    /// straddles both the 64-bit word boundary and the 256-bit SIMD
+    /// lane-group boundary (2 words = half a lane group, 4 words = exactly
+    /// one), so the kernels' remainder loops are exercised at every length.
     fn arb_boundary_subsets() -> impl Strategy<Value = (usize, VertexSubset, VertexSubset)> {
-        (62usize..68).prop_flat_map(|n| {
+        (62usize..131).prop_flat_map(|n| {
             let a = proptest::collection::vec(0..n as u32, 0..n);
             let b = proptest::collection::vec(0..n as u32, 0..n);
             (a, b).prop_map(move |(a, b)| {
@@ -207,6 +214,37 @@ mod proptests {
             prop_assert_eq!(a.union(&empty), a.clone());
             prop_assert_eq!(a.difference(&full), empty.clone());
             prop_assert_eq!(full.difference(&a).len(), n - a.len());
+        }
+
+        /// Three-tier pin: the SIMD kernels must agree with the word
+        /// reference tier on every universe length straddling the word and
+        /// lane-group boundaries (the word tier is itself pinned against the
+        /// scalar `BTreeSet` semantics above).
+        #[test]
+        fn simd_kernels_match_word_reference_tier(bounds in arb_boundary_subsets()) {
+            let (_, a, b) = bounds;
+            let (wa, wb) = (a.words(), b.words());
+            prop_assert_eq!(simd::and(wa, wb), simd::and_word(wa, wb));
+            prop_assert_eq!(simd::or(wa, wb), simd::or_word(wa, wb));
+            prop_assert_eq!(simd::and_not(wa, wb), simd::and_not_word(wa, wb));
+            prop_assert_eq!(simd::popcount(wa), simd::popcount_word(wa));
+            prop_assert_eq!(simd::and_popcount(wa, wb), simd::and_popcount_word(wa, wb));
+            prop_assert_eq!(simd::any(wa), simd::popcount_word(wa) > 0);
+            let mut acc_simd = wb.to_vec();
+            let mut acc_word = wb.to_vec();
+            simd::or_and_into(&mut acc_simd, wa, wb);
+            simd::or_and_into_word(&mut acc_word, wa, wb);
+            prop_assert_eq!(acc_simd, acc_word);
+            // In-place SIMD kernels agree with their allocating twins.
+            let mut d = wa.to_vec();
+            simd::and_in_place(&mut d, wb);
+            prop_assert_eq!(d, simd::and(wa, wb));
+            let mut d = wa.to_vec();
+            simd::or_in_place(&mut d, wb);
+            prop_assert_eq!(d, simd::or(wa, wb));
+            let mut d = wa.to_vec();
+            simd::and_not_in_place(&mut d, wb);
+            prop_assert_eq!(d, simd::and_not(wa, wb));
         }
 
         #[test]

@@ -20,11 +20,18 @@
 //! lazily (ascending vertex order) when a caller asks for
 //! [`members`](VertexSubset::members).
 //!
+//! All word loops run through the portable 4-wide SIMD kernels of [`crate::simd`]
+//! (with the plain word loops kept there as the pinned reference tier), and the
+//! BFS scratch bitsets come from the per-thread [`crate::arena`], so repeated
+//! component queries are allocation-free in the steady state.
+//!
 //! Invariant relied on by every word-wise kernel: bits at positions `>= n`
 //! (the tail of the last word) are always zero.
 
+use crate::arena;
 use crate::graph::AttributedGraph;
 use crate::ids::VertexId;
+use crate::simd;
 use std::sync::OnceLock;
 
 /// A subset of the vertices of a fixed [`AttributedGraph`], stored as a dense
@@ -72,7 +79,7 @@ impl VertexSubset {
     pub fn from_words(n: usize, mut bits: Vec<u64>) -> Self {
         assert_eq!(bits.len(), n.div_ceil(64), "word count must match the universe size");
         Self::mask_tail(n, &mut bits);
-        let len = bits.iter().map(|w| w.count_ones() as usize).sum();
+        let len = simd::popcount(&bits);
         Self { n, len, bits, members: OnceLock::new() }
     }
 
@@ -169,55 +176,54 @@ impl VertexSubset {
             .map(|i| VertexId::from_index(i * 64 + self.bits[i].trailing_zeros() as usize))
     }
 
-    /// Intersection with another subset over the same graph (word-parallel).
+    /// Intersection with another subset over the same graph (SIMD word-parallel).
     pub fn intersect(&self, other: &VertexSubset) -> VertexSubset {
-        self.zip_words(other, |a, b| a & b)
-    }
-
-    /// Union with another subset over the same graph (word-parallel).
-    pub fn union(&self, other: &VertexSubset) -> VertexSubset {
-        self.zip_words(other, |a, b| a | b)
-    }
-
-    /// Set difference `self \ other` over the same graph (word-parallel).
-    pub fn difference(&self, other: &VertexSubset) -> VertexSubset {
-        self.zip_words(other, |a, b| a & !b)
-    }
-
-    fn zip_words(&self, other: &VertexSubset, f: impl Fn(u64, u64) -> u64) -> VertexSubset {
         debug_assert_eq!(self.n, other.n, "subsets of different graphs");
-        let bits: Vec<u64> = self.bits.iter().zip(&other.bits).map(|(&a, &b)| f(a, b)).collect();
-        VertexSubset::from_words(self.n, bits)
+        VertexSubset::from_words(self.n, simd::and(&self.bits, &other.bits))
+    }
+
+    /// Union with another subset over the same graph (SIMD word-parallel).
+    pub fn union(&self, other: &VertexSubset) -> VertexSubset {
+        debug_assert_eq!(self.n, other.n, "subsets of different graphs");
+        VertexSubset::from_words(self.n, simd::or(&self.bits, &other.bits))
+    }
+
+    /// Set difference `self \ other` over the same graph (SIMD word-parallel).
+    pub fn difference(&self, other: &VertexSubset) -> VertexSubset {
+        debug_assert_eq!(self.n, other.n, "subsets of different graphs");
+        VertexSubset::from_words(self.n, simd::and_not(&self.bits, &other.bits))
     }
 
     /// In-place `self &= other`.
     pub fn intersect_in_place(&mut self, other: &VertexSubset) {
-        self.apply_words(other, |a, b| a & b);
+        self.check_same_universe(other);
+        simd::and_in_place(&mut self.bits, &other.bits);
+        self.recount();
     }
 
     /// In-place `self |= other`.
     pub fn union_in_place(&mut self, other: &VertexSubset) {
-        self.apply_words(other, |a, b| a | b);
+        self.check_same_universe(other);
+        simd::or_in_place(&mut self.bits, &other.bits);
+        self.recount();
     }
 
     /// In-place `self \= other`.
     pub fn difference_in_place(&mut self, other: &VertexSubset) {
-        self.apply_words(other, |a, b| a & !b);
+        self.check_same_universe(other);
+        simd::and_not_in_place(&mut self.bits, &other.bits);
+        self.recount();
     }
 
-    fn apply_words(&mut self, other: &VertexSubset, f: impl Fn(u64, u64) -> u64) {
-        // Hard assert: a silent zip over mismatched universes would leave the
-        // tail words unmodified and corrupt the result in release builds.
+    /// Hard assert: a silent zip over mismatched universes would leave the
+    /// tail words unmodified and corrupt the result in release builds.
+    fn check_same_universe(&self, other: &VertexSubset) {
         assert_eq!(self.bits.len(), other.bits.len(), "subsets of different graphs");
-        for (a, &b) in self.bits.iter_mut().zip(&other.bits) {
-            *a = f(*a, b);
-        }
-        self.recount();
     }
 
     /// Recomputes the cached popcount and drops the member-list cache.
     fn recount(&mut self) {
-        self.len = self.bits.iter().map(|w| w.count_ones() as usize).sum();
+        self.len = simd::popcount(&self.bits);
         self.members.take();
     }
 
@@ -234,7 +240,7 @@ impl VertexSubset {
                 // Hard assert: the scalar fallback panics on a foreign-universe
                 // subset, so the word path must not silently truncate either.
                 assert_eq!(row.len(), self.bits.len(), "subset over a different universe");
-                row.iter().zip(&self.bits).map(|(&a, &b)| (a & b).count_ones() as usize).sum()
+                simd::and_popcount(row, &self.bits)
             }
             None => self.degree_within_scalar(graph, v),
         }
@@ -257,27 +263,30 @@ impl VertexSubset {
     /// or `None` if `start` is not a member.
     ///
     /// Runs a frontier-bitset BFS: each round expands the whole frontier at
-    /// once, using word-parallel `row & subset & !visited` steps for vertices
-    /// with adjacency-bitmap rows and CSR scans for the rest.
+    /// once, using SIMD word-parallel `row & subset & !visited` steps for
+    /// vertices with adjacency-bitmap rows and CSR scans for the rest. The
+    /// three round bitsets (`comp`, `frontier`, `next`) are checked out of the
+    /// per-thread [`crate::arena`], so steady-state calls allocate only the
+    /// returned subset.
     pub fn component_of(&self, graph: &AttributedGraph, start: VertexId) -> Option<VertexSubset> {
         if !self.contains(start) {
             return None;
         }
         let n = graph.num_vertices();
-        let mut comp = VertexSubset::empty(n);
-        comp.insert(start);
-        let mut frontier = comp.clone();
-        while !frontier.is_empty() {
-            // Accumulate the next frontier in raw words; the popcount and tail
-            // mask are paid once per round in `from_words`, not per vertex.
-            let mut next_words = vec![0u64; n.div_ceil(64)];
-            for v in frontier.iter() {
+        let words = n.div_ceil(64);
+        let mut comp = arena::take_words(words);
+        let mut frontier = arena::take_words(words);
+        let mut next = arena::take_words(words);
+        let s = start.index();
+        comp[s / 64] |= 1u64 << (s % 64);
+        frontier[s / 64] |= 1u64 << (s % 64);
+        loop {
+            next.fill(0);
+            let next_words: &mut [u64] = &mut next;
+            simd::for_each_set_bit(&frontier, |i| {
+                let v = VertexId::from_index(i);
                 match graph.adjacency_row(v) {
-                    Some(row) => {
-                        for ((w, &r), &m) in next_words.iter_mut().zip(row).zip(&self.bits) {
-                            *w |= r & m;
-                        }
-                    }
+                    Some(row) => simd::or_and_into(next_words, row, &self.bits),
                     None => {
                         for &u in graph.neighbors(v) {
                             if self.contains(u) {
@@ -287,13 +296,15 @@ impl VertexSubset {
                         }
                     }
                 }
+            });
+            simd::and_not_in_place(&mut next, &comp);
+            if !simd::any(&next) {
+                break;
             }
-            let mut next = VertexSubset::from_words(n, next_words);
-            next.difference_in_place(&comp);
-            comp.union_in_place(&next);
-            frontier = next;
+            simd::or_in_place(&mut comp, &next);
+            std::mem::swap(&mut frontier, &mut next);
         }
-        Some(comp)
+        Some(VertexSubset::from_words(n, comp.to_vec()))
     }
 
     /// All connected components of the induced subgraph, each as a subset,

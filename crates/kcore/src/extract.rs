@@ -8,7 +8,7 @@
 //! algorithm performs after keyword filtering.
 
 use crate::decompose::CoreDecomposition;
-use acq_graph::{AttributedGraph, VertexId, VertexSubset};
+use acq_graph::{arena, simd, AttributedGraph, VertexId, VertexSubset};
 use std::collections::VecDeque;
 
 /// The k-core `H_k` of the whole graph as a vertex subset: exactly the
@@ -52,17 +52,19 @@ pub fn connected_kcore_containing(
 /// lost no neighbour are never touched again.
 ///
 /// All round state lives in three word buffers (`alive`, `frontier`,
-/// `affected`) allocated **once** and reused across rounds; a round costs
-/// zero allocations, however many rounds the peel cascades through.
+/// `affected`) checked out of the per-thread [`acq_graph::arena`] and reused
+/// across rounds; after the first query on a worker thread the whole peel is
+/// allocation-free except for the returned subset. The word loops run through
+/// the portable SIMD kernels of [`acq_graph::simd`].
 pub fn peel_to_kcore(graph: &AttributedGraph, subset: &VertexSubset, k: usize) -> VertexSubset {
     let n = graph.num_vertices();
     if k == 0 || subset.is_empty() {
         return subset.clone();
     }
     let words = n.div_ceil(64);
-    let mut alive: Vec<u64> = subset.words().to_vec();
-    let mut frontier = vec![0u64; words];
-    let mut affected = vec![0u64; words];
+    let mut alive = arena::take_words_copy(subset.words());
+    let mut frontier = arena::take_words(words);
+    let mut affected = arena::take_words(words);
     let mut frontier_empty = true;
     for v in subset.iter() {
         if degree_in_words(graph, &alive, v) < k {
@@ -71,27 +73,23 @@ pub fn peel_to_kcore(graph: &AttributedGraph, subset: &VertexSubset, k: usize) -
         }
     }
     while !frontier_empty {
-        let mut any_alive = false;
-        for (a, &f) in alive.iter_mut().zip(&frontier) {
-            *a &= !f;
-            any_alive |= *a != 0;
-        }
-        if !any_alive {
+        simd::and_not_in_place(&mut alive, &frontier);
+        if !simd::any(&alive) {
             break;
         }
         // Alive vertices adjacent to at least one vertex removed this round,
         // accumulated in raw words so the popcount is paid once per round.
         affected.fill(0);
-        for_each_bit(&frontier, |v| match graph.adjacency_row(v) {
-            Some(row) => {
-                for ((w, &r), &m) in affected.iter_mut().zip(row).zip(&alive) {
-                    *w |= r & m;
-                }
-            }
-            None => {
-                for &u in graph.neighbors(v) {
-                    if get_bit(&alive, u.index()) {
-                        set_bit(&mut affected, u.index());
+        let affected_words: &mut [u64] = &mut affected;
+        simd::for_each_set_bit(&frontier, |i| {
+            let v = VertexId::from_index(i);
+            match graph.adjacency_row(v) {
+                Some(row) => simd::or_and_into(affected_words, row, &alive),
+                None => {
+                    for &u in graph.neighbors(v) {
+                        if get_bit(&alive, u.index()) {
+                            set_bit(affected_words, u.index());
+                        }
                     }
                 }
             }
@@ -101,14 +99,15 @@ pub fn peel_to_kcore(graph: &AttributedGraph, subset: &VertexSubset, k: usize) -
         frontier.fill(0);
         frontier_empty = true;
         let (frontier_ref, frontier_empty_ref) = (&mut frontier, &mut frontier_empty);
-        for_each_bit(&affected, |u| {
+        simd::for_each_set_bit(&affected, |i| {
+            let u = VertexId::from_index(i);
             if degree_in_words(graph, &alive, u) < k {
                 set_bit(frontier_ref, u.index());
                 *frontier_empty_ref = false;
             }
         });
     }
-    VertexSubset::from_words(n, alive)
+    VertexSubset::from_words(n, alive.to_vec())
 }
 
 /// In-subset degree of `v` against a raw word bitset — the same hybrid
@@ -117,7 +116,7 @@ pub fn peel_to_kcore(graph: &AttributedGraph, subset: &VertexSubset, k: usize) -
 #[inline]
 fn degree_in_words(graph: &AttributedGraph, words: &[u64], v: VertexId) -> usize {
     match graph.adjacency_row(v) {
-        Some(row) => row.iter().zip(words).map(|(&a, &b)| (a & b).count_ones() as usize).sum(),
+        Some(row) => simd::and_popcount(row, words),
         None => graph.neighbors(v).iter().filter(|&&u| get_bit(words, u.index())).count(),
     }
 }
@@ -130,20 +129,6 @@ fn get_bit(words: &[u64], i: usize) -> bool {
 #[inline]
 fn set_bit(words: &mut [u64], i: usize) {
     words[i / 64] |= 1u64 << (i % 64);
-}
-
-/// Calls `f` for every set bit of `words` in ascending order (allocation-free
-/// trailing-zeros walk, like [`acq_graph::SetBits`]).
-#[inline]
-fn for_each_bit(words: &[u64], mut f: impl FnMut(VertexId)) {
-    for (idx, &word) in words.iter().enumerate() {
-        let mut w = word;
-        while w != 0 {
-            let bit = w.trailing_zeros() as usize;
-            f(VertexId::from_index(idx * 64 + bit));
-            w &= w - 1;
-        }
-    }
 }
 
 /// The scalar reference implementation of [`peel_to_kcore`]: a vertex-at-a-time

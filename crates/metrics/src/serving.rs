@@ -134,14 +134,32 @@ pub struct DurabilityCounters {
     pub snapshot_bytes: u64,
 }
 
+/// One shard of a sharded engine, mirrored from `acq_core::ShardStatus` so
+/// this crate stays dependency-light. Present only when the server runs a
+/// sharded engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardCounters {
+    /// The shard index.
+    pub shard: u64,
+    /// Vertices owned by the shard.
+    pub vertices: u64,
+    /// The shard engine's own generation number (bumped only by updates that
+    /// touched this shard; the top-level `generation` is the logical one).
+    pub generation: u64,
+    /// The shard engine's index-cache counters.
+    pub cache: CacheCounters,
+}
+
 /// Everything a `Metrics` frame reports: server counters, engine cache
-/// counters, the published generation number, the last update (if any), and
-/// the durability counters (if the server is durable).
+/// counters, the published generation number, the last update (if any), the
+/// durability counters (if the server is durable), and per-shard counters
+/// (if the engine is sharded).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
     /// Frame/connection/admission counters of the server.
     pub server: ServerCounters,
-    /// Index-cache counters of the currently published generation.
+    /// Index-cache counters of the currently published generation (summed
+    /// across shards on a sharded engine).
     pub cache: CacheCounters,
     /// The currently published graph generation number.
     pub generation: u64,
@@ -149,6 +167,9 @@ pub struct MetricsSnapshot {
     pub last_update: Option<UpdateCounters>,
     /// Delta-log and compaction counters; `None` on a volatile server.
     pub durability: Option<DurabilityCounters>,
+    /// Per-shard counters in shard order; empty on an unsharded engine (the
+    /// text dump omits shard lines entirely in that case).
+    pub shards: Vec<ShardCounters>,
 }
 
 impl MetricsSnapshot {
@@ -209,6 +230,17 @@ impl MetricsSnapshot {
                 let _ = writeln!(out, "{name} {value}");
             }
         }
+        if !self.shards.is_empty() {
+            let _ = writeln!(out, "acq_shards {}", self.shards.len());
+            for sh in &self.shards {
+                let i = sh.shard;
+                let _ = writeln!(out, "acq_shard_{i}_vertices {}", sh.vertices);
+                let _ = writeln!(out, "acq_shard_{i}_generation {}", sh.generation);
+                let _ = writeln!(out, "acq_shard_{i}_cache_hits {}", sh.cache.hits);
+                let _ = writeln!(out, "acq_shard_{i}_cache_misses {}", sh.cache.misses);
+                let _ = writeln!(out, "acq_shard_{i}_cache_evictions {}", sh.cache.evictions);
+            }
+        }
         out
     }
 }
@@ -259,6 +291,32 @@ mod tests {
                 last_compaction_micros: 850,
                 snapshot_bytes: 2048,
             }),
+            shards: vec![
+                ShardCounters {
+                    shard: 0,
+                    vertices: 7,
+                    generation: 2,
+                    cache: CacheCounters {
+                        hits: 15,
+                        misses: 6,
+                        evictions: 0,
+                        carried: 4,
+                        dropped: 1,
+                    },
+                },
+                ShardCounters {
+                    shard: 1,
+                    vertices: 3,
+                    generation: 1,
+                    cache: CacheCounters {
+                        hits: 5,
+                        misses: 4,
+                        evictions: 0,
+                        carried: 0,
+                        dropped: 0,
+                    },
+                },
+            ],
         }
     }
 
@@ -275,6 +333,10 @@ mod tests {
         assert!(text.contains("acq_log_records_replayed 3\n"));
         assert!(text.contains("acq_recovery_truncations 1\n"));
         assert!(text.contains("acq_last_compaction_micros 850\n"));
+        assert!(text.contains("acq_shards 2\n"));
+        assert!(text.contains("acq_shard_0_vertices 7\n"));
+        assert!(text.contains("acq_shard_1_generation 1\n"));
+        assert!(text.contains("acq_shard_1_cache_hits 5\n"));
         // Flat `name value` lines only: every line splits into exactly two
         // whitespace-separated fields.
         for line in text.lines() {
@@ -295,9 +357,14 @@ mod tests {
         assert_eq!(back, cold);
         assert!(back.last_update.is_none());
         assert!(back.durability.is_none());
+        assert!(back.shards.is_empty());
         assert!(
             !cold.render_text().contains("acq_log_"),
             "volatile servers must not emit durability lines"
+        );
+        assert!(
+            !cold.render_text().contains("acq_shard"),
+            "unsharded servers must not emit shard lines"
         );
     }
 

@@ -48,7 +48,7 @@ fn request_mix(graph: &AttributedGraph) -> Vec<Request> {
 fn concurrent_clients_match_the_direct_executor() {
     let graph = Arc::new(paper_figure3_graph());
     let engine = Arc::new(Engine::new(Arc::clone(&graph)));
-    let server = Server::bind("127.0.0.1:0", Arc::clone(&engine), ServerConfig::default())
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&engine) as _, ServerConfig::default())
         .expect("bind loopback");
     let addr = server.local_addr();
 
